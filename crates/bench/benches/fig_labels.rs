@@ -1,0 +1,23 @@
+//! Regenerates the E-3.4 series (Theorem 3.4) and times label decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_labels::CompactScheme;
+use ron_metric::Node;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::fig_labels(0.25).render());
+
+    let space = ron_bench::metric_instance("cube-64");
+    let scheme = CompactScheme::build(&space, 0.25);
+    c.bench_function("fig_labels/compact_estimate_cube64", |b| {
+        b.iter(|| black_box(scheme.estimate(Node::new(0), Node::new(63))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

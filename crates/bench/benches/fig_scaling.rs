@@ -1,0 +1,24 @@
+//! Regenerates the F1 stretch-vs-delta series and times the Theorem 4.1
+//! scheme construction (the heaviest per-delta artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_routing::SimpleScheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::fig_scaling().render());
+
+    let inst = ron_bench::graph_instance("grid-8x8");
+    c.bench_function("fig_scaling/thm4.1_build_grid8x8", |b| {
+        b.iter(|| {
+            black_box(SimpleScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the E-5.2/E-5.5 series and times small-world queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_metric::Node;
+use ron_smallworld::GreedyModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::fig_smallworld().render());
+
+    let space = ron_bench::metric_instance("cube-128");
+    let model = GreedyModel::sample(&space, 2.0, 5);
+    c.bench_function("fig_smallworld/greedy_query_cube128", |b| {
+        b.iter(|| black_box(model.query(&space, Node::new(0), Node::new(127))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

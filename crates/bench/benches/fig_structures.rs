@@ -1,0 +1,22 @@
+//! Regenerates the E-5.4 comparison (STRUCTURES vs Theorem 5.2) and times
+//! STRUCTURES sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_smallworld::Structures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::fig_structures().render());
+
+    let space = ron_bench::metric_instance("pgrid-10");
+    c.bench_function("fig_structures/sample_pgrid10", |b| {
+        b.iter(|| black_box(Structures::sample(&space, 1.0, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates the E-3.2 series (Theorem 3.2) and times triangulation
+//! construction and estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_labels::Triangulation;
+use ron_metric::Node;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::fig_triangulation(0.2).render());
+
+    let space = ron_bench::metric_instance("cube-128");
+    c.bench_function("fig_triangulation/build_cube128", |b| {
+        b.iter(|| black_box(Triangulation::build(&space, 0.2)))
+    });
+    let tri = Triangulation::build(&space, 0.2);
+    c.bench_function("fig_triangulation/estimate_cube128", |b| {
+        b.iter(|| black_box(tri.estimate(Node::new(0), Node::new(127))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

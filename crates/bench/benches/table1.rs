@@ -1,0 +1,28 @@
+//! Regenerates Table 1 and times Theorem 2.1 construction and routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_metric::Node;
+use ron_routing::BasicScheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::table1(&["grid-8x8", "exp-path-24"], 0.25).render());
+
+    let inst = ron_bench::graph_instance("grid-8x8");
+    c.bench_function("table1/thm2.1_build_grid8x8", |b| {
+        b.iter(|| {
+            black_box(BasicScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25))
+        })
+    });
+    let scheme = BasicScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25);
+    c.bench_function("table1/thm2.1_route_grid8x8", |b| {
+        b.iter(|| black_box(scheme.route(&inst.graph, Node::new(0), Node::new(63)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

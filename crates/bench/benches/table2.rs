@@ -1,0 +1,23 @@
+//! Regenerates Table 2 (routing on metrics) and times overlay routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_metric::Node;
+use ron_routing::BasicScheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::table2(0.25).render());
+
+    let space = ron_bench::metric_instance("cube-128");
+    let scheme = BasicScheme::build_overlay(&space, 0.25);
+    c.bench_function("table2/thm2.1_overlay_route_cube128", |b| {
+        b.iter(|| black_box(scheme.route_overlay(Node::new(0), Node::new(127)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table 3 (two-mode space split) and times two-mode routing
+//! in the large-aspect-ratio regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_metric::Node;
+use ron_routing::TwoModeScheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::table3(0.25).render());
+
+    let inst = ron_bench::graph_instance("exp-path-24");
+    let scheme = TwoModeScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25);
+    c.bench_function("table3/thmB1_route_exp_path24", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            black_box(
+                scheme.route(&inst.graph, Node::new(0), Node::new(23), &mut stats).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

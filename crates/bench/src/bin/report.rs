@@ -1,0 +1,18 @@
+//! Prints every table and figure of the reproduction in one run.
+//!
+//! `cargo run --release -p ron-bench --bin report`
+//!
+//! EXPERIMENTS.md records a snapshot of this output next to the paper's
+//! stated bounds.
+
+fn main() {
+    let delta = 0.25;
+    println!("{}", ron_bench::table1(&["grid-8x8", "exp-path-24"], delta).render());
+    println!("{}", ron_bench::table2(delta).render());
+    println!("{}", ron_bench::table3(delta).render());
+    println!("{}", ron_bench::fig_scaling().render());
+    println!("{}", ron_bench::fig_triangulation(0.2).render());
+    println!("{}", ron_bench::fig_labels(0.25).render());
+    println!("{}", ron_bench::fig_smallworld().render());
+    println!("{}", ron_bench::fig_structures().render());
+}

@@ -1,0 +1,281 @@
+//! The rings-of-neighbors data structure itself.
+//!
+//! A [`RingFamily`] stores, for every node `u`, a list of [`Ring`]s: the
+//! `i`-th ring contains pointers to nodes inside a ball `B_i` around `u`.
+//! The structure is an overlay network; [`RingFamily::out_degree`] and
+//! friends report the quantities the paper's theorem statements bound.
+
+use ron_metric::{Metric, Node, Space};
+use ron_nets::NestedNets;
+
+/// One ring of a node: the neighbors at one scale.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ring {
+    /// The scale index of this ring (application-specific; e.g. the net
+    /// level `j` of `Y_uj` or the cardinality exponent `i` of `X_ui`).
+    pub level: usize,
+    /// Radius of the ball `B_i` this ring is contained in.
+    pub radius: f64,
+    /// The neighbor pointers, sorted by node id.
+    members: Vec<Node>,
+}
+
+impl Ring {
+    /// Creates a ring from members (sorted and deduped internally).
+    #[must_use]
+    pub fn new(level: usize, radius: f64, mut members: Vec<Node>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Ring { level, radius, members }
+    }
+
+    /// The neighbor pointers, in node-id order.
+    #[must_use]
+    pub fn members(&self) -> &[Node] {
+        &self.members
+    }
+
+    /// Number of neighbors in this ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `v` is in this ring.
+    #[must_use]
+    pub fn contains(&self, v: Node) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+}
+
+/// Rings of neighbors for every node of a space.
+///
+/// # Example
+///
+/// Build the net rings `Y_uj = B_u(4 * 2^j) ∩ G_j` of a uniform line and
+/// check containment:
+///
+/// ```
+/// use ron_core::RingFamily;
+/// use ron_metric::{LineMetric, Metric, Node, Space};
+/// use ron_nets::NestedNets;
+///
+/// let space = Space::new(LineMetric::uniform(32)?);
+/// let nets = NestedNets::build(&space);
+/// let rings = RingFamily::from_nets(&space, &nets, |j, net_radius| {
+///     Some(4.0 * net_radius * (1 << 0) as f64 * (j as f64 + 1.0) / (j as f64 + 1.0))
+/// });
+/// let u = Node::new(0);
+/// for ring in rings.rings_of(u) {
+///     for &v in ring.members() {
+///         assert!(space.dist(u, v) <= ring.radius);
+///     }
+/// }
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingFamily {
+    per_node: Vec<Vec<Ring>>,
+}
+
+impl RingFamily {
+    /// Builds net rings: for each node `u` and each net level `j`, the ring
+    /// `B_u(r) ∩ G_j` where `r = ring_radius(j, net_radius_j)`; levels
+    /// mapped to `None` are skipped.
+    ///
+    /// This is the construction of Theorem 2.1 (`r_j = 4 Delta / (delta
+    /// 2^j)` after re-indexing) and of the Y-neighbors in Theorems 3.2/4.1.
+    #[must_use]
+    pub fn from_nets<M: Metric>(
+        space: &Space<M>,
+        nets: &NestedNets,
+        mut ring_radius: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Self {
+        let per_node = space
+            .nodes()
+            .map(|u| {
+                nets.iter()
+                    .filter_map(|(j, net)| {
+                        let r = ring_radius(j, net.radius())?;
+                        Some(Ring::new(j, r, net.members_in_ball(space, u, r)))
+                    })
+                    .collect()
+            })
+            .collect();
+        RingFamily { per_node }
+    }
+
+    /// Builds a family from explicit per-node rings (for sampled
+    /// constructions; see the small-world crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node` is empty.
+    #[must_use]
+    pub fn from_rings(per_node: Vec<Vec<Ring>>) -> Self {
+        assert!(!per_node.is_empty(), "ring family needs at least one node");
+        RingFamily { per_node }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Whether the family is empty (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// The rings of node `u`.
+    #[must_use]
+    pub fn rings_of(&self, u: Node) -> &[Ring] {
+        &self.per_node[u.index()]
+    }
+
+    /// The ring of `u` with the given scale index, if present.
+    #[must_use]
+    pub fn ring(&self, u: Node, level: usize) -> Option<&Ring> {
+        self.per_node[u.index()].iter().find(|r| r.level == level)
+    }
+
+    /// All distinct neighbors of `u` across rings (sorted by node id).
+    #[must_use]
+    pub fn neighbors_of(&self, u: Node) -> Vec<Node> {
+        let mut all: Vec<Node> =
+            self.per_node[u.index()].iter().flat_map(|r| r.members().iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Out-degree of `u` (distinct neighbors).
+    #[must_use]
+    pub fn out_degree(&self, u: Node) -> usize {
+        self.neighbors_of(u).len()
+    }
+
+    /// Maximum out-degree over all nodes — the quantity bounded by the
+    /// small-world theorems.
+    #[must_use]
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.len()).map(|i| self.out_degree(Node::new(i))).max().unwrap_or(0)
+    }
+
+    /// Total pointer count (with ring multiplicity), the raw size of the
+    /// distributed structure.
+    #[must_use]
+    pub fn total_pointers(&self) -> usize {
+        self.per_node.iter().flat_map(|rings| rings.iter().map(Ring::len)).sum()
+    }
+
+    /// Largest single ring cardinality (the paper's `K`).
+    #[must_use]
+    pub fn max_ring_size(&self) -> usize {
+        self.per_node
+            .iter()
+            .flat_map(|rings| rings.iter().map(Ring::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks that every ring member lies inside the ring's ball.
+    ///
+    /// Returns the first violation as `(node, level, member)`.
+    #[must_use]
+    pub fn check_containment<M: Metric>(&self, space: &Space<M>) -> Option<(Node, usize, Node)> {
+        for u in space.nodes() {
+            for ring in self.rings_of(u) {
+                for &v in ring.members() {
+                    if space.dist(u, v) > ring.radius * (1.0 + 1e-12) {
+                        return Some((u, ring.level, v));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::LineMetric;
+
+    fn family() -> (Space<LineMetric>, RingFamily) {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let nets = NestedNets::build(&space);
+        // Ring radius = 4x the net radius at every level (Theorem 2.1 shape
+        // with delta = 1).
+        let rings = RingFamily::from_nets(&space, &nets, |_, r| Some(4.0 * r));
+        (space, rings)
+    }
+
+    #[test]
+    fn rings_contained_in_balls() {
+        let (space, rings) = family();
+        assert_eq!(rings.check_containment(&space), None);
+    }
+
+    #[test]
+    fn ring_members_are_net_points() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let nets = NestedNets::build(&space);
+        let rings = RingFamily::from_nets(&space, &nets, |_, r| Some(4.0 * r));
+        for u in space.nodes() {
+            for ring in rings.rings_of(u) {
+                let net = nets.net(ring.level);
+                for &v in ring.members() {
+                    assert!(net.contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_ring_is_nonempty_at_generous_radius() {
+        // With ring radius 4x net radius, covering guarantees a member.
+        let (_, rings) = family();
+        for i in 0..rings.len() {
+            for ring in rings.rings_of(Node::new(i)) {
+                assert!(!ring.is_empty(), "empty ring at node {i} level {}", ring.level);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let (_, rings) = family();
+        assert!(rings.max_out_degree() >= 1);
+        assert!(rings.total_pointers() >= rings.len());
+        assert!(rings.max_ring_size() >= 1);
+        let u = Node::new(0);
+        assert_eq!(rings.out_degree(u), rings.neighbors_of(u).len());
+    }
+
+    #[test]
+    fn skipping_levels() {
+        let space = Space::new(LineMetric::uniform(16).unwrap());
+        let nets = NestedNets::build(&space);
+        let rings =
+            RingFamily::from_nets(&space, &nets, |j, r| if j == 0 { None } else { Some(r) });
+        assert!(rings.ring(Node::new(0), 0).is_none());
+        assert!(rings.ring(Node::new(0), 1).is_some());
+    }
+
+    #[test]
+    fn ring_dedups_members() {
+        let ring = Ring::new(0, 1.0, vec![Node::new(2), Node::new(2), Node::new(1)]);
+        assert_eq!(ring.members(), &[Node::new(1), Node::new(2)]);
+        assert!(ring.contains(Node::new(2)));
+        assert!(!ring.contains(Node::new(3)));
+    }
+}

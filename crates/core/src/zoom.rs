@@ -1,0 +1,178 @@
+//! Zooming sequences (proofs of Theorems 2.1, 3.4, B.1).
+//!
+//! The *zooming sequence* of a target `t` is a chain of net points
+//! `f_t0, f_t1, ...` at geometrically shrinking scales, each within the
+//! scale's distance of `t`: routing and label decoding walk this chain to
+//! "zoom in" on `t` without global identifiers. The chain exists because
+//! each net covers the space at its radius: `f_tj` is simply the net point
+//! nearest to `t` at the level matching scale `s_j`.
+
+use ron_metric::{Metric, Node, Space};
+use ron_nets::NestedNets;
+
+/// A target's zooming sequence: `points[j]` is the paper's `f_tj`.
+///
+/// # Example
+///
+/// ```
+/// use ron_core::zoom::{geometric_scales, ZoomSequence};
+/// use ron_metric::{LineMetric, Node, Space};
+/// use ron_nets::NestedNets;
+///
+/// let space = Space::new(LineMetric::uniform(64)?);
+/// let nets = NestedNets::build(&space);
+/// let t = Node::new(17);
+/// let scales = geometric_scales(space.index().diameter(), nets.levels());
+/// let zoom = ZoomSequence::towards(&space, &nets, t, &scales);
+/// // The chain zooms in: the last point at scale <= min distance is t itself.
+/// assert_eq!(*zoom.points().last().unwrap(), t);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoomSequence {
+    target: Node,
+    points: Vec<Node>,
+    levels: Vec<usize>,
+}
+
+impl ZoomSequence {
+    /// Builds the sequence for `target`: for each scale `s_j`, the nearest
+    /// member of the net at level `level_for_scale(s_j)`.
+    ///
+    /// Covering guarantees `d(f_tj, t) <=` the chosen net's radius `<= s_j`
+    /// (clamped at the ladder bottom, where the net is all of `V` and
+    /// `f_tj = t`).
+    #[must_use]
+    pub fn towards<M: Metric>(
+        space: &Space<M>,
+        nets: &NestedNets,
+        target: Node,
+        scales: &[f64],
+    ) -> Self {
+        let mut points = Vec::with_capacity(scales.len());
+        let mut levels = Vec::with_capacity(scales.len());
+        for &s in scales {
+            let level = nets.level_for_scale(s);
+            let (_, f) = nets.net(level).nearest_member(space, target);
+            points.push(f);
+            levels.push(level);
+        }
+        ZoomSequence { target, points, levels }
+    }
+
+    /// The target node `t`.
+    #[must_use]
+    pub fn target(&self) -> Node {
+        self.target
+    }
+
+    /// The chain `f_t0, f_t1, ...`.
+    #[must_use]
+    pub fn points(&self) -> &[Node] {
+        &self.points
+    }
+
+    /// The net-ladder level used at each position.
+    #[must_use]
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Number of positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest ratio `d(f_tj, t) / s_j` over the sequence — at most 1 when
+    /// the scales match the ladder (tests pin this).
+    #[must_use]
+    pub fn max_scale_ratio<M: Metric>(&self, space: &Space<M>, scales: &[f64]) -> f64 {
+        self.points
+            .iter()
+            .zip(scales)
+            .map(|(&f, &s)| space.dist(f, self.target) / s)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The scale chain `diameter / 2^j` for `j in [levels]` — the paper's
+/// `Delta/2^j` ladder of Theorem 2.1 in absolute distances.
+#[must_use]
+pub fn geometric_scales(diameter: f64, levels: usize) -> Vec<f64> {
+    (0..levels).map(|j| diameter / (2.0f64).powi(j as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    fn setup(n: usize) -> (Space<LineMetric>, NestedNets) {
+        let space = Space::new(LineMetric::uniform(n).unwrap());
+        let nets = NestedNets::build(&space);
+        (space, nets)
+    }
+
+    #[test]
+    fn zoom_points_respect_scales() {
+        let (space, nets) = setup(64);
+        let scales = geometric_scales(space.index().diameter(), nets.levels());
+        for t in space.nodes() {
+            let zoom = ZoomSequence::towards(&space, &nets, t, &scales);
+            assert!(
+                zoom.max_scale_ratio(&space, &scales) <= 1.0 + 1e-12,
+                "zoom point too far at target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn zoom_ends_at_target() {
+        let (space, nets) = setup(64);
+        let mut scales = geometric_scales(space.index().diameter(), nets.levels());
+        // Push one extra scale below the min distance: the net there is V,
+        // so the nearest member is the target itself.
+        scales.push(space.index().min_distance() * 0.5);
+        for t in space.nodes() {
+            let zoom = ZoomSequence::towards(&space, &nets, t, &scales);
+            assert_eq!(*zoom.points().last().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn zoom_distances_shrink_geometrically() {
+        let (space, nets) = setup(128);
+        let scales = geometric_scales(space.index().diameter(), nets.levels());
+        let t = Node::new(77);
+        let zoom = ZoomSequence::towards(&space, &nets, t, &scales);
+        for (j, &f) in zoom.points().iter().enumerate() {
+            assert!(space.dist(f, t) <= scales[j] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn works_on_random_cube() {
+        let space = Space::new(gen::uniform_cube(64, 2, 23));
+        let nets = NestedNets::build(&space);
+        let scales = geometric_scales(space.index().diameter(), nets.levels());
+        for t in space.nodes() {
+            let zoom = ZoomSequence::towards(&space, &nets, t, &scales);
+            assert!(zoom.max_scale_ratio(&space, &scales) <= 1.0 + 1e-12);
+            assert_eq!(zoom.len(), scales.len());
+            assert!(!zoom.is_empty());
+        }
+    }
+
+    #[test]
+    fn geometric_scales_halve() {
+        let scales = geometric_scales(16.0, 5);
+        assert_eq!(scales, vec![16.0, 8.0, 4.0, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,208 @@
+use ron_metric::{ExplicitMetric, MetricError, Node};
+
+use crate::dijkstra::shortest_paths;
+use crate::{Graph, GraphError};
+
+/// All-pairs shortest paths with first-hop pointers.
+///
+/// The routing schemes never inspect the graph directly at runtime: node
+/// `u` forwards a packet for intermediate target `w` along the first-hop
+/// pointer `g_uw` — the slot index of the first edge of a fixed shortest
+/// `u -> w` path (proof of Theorem 2.1). `Apsp` precomputes all distances
+/// and these pointers with `n` Dijkstra runs.
+///
+/// # Example
+///
+/// ```
+/// use ron_graph::{gen, Apsp};
+/// use ron_metric::Node;
+///
+/// let g = gen::grid_graph(3, 2);
+/// let apsp = Apsp::compute(&g);
+/// let (u, v) = (Node::new(0), Node::new(8));
+/// assert_eq!(apsp.dist(u, v), 4.0);
+/// let hop = apsp.first_hop(&g, u, v).unwrap();
+/// assert_eq!(apsp.dist(hop, v), 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Apsp {
+    n: usize,
+    dist: Vec<f64>,
+    first_hop_slot: Vec<u32>,
+}
+
+const NO_HOP: u32 = u32::MAX;
+
+impl Apsp {
+    /// Runs Dijkstra from every node: `O(n (n + m) log n)` time, `O(n^2)`
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    #[must_use]
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.len();
+        assert!(n > 0, "cannot compute APSP of an empty graph");
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut first_hop_slot = vec![NO_HOP; n * n];
+        for i in 0..n {
+            let sp = shortest_paths(graph, Node::new(i));
+            for j in 0..n {
+                dist[i * n + j] = sp.dist(Node::new(j));
+                if let Some(slot) = sp.first_hop_slot(Node::new(j)) {
+                    first_hop_slot[i * n + j] = slot;
+                }
+            }
+        }
+        Apsp { n, dist, first_hop_slot }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the instance is empty (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Shortest-path distance `d_uv` (`INFINITY` if unreachable).
+    #[must_use]
+    pub fn dist(&self, u: Node, v: Node) -> f64 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Slot index at `u` of the first edge of the fixed shortest `u -> v`
+    /// path; `None` if `u == v` or `v` is unreachable.
+    #[must_use]
+    pub fn first_hop_slot(&self, u: Node, v: Node) -> Option<u32> {
+        match self.first_hop_slot[u.index() * self.n + v.index()] {
+            NO_HOP => None,
+            s => Some(s),
+        }
+    }
+
+    /// The node the first-hop pointer leads to.
+    #[must_use]
+    pub fn first_hop(&self, graph: &Graph, u: Node, v: Node) -> Option<Node> {
+        self.first_hop_slot(u, v).map(|s| graph.link(u, s as usize).0)
+    }
+
+    /// Walks first-hop pointers from `u` to `v`, returning the full path.
+    ///
+    /// Returns `None` if `v` is unreachable. This is the path a packet
+    /// takes when every intermediate node uses its own first-hop pointer —
+    /// Claim 2.4(c) asserts (and tests verify) it is a shortest path.
+    #[must_use]
+    pub fn walk_first_hops(&self, graph: &Graph, u: Node, v: Node) -> Option<Vec<Node>> {
+        if self.dist(u, v).is_infinite() {
+            return None;
+        }
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = self.first_hop(graph, cur, v)?;
+            path.push(cur);
+            debug_assert!(path.len() <= self.n, "first-hop walk cycled");
+        }
+        Some(path)
+    }
+
+    /// The shortest-path metric as an [`ExplicitMetric`].
+    ///
+    /// This is how a "doubling graph" becomes a metric input for nets,
+    /// measures and rings. The matrix is symmetrized by taking
+    /// `min(d_uv, d_vu)` per pair: for undirected graphs the two values
+    /// agree up to the floating-point summation order of the path weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if any pair is unreachable or
+    /// two distinct nodes are at distance zero.
+    pub fn to_metric(&self) -> Result<ExplicitMetric, GraphError> {
+        if self.dist.iter().any(|d| d.is_infinite()) {
+            return Err(GraphError::Disconnected);
+        }
+        let n = self.n;
+        let mut dist = self.dist.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist[i * n + j].min(dist[j * n + i]);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        ExplicitMetric::new(dist).map_err(|e| match e {
+            MetricError::ZeroDistance { .. } => GraphError::Disconnected,
+            _ => GraphError::Empty,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+    use ron_metric::{Metric, MetricExt};
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = gen::grid_graph(4, 2);
+        let apsp = Apsp::compute(&g);
+        // corner to corner on a 4x4 grid: 3 + 3.
+        assert_eq!(apsp.dist(Node::new(0), Node::new(15)), 6.0);
+        // symmetric
+        assert_eq!(apsp.dist(Node::new(15), Node::new(0)), 6.0);
+    }
+
+    #[test]
+    fn first_hop_walk_is_shortest() {
+        let g = gen::grid_graph(4, 2);
+        let apsp = Apsp::compute(&g);
+        for i in 0..16 {
+            for j in 0..16 {
+                let (u, v) = (Node::new(i), Node::new(j));
+                let path = apsp.walk_first_hops(&g, u, v).unwrap();
+                let len = g.path_length(&path).unwrap();
+                assert!(
+                    (len - apsp.dist(u, v)).abs() < 1e-12,
+                    "walk from {u} to {v} has length {len}, shortest {}",
+                    apsp.dist(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_metric_is_valid() {
+        let g = gen::grid_graph(3, 2);
+        let apsp = Apsp::compute(&g);
+        let m = apsp.to_metric().unwrap();
+        assert_eq!(m.len(), 9);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.dist(Node::new(0), Node::new(8)), 4.0);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_metric() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(Node::new(0), Node::new(1), 1.0).unwrap();
+        let apsp = Apsp::compute(&b.build());
+        assert!(matches!(apsp.to_metric(), Err(GraphError::Disconnected)));
+        assert!(apsp.first_hop_slot(Node::new(0), Node::new(2)).is_none());
+    }
+
+    #[test]
+    fn self_distance_and_hop() {
+        let g = gen::grid_graph(3, 2);
+        let apsp = Apsp::compute(&g);
+        let u = Node::new(4);
+        assert_eq!(apsp.dist(u, u), 0.0);
+        assert!(apsp.first_hop_slot(u, u).is_none());
+        assert_eq!(apsp.walk_first_hops(&g, u, u), Some(vec![u]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Single-source shortest paths with parent and first-hop tracking.
+//!
+//! Ties between equal-length paths are broken deterministically (by head
+//! node id) so first-hop pointers are stable across runs — the routing
+//! schemes rely on "some shortest path" being fixed per pair, as in the
+//! paper's definition of first-hop pointers (proof of Theorem 2.1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ron_metric::Node;
+
+use crate::Graph;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: Node,
+    dist: Vec<f64>,
+    parent: Vec<Option<Node>>,
+    /// Slot index (at the source) of the first hop towards each node.
+    first_hop_slot: Vec<Option<u32>>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: Node,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (dist, node id): reversed for BinaryHeap.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Dijkstra from `source`.
+///
+/// `O((n + m) log n)` time. Unreachable nodes get distance
+/// `f64::INFINITY`.
+///
+/// # Example
+///
+/// ```
+/// use ron_graph::{dijkstra, gen};
+/// use ron_metric::Node;
+///
+/// let g = gen::grid_graph(3, 2);
+/// let sp = dijkstra::shortest_paths(&g, Node::new(0));
+/// assert_eq!(sp.dist(Node::new(8)), 4.0);
+/// let path = sp.path_to(Node::new(8)).unwrap();
+/// assert_eq!(path.len(), 5); // 4 hops
+/// ```
+#[must_use]
+pub fn shortest_paths(graph: &Graph, source: Node) -> ShortestPaths {
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<Node>> = vec![None; n];
+    let mut first_hop_slot: Vec<Option<u32>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: du, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (slot, (v, w)) in graph.out_links(u).enumerate() {
+            let cand = du + w;
+            let vi = v.index();
+            // Deterministic tie-break: keep the path whose parent has the
+            // smaller node id, so equal-length paths resolve identically
+            // across runs and sources.
+            let better = cand < dist[vi]
+                || (cand == dist[vi] && parent[vi].is_some_and(|p| u < p));
+            if better {
+                dist[vi] = cand;
+                parent[vi] = Some(u);
+                first_hop_slot[vi] = if u == source {
+                    Some(slot as u32)
+                } else {
+                    first_hop_slot[u.index()]
+                };
+                heap.push(HeapEntry { dist: cand, node: v });
+            }
+        }
+    }
+    ShortestPaths { source, dist, parent, first_hop_slot }
+}
+
+impl ShortestPaths {
+    /// The source node of the computation.
+    #[must_use]
+    pub fn source(&self) -> Node {
+        self.source
+    }
+
+    /// Shortest-path distance from the source to `v`.
+    #[must_use]
+    pub fn dist(&self, v: Node) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// Parent of `v` in the shortest-path tree (`None` for the source and
+    /// unreachable nodes).
+    #[must_use]
+    pub fn parent(&self, v: Node) -> Option<Node> {
+        self.parent[v.index()]
+    }
+
+    /// Slot index at the source of the first edge on the chosen shortest
+    /// path to `v` (`None` for the source itself and unreachable nodes).
+    #[must_use]
+    pub fn first_hop_slot(&self, v: Node) -> Option<u32> {
+        self.first_hop_slot[v.index()]
+    }
+
+    /// Reconstructs the chosen shortest path `source -> .. -> v`.
+    ///
+    /// Returns `None` if `v` is unreachable. The path includes both
+    /// endpoints.
+    #[must_use]
+    pub fn path_to(&self, v: Node) -> Option<Vec<Node>> {
+        if self.dist(v).is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// All shortest-path distances, indexed by node.
+    #[must_use]
+    pub fn dists(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -1- 2 -1- 3, plus a slow direct 0 -5- 3.
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(Node::new(0), Node::new(1), 1.0).unwrap();
+        b.add_undirected(Node::new(1), Node::new(3), 1.0).unwrap();
+        b.add_undirected(Node::new(0), Node::new(2), 1.0).unwrap();
+        b.add_undirected(Node::new(2), Node::new(3), 1.0).unwrap();
+        b.add_undirected(Node::new(0), Node::new(3), 5.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn distances() {
+        let g = diamond();
+        let sp = shortest_paths(&g, Node::new(0));
+        assert_eq!(sp.dist(Node::new(0)), 0.0);
+        assert_eq!(sp.dist(Node::new(1)), 1.0);
+        assert_eq!(sp.dist(Node::new(3)), 2.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let g = diamond();
+        let a = shortest_paths(&g, Node::new(0));
+        let b = shortest_paths(&g, Node::new(0));
+        // Two shortest 0->3 paths exist; the tie-break must pick the same.
+        assert_eq!(a.path_to(Node::new(3)), b.path_to(Node::new(3)));
+        // Parent of 3 should be node 1 (smaller parent id preferred).
+        assert_eq!(a.parent(Node::new(3)), Some(Node::new(1)));
+    }
+
+    #[test]
+    fn first_hop_points_along_shortest_path() {
+        let g = diamond();
+        let sp = shortest_paths(&g, Node::new(0));
+        let slot = sp.first_hop_slot(Node::new(3)).unwrap();
+        let (hop, _) = g.link(Node::new(0), slot as usize);
+        let path = sp.path_to(Node::new(3)).unwrap();
+        assert_eq!(path[1], hop);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(Node::new(0), Node::new(1), 1.0).unwrap();
+        let g = b.build();
+        let sp = shortest_paths(&g, Node::new(0));
+        assert!(sp.dist(Node::new(2)).is_infinite());
+        assert!(sp.path_to(Node::new(2)).is_none());
+        assert!(sp.first_hop_slot(Node::new(2)).is_none());
+    }
+
+    #[test]
+    fn path_length_matches_distance() {
+        let g = diamond();
+        let sp = shortest_paths(&g, Node::new(0));
+        for i in 0..4 {
+            let v = Node::new(i);
+            let path = sp.path_to(v).unwrap();
+            let len = g.path_length(&path).unwrap();
+            assert!((len - sp.dist(v)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Hop-bounded near-shortest paths (the quantity `N_delta` of Theorem B.1).
+//!
+//! Theorem B.1 assumes every pair of nodes is connected by a
+//! `(1+delta)`-stretch path with at most `N_delta` hops; mode M2 stores one
+//! such path per assigned target. This module computes, per source, the
+//! hop-profile `dist[h][v]` = length of the shortest walk of at most `h`
+//! hops (a Bellman-Ford layering), from which both `N_delta` and the actual
+//! paths are extracted.
+
+use ron_metric::Node;
+
+use crate::{Apsp, Graph};
+
+/// Hop-profile from one source: for each hop budget `h`, the cheapest walk
+/// length to every node using at most `h` edges.
+#[derive(Clone, Debug)]
+pub struct HopProfile {
+    source: Node,
+    n: usize,
+    /// `dist[h * n + v]`, `h` in `0..=max_hops`.
+    dist: Vec<f64>,
+    /// Predecessor of `v` on the best walk of `<= h` hops (u32::MAX = none).
+    pred: Vec<u32>,
+    max_hops: usize,
+}
+
+impl HopProfile {
+    /// Computes the profile from `source` for hop budgets `0..=max_hops`.
+    ///
+    /// `O(max_hops * m)` time.
+    #[must_use]
+    pub fn compute(graph: &Graph, source: Node, max_hops: usize) -> Self {
+        let n = graph.len();
+        let mut dist = vec![f64::INFINITY; (max_hops + 1) * n];
+        let mut pred = vec![u32::MAX; (max_hops + 1) * n];
+        dist[source.index()] = 0.0;
+        for h in 1..=max_hops {
+            let (lo, hi) = dist.split_at_mut(h * n);
+            let prev = &lo[(h - 1) * n..];
+            let cur = &mut hi[..n];
+            cur.copy_from_slice(prev);
+            pred.copy_within((h - 1) * n..h * n, h * n);
+            for i in 0..n {
+                let du = prev[i];
+                if du.is_infinite() {
+                    continue;
+                }
+                for (v, w) in graph.out_links(Node::new(i)) {
+                    let cand = du + w;
+                    if cand < cur[v.index()] {
+                        cur[v.index()] = cand;
+                        pred[h * n + v.index()] = i as u32;
+                    }
+                }
+            }
+        }
+        HopProfile { source, n, dist, pred, max_hops }
+    }
+
+    /// The source node.
+    #[must_use]
+    pub fn source(&self) -> Node {
+        self.source
+    }
+
+    /// Cheapest length of a walk `source -> v` with at most `h` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h > max_hops`.
+    #[must_use]
+    pub fn dist_within(&self, v: Node, h: usize) -> f64 {
+        assert!(h <= self.max_hops, "hop budget {h} exceeds profile depth");
+        self.dist[h * self.n + v.index()]
+    }
+
+    /// Smallest hop budget whose walk length is at most `limit`, if any.
+    #[must_use]
+    pub fn hops_for_length(&self, v: Node, limit: f64) -> Option<usize> {
+        (0..=self.max_hops).find(|&h| self.dist_within(v, h) <= limit)
+    }
+
+    /// Extracts a walk `source -> v` of at most `h` hops realizing
+    /// `dist_within(v, h)`. Returns `None` if unreachable within `h` hops.
+    #[must_use]
+    pub fn path_within(&self, v: Node, h: usize) -> Option<Vec<Node>> {
+        if self.dist_within(v, h).is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        let mut level = h;
+        while cur != self.source {
+            // Walk down to the level where cur's best distance was set.
+            while level > 0 && self.dist[(level - 1) * self.n + cur.index()]
+                == self.dist[level * self.n + cur.index()]
+            {
+                level -= 1;
+            }
+            let p = self.pred[level * self.n + cur.index()];
+            debug_assert_ne!(p, u32::MAX, "predecessor missing on finite-distance walk");
+            cur = Node::new(p as usize);
+            path.push(cur);
+            level = level.saturating_sub(1);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Computes `N_delta`: the smallest `h` such that *every* connected pair
+/// has a `(1+delta)`-stretch path with at most `h` hops.
+///
+/// Returns `None` if some pair needs more than `max_hops` hops (then the
+/// graph does not satisfy Theorem B.1's hypothesis at this `delta` within
+/// the probed budget).
+///
+/// `O(n * max_hops * m)` time — intended for the moderate instance sizes of
+/// the experiments.
+///
+/// # Example
+///
+/// ```
+/// use ron_graph::{gen, hopbound, Apsp};
+///
+/// let g = gen::grid_graph(4, 2);
+/// let apsp = Apsp::compute(&g);
+/// // On an unweighted grid the shortest path is also the fewest-hop path.
+/// assert_eq!(hopbound::n_delta(&g, &apsp, 0.0, 8), Some(6));
+/// ```
+#[must_use]
+pub fn n_delta(graph: &Graph, apsp: &Apsp, delta: f64, max_hops: usize) -> Option<usize> {
+    let n = graph.len();
+    let mut worst = 0usize;
+    for i in 0..n {
+        let profile = HopProfile::compute(graph, Node::new(i), max_hops);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let target = apsp.dist(Node::new(i), Node::new(j));
+            if target.is_infinite() {
+                continue;
+            }
+            let h = profile.hops_for_length(Node::new(j), target * (1.0 + delta))?;
+            worst = worst.max(h);
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn profile_matches_dijkstra_at_large_budget() {
+        let g = gen::grid_graph(4, 2);
+        let apsp = Apsp::compute(&g);
+        let profile = HopProfile::compute(&g, Node::new(0), 16);
+        for j in 0..16 {
+            let v = Node::new(j);
+            assert_eq!(profile.dist_within(v, 16), apsp.dist(Node::new(0), v));
+        }
+    }
+
+    #[test]
+    fn hop_budget_limits_path() {
+        // Path 0-1-2 with unit weights plus direct heavy edge 0-2.
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(Node::new(0), Node::new(1), 1.0).unwrap();
+        b.add_undirected(Node::new(1), Node::new(2), 1.0).unwrap();
+        b.add_undirected(Node::new(0), Node::new(2), 3.0).unwrap();
+        let g = b.build();
+        let profile = HopProfile::compute(&g, Node::new(0), 2);
+        assert_eq!(profile.dist_within(Node::new(2), 1), 3.0);
+        assert_eq!(profile.dist_within(Node::new(2), 2), 2.0);
+        assert_eq!(profile.hops_for_length(Node::new(2), 2.5), Some(2));
+        assert_eq!(profile.hops_for_length(Node::new(2), 3.0), Some(1));
+    }
+
+    #[test]
+    fn path_within_realizes_distance() {
+        let g = gen::grid_graph(4, 2);
+        let profile = HopProfile::compute(&g, Node::new(0), 8);
+        for j in 0..16 {
+            let v = Node::new(j);
+            let path = profile.path_within(v, 8).unwrap();
+            assert!(path.len() <= 9, "too many hops");
+            let len = g.path_length(&path).unwrap();
+            assert!((len - profile.dist_within(v, 8)).abs() < 1e-12);
+            assert_eq!(path[0], Node::new(0));
+            assert_eq!(*path.last().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn n_delta_on_grid_is_diameter_hops() {
+        let g = gen::grid_graph(3, 2);
+        let apsp = Apsp::compute(&g);
+        assert_eq!(n_delta(&g, &apsp, 0.0, 8), Some(4));
+        // Insufficient budget yields None.
+        assert_eq!(n_delta(&g, &apsp, 0.0, 3), None);
+    }
+
+    #[test]
+    fn n_delta_shrinks_with_stretch_allowance() {
+        // A long cheap detour vs a short expensive edge: allowing stretch
+        // lets routing use fewer hops.
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(Node::new(0), Node::new(1), 1.0).unwrap();
+        b.add_undirected(Node::new(1), Node::new(2), 1.0).unwrap();
+        b.add_undirected(Node::new(2), Node::new(3), 1.0).unwrap();
+        b.add_undirected(Node::new(0), Node::new(3), 3.3).unwrap();
+        let g = b.build();
+        let apsp = Apsp::compute(&g);
+        let strict = n_delta(&g, &apsp, 0.0, 8).unwrap();
+        let loose = n_delta(&g, &apsp, 0.25, 8).unwrap();
+        assert!(loose <= strict);
+        assert_eq!(loose, 2); // 0-3 can use the direct edge at stretch 1.1
+    }
+
+    #[test]
+    fn unreachable_within_budget() {
+        let g = gen::grid_graph(3, 2);
+        let profile = HopProfile::compute(&g, Node::new(0), 1);
+        assert!(profile.path_within(Node::new(8), 1).is_none());
+        assert!(profile.dist_within(Node::new(8), 1).is_infinite());
+    }
+}

@@ -1,0 +1,151 @@
+//! The shared-beacon `(eps, delta)`-triangulation baseline
+//! (Kleinberg–Slivkins–Wexler [33], Slivkins [50]).
+//!
+//! All nodes share one random beacon set; `D+`/`D-` are computed the same
+//! way as in Theorem 3.2, but the guarantee only holds for all but an
+//! `eps`-fraction of pairs — the "obvious flaw" (paper's words) that the
+//! `(0, delta)`-triangulation of Theorem 3.2 repairs. The benchmarks
+//! measure that failing fraction side by side with Theorem 3.2's zero.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ron_metric::{Metric, Node, Space};
+
+use crate::triangulation::{estimate_from_labels, Estimate};
+
+/// A triangulation where every node stores distances to the same `k`
+/// random beacons.
+///
+/// # Example
+///
+/// ```
+/// use ron_labels::SharedBeaconTriangulation;
+/// use ron_metric::{gen, Node, Space};
+///
+/// let space = Space::new(gen::uniform_cube(64, 2, 5));
+/// let tri = SharedBeaconTriangulation::build(&space, 8, 42);
+/// let est = tri.estimate(Node::new(0), Node::new(1));
+/// assert!(est.lower <= est.upper);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedBeaconTriangulation {
+    beacons: Vec<Node>,
+    /// Per node: `(beacon, distance)` sorted by beacon id.
+    labels: Vec<Vec<(Node, f64)>>,
+}
+
+impl SharedBeaconTriangulation {
+    /// Samples `k` beacons uniformly without replacement and stores every
+    /// node's distances to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the node count.
+    #[must_use]
+    pub fn build<M: Metric>(space: &Space<M>, k: usize, seed: u64) -> Self {
+        let n = space.len();
+        assert!(k >= 1 && k <= n, "beacon count {k} out of range 1..={n}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<Node> = space.nodes().collect();
+        all.shuffle(&mut rng);
+        let mut beacons = all[..k].to_vec();
+        beacons.sort_unstable();
+        let labels = space
+            .nodes()
+            .map(|u| beacons.iter().map(|&b| (b, space.dist(u, b))).collect())
+            .collect();
+        SharedBeaconTriangulation { beacons, labels }
+    }
+
+    /// The shared beacon set (the *order* of this triangulation).
+    #[must_use]
+    pub fn beacons(&self) -> &[Node] {
+        &self.beacons
+    }
+
+    /// `D+`/`D-` for a pair (all beacons are common here).
+    #[must_use]
+    pub fn estimate(&self, u: Node, v: Node) -> Estimate {
+        estimate_from_labels(&self.labels[u.index()], &self.labels[v.index()])
+    }
+
+    /// Fraction of node pairs whose `D+/D-` ratio exceeds `1 + delta` —
+    /// the `eps` this baseline actually achieves (Theorem 3.2's
+    /// construction achieves 0 by design).
+    #[must_use]
+    pub fn failing_fraction(&self, delta: f64) -> f64 {
+        let n = self.labels.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut bad = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if self.estimate(Node::new(i), Node::new(j)).ratio() > 1.0 + delta {
+                    bad += 1;
+                }
+            }
+        }
+        bad as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triangulation;
+    use ron_metric::gen;
+
+    #[test]
+    fn estimates_bracket_true_distance() {
+        let space = Space::new(gen::uniform_cube(40, 2, 9));
+        let tri = SharedBeaconTriangulation::build(&space, 6, 1);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let est = tri.estimate(u, v);
+                assert!(est.lower <= d + 1e-9);
+                assert!(est.upper >= d - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn beacon_count_is_respected() {
+        let space = Space::new(gen::uniform_cube(30, 2, 2));
+        let tri = SharedBeaconTriangulation::build(&space, 5, 7);
+        assert_eq!(tri.beacons().len(), 5);
+    }
+
+    #[test]
+    fn some_pairs_fail_with_few_beacons() {
+        // On a clustered metric, a handful of shared beacons cannot certify
+        // intra-cluster distances: the failing fraction is visibly nonzero,
+        // while Theorem 3.2's triangulation has zero failures.
+        let space = Space::new(gen::clustered(60, 2, 6, 0.01, 4));
+        let delta = 0.3;
+        let baseline = SharedBeaconTriangulation::build(&space, 6, 11);
+        let ours = Triangulation::build(&space, delta / 3.0);
+        let eps_baseline = baseline.failing_fraction(delta);
+        let bound = (1.0 + 2.0 * delta / 3.0) / (1.0 - 2.0 * delta / 3.0);
+        assert!(ours.max_ratio() <= bound + 1e-9);
+        assert!(
+            eps_baseline > 0.0,
+            "expected the shared-beacon baseline to fail on some pairs"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let space = Space::new(gen::uniform_cube(20, 2, 3));
+        let a = SharedBeaconTriangulation::build(&space, 4, 5);
+        let b = SharedBeaconTriangulation::build(&space, 4, 5);
+        assert_eq!(a.beacons(), b.beacons());
+    }
+}

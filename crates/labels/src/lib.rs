@@ -1,0 +1,35 @@
+//! Triangulation and distance labeling on doubling metrics
+//! (Section 3 of Slivkins, PODC 2005).
+//!
+//! Three schemes, in increasing sophistication:
+//!
+//! * [`Triangulation`] (**Theorem 3.2**): a `(0, delta)`-triangulation of
+//!   order `(1/delta)^O(alpha) * log n` — every node gets a beacon set
+//!   (its X- and Y-neighbors) such that for **every** pair `(u, v)` the
+//!   triangle-inequality bounds `D+` and `D-` computed from common beacons
+//!   satisfy `D+/D- <= (1+2 delta)/(1-2 delta)`;
+//! * [`GlobalIdDls`]: the `(1+O(delta))`-approximate distance labeling
+//!   scheme obtained from the triangulation by storing `(id, distance)`
+//!   pairs — the paper's re-derivation of Mendel–Har-Peled, costing a
+//!   `ceil(log n)`-bit identifier per beacon;
+//! * [`CompactScheme`] (**Theorem 3.4**): the identifier-free labels of
+//!   `O_(alpha,delta)(log n)(log log Delta)` bits, which replace global ids
+//!   with zooming sequences, virtual neighbors and translation functions.
+//!
+//! Also here: [`DistanceCodec`] (the mantissa/exponent distance encoding
+//! both labeling schemes charge for) and [`SharedBeaconTriangulation`]
+//! (the `(eps, delta)`-triangulation baseline of Kleinberg–Slivkins–Wexler
+//! [33], which leaves an `eps`-fraction of pairs unguaranteed — the flaw
+//! Theorem 3.2 repairs).
+
+mod baseline;
+mod compact;
+mod qdist;
+mod system;
+mod triangulation;
+
+pub use baseline::SharedBeaconTriangulation;
+pub use compact::{CompactLabel, CompactScheme};
+pub use qdist::{DistanceCodec, EncodedDistance};
+pub use system::NeighborSystem;
+pub use triangulation::{Estimate, GlobalIdDls, Triangulation};

@@ -1,0 +1,409 @@
+//! (0, delta)-triangulation (Theorem 3.2) and the global-id distance
+//! labeling scheme derived from it.
+
+use ron_core::bits::{id_bits, SizeReport};
+use ron_metric::{Metric, Node, Space};
+
+use crate::{DistanceCodec, NeighborSystem};
+
+/// The triangle-inequality bounds computed from two beacon labels.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Estimate {
+    /// `D+ = min over common beacons b of (d_ub + d_vb)` — an upper bound.
+    pub upper: f64,
+    /// `D- = max over common beacons b of |d_ub - d_vb|` — a lower bound.
+    pub lower: f64,
+    /// Number of common beacons used.
+    pub common: usize,
+}
+
+impl Estimate {
+    /// The quality ratio `D+/D-` (infinite when `D- = 0`, i.e. `u = v` or
+    /// a beacon is equidistant).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.lower <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.upper / self.lower
+        }
+    }
+}
+
+/// A `(0, delta)`-triangulation of order `(1/delta)^O(alpha) log n`
+/// (Theorem 3.2).
+///
+/// Every node's beacon set is its X- and Y-neighbors from the
+/// [`NeighborSystem`]; the theorem guarantees that **every** pair `(u, v)`
+/// has a common beacon within `delta * d_uv` of `u` or `v`, hence
+/// `D+/D- <= (1 + 2 delta) / (1 - 2 delta)` for every pair (for
+/// `delta < 1/2`); both bounds double as `(1 + O(delta))`-approximate
+/// distance estimates with a per-pair quality certificate (`D+/D-`).
+///
+/// # Example
+///
+/// ```
+/// use ron_labels::Triangulation;
+/// use ron_metric::{gen, Node, Space};
+///
+/// let space = Space::new(gen::uniform_cube(48, 2, 7));
+/// let tri = Triangulation::build(&space, 0.2);
+/// let (u, v) = (Node::new(0), Node::new(47));
+/// let est = tri.estimate(u, v);
+/// let d = space.dist(u, v);
+/// assert!(est.lower <= d && d <= est.upper);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Triangulation {
+    delta: f64,
+    /// Per node: `(beacon, true distance)`, sorted by beacon id.
+    labels: Vec<Vec<(Node, f64)>>,
+}
+
+impl Triangulation {
+    /// Builds the triangulation at parameter `delta` (building a fresh
+    /// [`NeighborSystem`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1)`.
+    #[must_use]
+    pub fn build<M: Metric>(space: &Space<M>, delta: f64) -> Self {
+        let system = NeighborSystem::build(space, delta);
+        Self::from_system(space, &system)
+    }
+
+    /// Builds the triangulation from an existing neighbor system.
+    #[must_use]
+    pub fn from_system<M: Metric>(space: &Space<M>, system: &NeighborSystem) -> Self {
+        let labels = space
+            .nodes()
+            .map(|u| {
+                system
+                    .neighbors_of(u)
+                    .into_iter()
+                    .map(|b| (b, space.dist(u, b)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Triangulation { delta: system.delta(), labels }
+    }
+
+    /// The construction parameter `delta`.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the triangulation is empty (never by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The beacon set of `u` with true distances, sorted by beacon id.
+    #[must_use]
+    pub fn label(&self, u: Node) -> &[(Node, f64)] {
+        &self.labels[u.index()]
+    }
+
+    /// The triangulation order: the largest beacon set.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.labels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Computes `D+` and `D-` for a pair from the two labels only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no common beacon — impossible for labels
+    /// built by this type, whose level-0 beacons are shared by every node.
+    #[must_use]
+    pub fn estimate(&self, u: Node, v: Node) -> Estimate {
+        estimate_from_labels(self.label(u), self.label(v))
+    }
+
+    /// The largest `D+/D-` ratio over all pairs — the quantity Theorem 3.2
+    /// bounds by `1 + O(delta)`. Exhaustive: `O(n^2 * order)`.
+    #[must_use]
+    pub fn max_ratio(&self) -> f64 {
+        let n = self.len();
+        let mut worst: f64 = 1.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                worst = worst.max(self.estimate(Node::new(i), Node::new(j)).ratio());
+            }
+        }
+        worst
+    }
+}
+
+/// Computes `D+`/`D-` from two sorted beacon lists (the "labels" of the
+/// triangulation; no other information is consulted).
+///
+/// # Panics
+///
+/// Panics if there is no common beacon.
+#[must_use]
+pub(crate) fn estimate_from_labels(a: &[(Node, f64)], b: &[(Node, f64)]) -> Estimate {
+    let mut upper = f64::INFINITY;
+    let mut lower = 0.0f64;
+    let mut common = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (du, dv) = (a[i].1, b[j].1);
+                upper = upper.min(du + dv);
+                lower = lower.max((du - dv).abs());
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    assert!(common > 0, "no common beacon between labels");
+    Estimate { upper, lower, common }
+}
+
+/// The `(1 + O(delta))`-approximate distance labeling scheme obtained from
+/// the triangulation by storing `(global id, quantized distance)` pairs —
+/// the paper's corollary matching Mendel–Har-Peled.
+///
+/// Labels cost `order * (ceil(log n) + O(log 1/delta) + O(log log Delta))`
+/// bits; the estimate is the upper bound `D+` (footnote 11: `D-` is not
+/// protected under quantization).
+#[derive(Clone, Debug)]
+pub struct GlobalIdDls {
+    codec: DistanceCodec,
+    aspect_ratio: f64,
+    n: usize,
+    /// Per node: `(beacon, quantized distance)`, sorted by beacon id.
+    labels: Vec<Vec<(Node, f64)>>,
+}
+
+impl GlobalIdDls {
+    /// Builds the DLS from a triangulation, quantizing distances at the
+    /// triangulation's `delta`.
+    #[must_use]
+    pub fn from_triangulation<M: Metric>(space: &Space<M>, tri: &Triangulation) -> Self {
+        let codec = DistanceCodec::for_delta(tri.delta());
+        let labels = space
+            .nodes()
+            .map(|u| {
+                tri.label(u)
+                    .iter()
+                    .map(|&(b, d)| (b, codec.decode(codec.encode(d))))
+                    .collect()
+            })
+            .collect();
+        GlobalIdDls { codec, aspect_ratio: space.index().aspect_ratio(), n: space.len(), labels }
+    }
+
+    /// The `(1 + O(delta))`-approximate distance estimate `D+` computed
+    /// from the two labels.
+    #[must_use]
+    pub fn estimate(&self, u: Node, v: Node) -> f64 {
+        estimate_from_labels(&self.labels[u.index()], &self.labels[v.index()]).upper
+    }
+
+    /// Bit size of `u`'s label under the paper's encoding.
+    #[must_use]
+    pub fn label_bits(&self, u: Node) -> SizeReport {
+        let mut report = SizeReport::new(format!("dls label of {u}"));
+        let beacons = self.labels[u.index()].len() as u64;
+        report.add("beacon ids", beacons * id_bits(self.n));
+        report.add("distances", beacons * self.codec.bits_per_distance(self.aspect_ratio));
+        report
+    }
+
+    /// The largest label size over all nodes, in bits.
+    #[must_use]
+    pub fn max_label_bits(&self) -> u64 {
+        (0..self.labels.len())
+            .map(|i| self.label_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    fn exhaustive_check<M: Metric>(space: &Space<M>, delta: f64) {
+        let tri = Triangulation::build(space, delta);
+        let bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let est = tri.estimate(u, v);
+                assert!(
+                    est.lower <= d * (1.0 + 1e-9) && d <= est.upper * (1.0 + 1e-9),
+                    "bracket fails at ({u},{v}): {} <= {d} <= {}",
+                    est.lower,
+                    est.upper
+                );
+                assert!(
+                    est.ratio() <= bound * (1.0 + 1e-9),
+                    "(0,delta) guarantee fails at ({u},{v}): ratio {} > {bound}",
+                    est.ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_triangulation_on_uniform_line() {
+        let space = Space::new(LineMetric::uniform(48).unwrap());
+        exhaustive_check(&space, 0.25);
+    }
+
+    #[test]
+    fn zero_delta_triangulation_on_cube() {
+        let space = Space::new(gen::uniform_cube(48, 2, 11));
+        exhaustive_check(&space, 0.2);
+    }
+
+    #[test]
+    fn zero_delta_triangulation_on_clusters() {
+        let space = Space::new(gen::clustered(48, 2, 5, 0.02, 3));
+        exhaustive_check(&space, 0.2);
+    }
+
+    #[test]
+    fn zero_delta_triangulation_on_exponential_line() {
+        let space = Space::new(LineMetric::exponential(24).unwrap());
+        exhaustive_check(&space, 0.25);
+    }
+
+    #[test]
+    fn common_beacon_within_delta_d() {
+        // The stronger structural property behind the ratio bound.
+        let space = Space::new(gen::uniform_cube(40, 2, 29));
+        let delta = 0.3;
+        let tri = Triangulation::build(&space, delta);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let (a, b) = (tri.label(u), tri.label(v));
+                let mut best = f64::INFINITY;
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].0.cmp(&b[j].0) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            best = best.min(a[i].1.min(b[j].1));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                assert!(
+                    best <= delta * d + 1e-9,
+                    "no common beacon within {delta}*{d} of ({u},{v}): best {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_per_level_bounded() {
+        // Theorem 3.2: order = (1/delta)^O(alpha) * log n. The constant is
+        // large (the Y rings span a 12/delta ball over a delta/4-scale
+        // net), but per level it cannot exceed the Lemma 1.4 cap; on the
+        // uniform line with delta = 0.5 that cap is (4 * 24 / (1/16)) ~
+        // 1536 per level at alpha = 1.
+        let delta = 0.5;
+        let t512 = Triangulation::build(&Space::new(LineMetric::uniform(512).unwrap()), delta);
+        let levels = 9usize; // ceil(log2 512)
+        assert!(
+            t512.order() <= 1536 * levels,
+            "order {} exceeds the per-level cap",
+            t512.order()
+        );
+        // On the exponential line the rings are sparse and order tracks
+        // the level count closely.
+        let e64 =
+            Triangulation::build(&Space::new(LineMetric::exponential(64).unwrap()), delta);
+        let e_levels = 6usize;
+        assert!(
+            e64.order() <= 24 * e_levels,
+            "exponential-line order {} too large",
+            e64.order()
+        );
+    }
+
+    #[test]
+    fn estimates_are_symmetric() {
+        let space = Space::new(gen::uniform_cube(32, 2, 4));
+        let tri = Triangulation::build(&space, 0.25);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                let a = tri.estimate(u, v);
+                let b = tri.estimate(v, u);
+                assert_eq!(a.upper, b.upper);
+                assert_eq!(a.lower, b.lower);
+            }
+        }
+    }
+
+    #[test]
+    fn dls_estimate_is_one_plus_delta() {
+        let space = Space::new(gen::uniform_cube(40, 2, 8));
+        let delta = 0.2;
+        let tri = Triangulation::build(&space, delta);
+        let dls = GlobalIdDls::from_triangulation(&space, &tri);
+        // D+ with a beacon within delta*d gives upper <= (1+2delta)(1+q).
+        let factor = (1.0 + 2.0 * delta) * (1.0 + delta);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let est = dls.estimate(u, v);
+                assert!(est >= d - 1e-9, "estimate {est} below true {d}");
+                assert!(est <= d * factor * (1.0 + 1e-9), "estimate {est} above {factor}*{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dls_label_bits_accounting() {
+        let space = Space::new(gen::uniform_cube(32, 2, 8));
+        let tri = Triangulation::build(&space, 0.25);
+        let dls = GlobalIdDls::from_triangulation(&space, &tri);
+        let bits = dls.max_label_bits();
+        assert!(bits > 0);
+        // Sanity: at most order * (id + distance) bits.
+        let codec = DistanceCodec::for_delta(0.25);
+        let per = id_bits(32) + codec.bits_per_distance(space.index().aspect_ratio());
+        assert!(bits <= (tri.order() as u64) * per);
+    }
+
+    #[test]
+    fn max_ratio_reports_worst_pair() {
+        let space = Space::new(LineMetric::uniform(24).unwrap());
+        let tri = Triangulation::build(&space, 0.25);
+        let bound = (1.0 + 0.5) / (1.0 - 0.5);
+        assert!(tri.max_ratio() <= bound + 1e-9);
+    }
+}

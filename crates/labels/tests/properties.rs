@@ -1,0 +1,87 @@
+//! Property-based tests for triangulation and distance labels: the
+//! theorem guarantees hold on randomized instances, not just the seeded
+//! families of the unit tests.
+
+use proptest::prelude::*;
+use ron_labels::{CompactScheme, DistanceCodec, Triangulation};
+use ron_metric::{gen, Node, Space};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 3.2 on random cubes: bracket and ratio for every pair.
+    #[test]
+    fn triangulation_guarantee_random_cubes(n in 8usize..28, seed in 0u64..400) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let delta = 0.25;
+        let tri = Triangulation::build(&space, delta);
+        let bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let est = tri.estimate(u, v);
+                prop_assert!(est.lower <= d * (1.0 + 1e-9));
+                prop_assert!(d <= est.upper * (1.0 + 1e-9));
+                prop_assert!(est.ratio() <= bound * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// Theorem 3.4 on random clustered metrics: estimates bracket within
+    /// (1 + O(delta)) for every pair, decoded from labels alone.
+    #[test]
+    fn compact_labels_random_clusters(
+        n in 8usize..24,
+        clusters in 2usize..5,
+        seed in 0u64..400,
+    ) {
+        let space = Space::new(gen::clustered(n, 2, clusters, 0.03, seed));
+        let delta = 0.25;
+        let scheme = CompactScheme::build(&space, delta);
+        let factor = (1.0 + 2.0 * delta) * (1.0 + delta);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u >= v {
+                    continue;
+                }
+                let d = space.dist(u, v);
+                let est = scheme.estimate(u, v);
+                prop_assert!(est >= d - 1e-9, "({},{}) est {} < d {}", u, v, est, d);
+                prop_assert!(
+                    est <= d * factor * (1.0 + 1e-9),
+                    "({},{}) est {} > {} * d {}",
+                    u, v, est, factor, d
+                );
+            }
+        }
+    }
+
+    /// The distance codec never undershoots and bounds relative error,
+    /// over the full dynamic range of f64 magnitudes.
+    #[test]
+    fn codec_round_trip(mantissa in 1u32..20, exp in -200i32..200, frac in 1.0f64..2.0) {
+        let codec = DistanceCodec::with_mantissa_bits(mantissa);
+        let d = frac * (2.0f64).powi(exp);
+        let r = codec.decode(codec.encode(d));
+        prop_assert!(r >= d);
+        prop_assert!(r <= d * (1.0 + codec.relative_error()) * (1.0 + 1e-12));
+    }
+
+    /// Estimates are symmetric and zero on the diagonal for random cubes.
+    #[test]
+    fn estimates_symmetric(n in 6usize..16, seed in 0u64..200) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let scheme = CompactScheme::build(&space, 0.3);
+        for i in 0..n {
+            prop_assert_eq!(scheme.estimate(Node::new(i), Node::new(i)), 0.0);
+            for j in 0..n {
+                let a = scheme.estimate(Node::new(i), Node::new(j));
+                let b = scheme.estimate(Node::new(j), Node::new(i));
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

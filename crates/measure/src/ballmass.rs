@@ -1,0 +1,173 @@
+use ron_metric::{Metric, Node, Space};
+
+use crate::NodeMeasure;
+
+/// Prefix-sum index answering ball-mass queries `mu(B_u(r))` and the
+/// measure version of `r_u(eps)` (Lemma 3.1's "radius of the smallest ball
+/// around `u` that has measure `eps`") in `O(log n)` per query.
+///
+/// Built against a [`Space`]'s distance ordering: `O(n^2)` memory.
+///
+/// # Example
+///
+/// ```
+/// use ron_measure::{BallMassIndex, NodeMeasure};
+/// use ron_metric::{LineMetric, Node, Space};
+///
+/// let space = Space::new(LineMetric::uniform(10)?);
+/// let mu = NodeMeasure::counting(10);
+/// let idx = BallMassIndex::build(&space, &mu);
+/// let u = Node::new(0);
+/// assert!((idx.ball_mass(u, 4.0) - 0.5).abs() < 1e-12);
+/// assert_eq!(idx.radius_for_mass(u, 0.5), 4.0);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BallMassIndex {
+    /// For each node `u`, `(distance, cumulative mass)` over the nodes in
+    /// distance order from `u`; `cum[k]` is the mass of the `k+1` nearest.
+    rows: Vec<Vec<(f64, f64)>>,
+}
+
+impl BallMassIndex {
+    /// Builds the index for a measure over the given space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measure arity differs from the space.
+    #[must_use]
+    pub fn build<M: Metric>(space: &Space<M>, measure: &NodeMeasure) -> Self {
+        assert_eq!(space.len(), measure.len(), "measure arity mismatch");
+        let rows = space
+            .nodes()
+            .map(|u| {
+                let mut cum = 0.0;
+                space
+                    .index()
+                    .sorted_from(u)
+                    .iter()
+                    .map(|&(d, v)| {
+                        cum += measure.mass(v);
+                        (d, cum)
+                    })
+                    .collect()
+            })
+            .collect();
+        BallMassIndex { rows }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the index is empty (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `mu(B_u(r))`: total mass of the closed ball of radius `r` around
+    /// `u`.
+    #[must_use]
+    pub fn ball_mass(&self, u: Node, r: f64) -> f64 {
+        let row = &self.rows[u.index()];
+        let end = row.partition_point(|&(d, _)| d <= r);
+        if end == 0 {
+            0.0
+        } else {
+            row[end - 1].1
+        }
+    }
+
+    /// `r_u(eps)` for this measure: radius of the smallest closed ball
+    /// around `u` with mass at least `eps` (up to a relative tolerance of
+    /// `1e-12` absorbing prefix-sum rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not in `(0, 1]` (every measure is normalized, so
+    /// larger masses never exist).
+    #[must_use]
+    pub fn radius_for_mass(&self, u: Node, eps: f64) -> f64 {
+        assert!(eps > 0.0 && eps <= 1.0, "eps {eps} out of range (0, 1]");
+        let row = &self.rows[u.index()];
+        let tol = eps * 1e-12;
+        let k = row.partition_point(|&(_, cum)| cum < eps - tol);
+        // The total mass is 1 >= eps, so k is in range.
+        row[k.min(row.len() - 1)].0
+    }
+
+    /// The radii `r_ui = r_u(2^-i)` for `i in [levels]` under this measure.
+    #[must_use]
+    pub fn cardinality_radii(&self, u: Node, levels: usize) -> Vec<f64> {
+        (0..levels)
+            .map(|i| self.radius_for_mass(u, (0.5f64).powi(i as i32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::LineMetric;
+
+    fn setup() -> (Space<LineMetric>, NodeMeasure, BallMassIndex) {
+        let space = Space::new(LineMetric::uniform(10).unwrap());
+        let mu = NodeMeasure::counting(10);
+        let idx = BallMassIndex::build(&space, &mu);
+        (space, mu, idx)
+    }
+
+    #[test]
+    fn ball_mass_matches_counting() {
+        let (space, _, idx) = setup();
+        for u in space.nodes() {
+            for r in [0.0, 1.0, 3.5, 9.0] {
+                let expected = space.index().ball_size(u, r) as f64 / 10.0;
+                assert!((idx.ball_mass(u, r) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_for_mass_inverts_ball_mass() {
+        let (space, _, idx) = setup();
+        for u in space.nodes() {
+            for &eps in &[0.1, 0.25, 0.5, 0.75, 1.0] {
+                let r = idx.radius_for_mass(u, eps);
+                assert!(idx.ball_mass(u, r) >= eps - 1e-12);
+                // Counting measure: matches the metric-index version.
+                assert_eq!(r, space.index().r_fraction(u, eps));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_measure_shifts_radii() {
+        let space = Space::new(LineMetric::uniform(4).unwrap());
+        // Node 3 carries almost all the mass.
+        let mu = NodeMeasure::from_weights(vec![1.0, 1.0, 1.0, 97.0]);
+        let idx = BallMassIndex::build(&space, &mu);
+        // From node 0, half the mass needs to reach node 3: radius 3.
+        assert_eq!(idx.radius_for_mass(Node::new(0), 0.5), 3.0);
+        // From node 3, mass 0.5 is its own point: radius 0.
+        assert_eq!(idx.radius_for_mass(Node::new(3), 0.5), 0.0);
+    }
+
+    #[test]
+    fn negative_radius_has_zero_mass() {
+        let (_, _, idx) = setup();
+        assert_eq!(idx.ball_mass(Node::new(0), -1.0), 0.0);
+    }
+
+    #[test]
+    fn cardinality_radii_non_increasing() {
+        let (_, _, idx) = setup();
+        let radii = idx.cardinality_radii(Node::new(4), 4);
+        for w in radii.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

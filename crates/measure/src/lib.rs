@@ -1,0 +1,32 @@
+//! Measures on finite doubling metrics.
+//!
+//! Two measure-theoretic tools underpin the paper's constructions:
+//!
+//! * **Doubling measures** (Theorem 1.3): an assignment of node weights
+//!   making the metric look growth-constrained — `mu(B_u(r)) <= s *
+//!   mu(B_u(r/2))` for every ball. The small-world models of Section 5
+//!   sample Y-type contacts proportionally to a doubling measure, which
+//!   oversamples nodes in sparse regions (on the exponential line,
+//!   `mu(2^i) ~ 2^(i-n)`). [`doubling_measure`] implements the net-tree
+//!   mass-splitting construction; [`measured_doubling_constant`] reports
+//!   the achieved constant (the paper cites `2^O(alpha)`; we verify
+//!   empirically per DESIGN.md substitution #3).
+//!
+//! * **(eps, mu)-packings** (Lemma 3.1 / A.1): a family of disjoint balls,
+//!   each of measure at least `eps / 2^O(alpha)`, such that every node `u`
+//!   has a family ball `B_v(r)` with `d_uv + r <= 6 r_u(eps)`. These supply
+//!   the X-neighbors of Theorems 3.2/3.4/B.1. See [`Packing`].
+//!
+//! [`NodeMeasure`] is a probability measure on nodes; [`BallMassIndex`]
+//! answers `mu(B_u(r))` and the measure-version of `r_u(eps)` in `O(log n)`
+//! after an `O(n^2)` build.
+
+mod ballmass;
+pub mod doubling;
+mod node_measure;
+pub mod packing;
+
+pub use ballmass::BallMassIndex;
+pub use doubling::{doubling_measure, measured_doubling_constant};
+pub use node_measure::NodeMeasure;
+pub use packing::{PackedBall, Packing, PackingError};

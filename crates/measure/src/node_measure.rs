@@ -1,0 +1,140 @@
+use ron_metric::Node;
+
+/// A probability measure on the nodes of a finite metric space.
+///
+/// Weights are strictly positive and normalized to sum to 1 (up to
+/// floating-point rounding). The counting measure `mu(S) = |S|/n` is the
+/// special case the triangulation of Theorem 3.2 uses; the small worlds of
+/// Section 5 use a *doubling* measure from
+/// [`doubling_measure`](crate::doubling_measure).
+///
+/// # Example
+///
+/// ```
+/// use ron_measure::NodeMeasure;
+/// use ron_metric::Node;
+///
+/// let mu = NodeMeasure::counting(4);
+/// assert_eq!(mu.mass(Node::new(2)), 0.25);
+/// assert_eq!(mu.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeMeasure {
+    mass: Vec<f64>,
+}
+
+impl NodeMeasure {
+    /// The counting measure: every node has mass `1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn counting(n: usize) -> Self {
+        assert!(n > 0, "measure needs at least one node");
+        NodeMeasure { mass: vec![1.0 / n as f64; n] }
+    }
+
+    /// Builds a measure from raw positive weights, normalizing the sum
+    /// to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a non-positive or
+    /// non-finite entry.
+    #[must_use]
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "measure needs at least one node");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0) && total.is_finite() && total > 0.0,
+            "weights must be positive and finite"
+        );
+        NodeMeasure { mass: weights.into_iter().map(|w| w / total).collect() }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Whether the measure has no nodes (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Mass of a single node.
+    #[must_use]
+    pub fn mass(&self, u: Node) -> f64 {
+        self.mass[u.index()]
+    }
+
+    /// Total mass of a node set.
+    #[must_use]
+    pub fn mass_of<'a>(&self, nodes: impl IntoIterator<Item = &'a Node>) -> f64 {
+        nodes.into_iter().map(|&u| self.mass(u)).sum()
+    }
+
+    /// All node masses, indexed by node.
+    #[must_use]
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Largest single-node mass.
+    #[must_use]
+    pub fn max_mass(&self) -> f64 {
+        self.mass.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest single-node mass.
+    #[must_use]
+    pub fn min_mass(&self) -> f64 {
+        self.mass.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_measure_is_uniform() {
+        let mu = NodeMeasure::counting(8);
+        for i in 0..8 {
+            assert!((mu.mass(Node::new(i)) - 0.125).abs() < 1e-15);
+        }
+        let total: f64 = mu.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let mu = NodeMeasure::from_weights(vec![1.0, 3.0]);
+        assert!((mu.mass(Node::new(0)) - 0.25).abs() < 1e-15);
+        assert!((mu.mass(Node::new(1)) - 0.75).abs() < 1e-15);
+        assert_eq!(mu.max_mass(), 0.75);
+        assert_eq!(mu.min_mass(), 0.25);
+    }
+
+    #[test]
+    fn mass_of_sums_subset() {
+        let mu = NodeMeasure::counting(10);
+        let set = [Node::new(1), Node::new(2), Node::new(3)];
+        assert!((mu.mass_of(&set) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weights() {
+        let _ = NodeMeasure::from_weights(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = NodeMeasure::from_weights(vec![]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Greedy ball covers (Lemma 1.1).
+//!
+//! Lemma 1.1: in a metric of doubling dimension `alpha`, any set of diameter
+//! `d` can be covered by `2^(alpha k)` balls of radius `d / 2^k`, and the
+//! cover can be built greedily: pick any remaining node, open a ball of the
+//! target radius around it, delete the covered nodes, repeat.
+//!
+//! The greedy cover doubles as a maximal `r`-separated subset of the input
+//! (the centers are pairwise more than `r` apart), which is what both the
+//! net construction and the doubling-dimension estimator build on.
+
+use crate::{Metric, Node};
+
+/// Greedily covers `set` with closed balls of radius `r` centered at
+/// members of `set`, returning the chosen centers in selection order.
+///
+/// The centers are pairwise at distance greater than `r`, and every node of
+/// `set` is within `r` of some center — exactly the construction in the
+/// proof of Lemma 1.1.
+///
+/// Runs in `O(|set| * |centers|)` distance evaluations.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{cover, LineMetric, Metric, Node};
+///
+/// let line = LineMetric::uniform(10)?;
+/// let all: Vec<Node> = (0..10).map(Node::new).collect();
+/// let centers = cover::greedy_cover(&line, &all, 2.0);
+/// // Every node is within 2 of a center.
+/// for &u in &all {
+///     assert!(centers.iter().any(|&c| line.dist(u, c) <= 2.0));
+/// }
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[must_use]
+pub fn greedy_cover<M: Metric + ?Sized>(metric: &M, set: &[Node], r: f64) -> Vec<Node> {
+    debug_assert!(r >= 0.0);
+    let mut centers = Vec::new();
+    let mut covered = vec![false; metric.len()];
+    for &u in set {
+        if covered[u.index()] {
+            continue;
+        }
+        centers.push(u);
+        for &v in set {
+            if !covered[v.index()] && metric.dist(u, v) <= r {
+                covered[v.index()] = true;
+            }
+        }
+    }
+    centers
+}
+
+/// Number of balls of radius `r` needed by the greedy cover of `set`.
+///
+/// Convenience wrapper over [`greedy_cover`] used by the dimension
+/// estimators.
+#[must_use]
+pub fn greedy_cover_size<M: Metric + ?Sized>(metric: &M, set: &[Node], r: f64) -> usize {
+    greedy_cover(metric, set, r).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineMetric, Metric};
+
+    #[test]
+    fn covers_all_nodes() {
+        let line = LineMetric::uniform(20).unwrap();
+        let all: Vec<Node> = (0..20).map(Node::new).collect();
+        for r in [0.0, 1.0, 3.0, 100.0] {
+            let centers = greedy_cover(&line, &all, r);
+            for &u in &all {
+                assert!(
+                    centers.iter().any(|&c| line.dist(u, c) <= r),
+                    "node {u} not covered at radius {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centers_are_separated() {
+        let line = LineMetric::uniform(20).unwrap();
+        let all: Vec<Node> = (0..20).map(Node::new).collect();
+        let r = 2.0;
+        let centers = greedy_cover(&line, &all, r);
+        for (i, &a) in centers.iter().enumerate() {
+            for &b in &centers[i + 1..] {
+                assert!(line.dist(a, b) > r, "centers {a} and {b} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_zero_selects_every_node() {
+        let line = LineMetric::uniform(5).unwrap();
+        let all: Vec<Node> = (0..5).map(Node::new).collect();
+        assert_eq!(greedy_cover(&line, &all, 0.0).len(), 5);
+    }
+
+    #[test]
+    fn huge_radius_selects_one() {
+        let line = LineMetric::uniform(5).unwrap();
+        let all: Vec<Node> = (0..5).map(Node::new).collect();
+        assert_eq!(greedy_cover_size(&line, &all, 10.0), 1);
+    }
+
+    #[test]
+    fn subset_cover_only_uses_subset() {
+        let line = LineMetric::uniform(10).unwrap();
+        let subset: Vec<Node> = [2, 3, 7].iter().map(|&i| Node::new(i)).collect();
+        let centers = greedy_cover(&line, &subset, 1.0);
+        for c in &centers {
+            assert!(subset.contains(c));
+        }
+        assert_eq!(centers.len(), 2); // {2,3} together, {7} alone
+    }
+}

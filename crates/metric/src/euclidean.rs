@@ -1,0 +1,146 @@
+use crate::{Metric, MetricError, Node};
+
+/// A point set in `R^d` under the Euclidean (`l2`) distance.
+///
+/// Constant-dimensional Euclidean point sets are the motivating special case
+/// of doubling metrics (doubling dimension `O(d)`, Assouad 1983). The
+/// generators in [`gen`](crate::gen) produce these for the "polynomial
+/// aspect ratio" experiment family.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{EuclideanMetric, Metric, Node};
+///
+/// let m = EuclideanMetric::new(vec![vec![0.0, 0.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.dist(Node::new(0), Node::new(1)), 5.0);
+/// assert_eq!(m.dim(), 2);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EuclideanMetric {
+    dim: usize,
+    // Flattened row-major coordinates, n * dim entries.
+    coords: Vec<f64>,
+}
+
+impl EuclideanMetric {
+    /// Builds a metric from a list of points, all of the same dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::ShapeMismatch`] if point dimensions differ,
+    /// [`MetricError::InvalidDistance`] if a coordinate is not finite, and
+    /// [`MetricError::ZeroDistance`] if two points coincide.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self, MetricError> {
+        let dim = points.first().map_or(0, Vec::len);
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(MetricError::ShapeMismatch { expected: dim, actual: p.len() });
+            }
+            for &c in p {
+                if !c.is_finite() {
+                    return Err(MetricError::InvalidDistance {
+                        u: Node::new(i),
+                        v: Node::new(i),
+                        value: c,
+                    });
+                }
+            }
+            coords.extend_from_slice(p);
+        }
+        let m = EuclideanMetric { dim, coords };
+        // Reject coincident points: the library requires a true metric.
+        let n = m.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if m.dist(Node::new(i), Node::new(j)) == 0.0 {
+                    return Err(MetricError::ZeroDistance { u: Node::new(i), v: Node::new(j) });
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Dimension of the ambient space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of node `u`.
+    #[must_use]
+    pub fn point(&self, u: Node) -> &[f64] {
+        let i = u.index();
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl Metric for EuclideanMetric {
+    fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.coords.len() / self.dim
+        }
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        let (a, b) = (self.point(u), self.point(v));
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricExt;
+
+    #[test]
+    fn pythagoras() {
+        let m = EuclideanMetric::new(vec![vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.dist(Node::new(0), Node::new(1)), 5.0);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let err = EuclideanMetric::new(vec![vec![0.0], vec![0.0, 1.0]]);
+        assert!(matches!(err, Err(MetricError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_points() {
+        let err = EuclideanMetric::new(vec![vec![1.0, 2.0], vec![1.0, 2.0]]);
+        assert!(matches!(err, Err(MetricError::ZeroDistance { .. })));
+    }
+
+    #[test]
+    fn rejects_nan_coordinates() {
+        let err = EuclideanMetric::new(vec![vec![f64::NAN]]);
+        assert!(matches!(err, Err(MetricError::InvalidDistance { .. })));
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        let m = EuclideanMetric::new(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.5],
+            vec![0.25, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn point_accessor() {
+        let m = EuclideanMetric::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.point(Node::new(1)), &[3.0, 4.0]);
+        assert_eq!(m.dim(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+use crate::{Metric, MetricError, Node};
+
+/// A metric stored as a dense `n x n` distance matrix.
+///
+/// This is the most general representation: shortest-path metrics of graphs,
+/// perturbed metrics and hand-built counterexamples all end up here. The
+/// constructor checks basic sanity (shape, finiteness, symmetry, zero
+/// diagonal); the full `O(n^3)` triangle-inequality check is available via
+/// [`MetricExt::validate`](crate::MetricExt::validate).
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{ExplicitMetric, Metric, Node};
+///
+/// let m = ExplicitMetric::from_fn(3, |u, v| {
+///     (u.index() as f64 - v.index() as f64).abs()
+/// })?;
+/// assert_eq!(m.dist(Node::new(0), Node::new(2)), 2.0);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplicitMetric {
+    n: usize,
+    dists: Vec<f64>,
+}
+
+impl ExplicitMetric {
+    /// Builds a metric from a row-major `n x n` distance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square, contains non-finite or
+    /// negative entries, is asymmetric, or has a nonzero diagonal. Distinct
+    /// nodes at distance zero are also rejected (the paper assumes a true
+    /// metric; collapse duplicates before constructing).
+    pub fn new(dists: Vec<f64>) -> Result<Self, MetricError> {
+        let n = (dists.len() as f64).sqrt().round() as usize;
+        if n * n != dists.len() {
+            return Err(MetricError::ShapeMismatch { expected: n * n, actual: dists.len() });
+        }
+        let m = ExplicitMetric { n, dists };
+        m.check_basics()?;
+        Ok(m)
+    }
+
+    /// Builds a metric by evaluating `f` on every ordered pair.
+    ///
+    /// `f` is evaluated once per ordered pair; it must be symmetric with a
+    /// zero diagonal or construction fails.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExplicitMetric::new`].
+    pub fn from_fn(n: usize, mut f: impl FnMut(Node, Node) -> f64) -> Result<Self, MetricError> {
+        let mut dists = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dists[i * n + j] = f(Node::new(i), Node::new(j));
+            }
+        }
+        Self::new(dists)
+    }
+
+    /// Builds the explicit matrix of any other metric.
+    ///
+    /// Useful to snapshot an on-the-fly metric (e.g. Euclidean) so later
+    /// perturbations or overrides can be applied.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExplicitMetric::new`].
+    pub fn from_metric<M: Metric>(metric: &M) -> Result<Self, MetricError> {
+        Self::from_fn(metric.len(), |u, v| metric.dist(u, v))
+    }
+
+    /// Returns a copy with every distance multiplied by `factor > 0`.
+    ///
+    /// Rescaling does not change any of the paper's structures (they depend
+    /// only on distance ratios), which tests exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        ExplicitMetric {
+            n: self.n,
+            dists: self.dists.iter().map(|d| d * factor).collect(),
+        }
+    }
+
+    fn check_basics(&self) -> Result<(), MetricError> {
+        let n = self.n;
+        for i in 0..n {
+            let u = Node::new(i);
+            let duu = self.dists[i * n + i];
+            if duu != 0.0 {
+                return Err(MetricError::NonzeroSelfDistance { u, value: duu });
+            }
+            for j in (i + 1)..n {
+                let v = Node::new(j);
+                let d = self.dists[i * n + j];
+                if !d.is_finite() || d < 0.0 {
+                    return Err(MetricError::InvalidDistance { u, v, value: d });
+                }
+                if d == 0.0 {
+                    return Err(MetricError::ZeroDistance { u, v });
+                }
+                if d != self.dists[j * n + i] {
+                    return Err(MetricError::Asymmetric { u, v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Metric for ExplicitMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        self.dists[u.index() * self.n + v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            ExplicitMetric::new(vec![0.0, 1.0, 1.0]),
+            Err(MetricError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let err = ExplicitMetric::new(vec![0.0, 1.0, 2.0, 0.0]);
+        assert!(matches!(err, Err(MetricError::Asymmetric { .. })));
+    }
+
+    #[test]
+    fn rejects_nonzero_diagonal() {
+        let err = ExplicitMetric::new(vec![1.0, 1.0, 1.0, 0.0]);
+        assert!(matches!(err, Err(MetricError::NonzeroSelfDistance { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_offdiagonal() {
+        let err = ExplicitMetric::new(vec![0.0, 0.0, 0.0, 0.0]);
+        assert!(matches!(err, Err(MetricError::ZeroDistance { .. })));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = ExplicitMetric::new(vec![0.0, f64::NAN, f64::NAN, 0.0]);
+        assert!(matches!(err, Err(MetricError::InvalidDistance { .. })));
+    }
+
+    #[test]
+    fn from_metric_roundtrips() {
+        let a = ExplicitMetric::from_fn(4, |u, v| {
+            (u.index() as f64 - v.index() as f64).abs() + if u == v { 0.0 } else { 1.0 }
+        })
+        .unwrap();
+        let b = ExplicitMetric::from_metric(&a).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_multiplies_distances() {
+        let a = ExplicitMetric::from_fn(3, |u, v| {
+            (u.index() as f64 - v.index() as f64).abs()
+        })
+        .unwrap();
+        let b = a.scaled(3.0);
+        assert_eq!(b.dist(Node::new(0), Node::new(2)), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero_factor() {
+        let a = ExplicitMetric::from_fn(2, |u, v| if u == v { 0.0 } else { 1.0 }).unwrap();
+        let _ = a.scaled(0.0);
+    }
+}

@@ -1,0 +1,148 @@
+use crate::{Metric, MetricError, Node};
+
+/// A one-dimensional point set under `d(x, y) = |x - y|`.
+///
+/// One-dimensional sets are doubling (dimension at most ~1 plus rounding),
+/// yet can have arbitrarily large aspect ratio — the paper's running example
+/// of a doubling metric with *super-constant grid dimension* is the
+/// exponential line `{1, 2, 4, ..., 2^n}` (Section 1). Use
+/// [`LineMetric::exponential`] to build it.
+///
+/// Points are stored sorted ascending; node `i` is the `i`-th smallest point.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{LineMetric, Metric, MetricExt, Node};
+///
+/// let line = LineMetric::exponential(10)?;
+/// assert_eq!(line.len(), 10);
+/// assert_eq!(line.dist(Node::new(0), Node::new(1)), 1.0); // |2 - 1|
+/// assert_eq!(line.aspect_ratio(), 511.0); // (2^9 - 1) / 1
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineMetric {
+    points: Vec<f64>,
+}
+
+impl LineMetric {
+    /// Builds a line metric from arbitrary distinct finite points.
+    ///
+    /// The points are sorted internally, so node ids follow the order on the
+    /// line regardless of input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidDistance`] for non-finite coordinates
+    /// and [`MetricError::ZeroDistance`] for duplicates.
+    pub fn new(mut points: Vec<f64>) -> Result<Self, MetricError> {
+        for (i, &p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(MetricError::InvalidDistance {
+                    u: Node::new(i),
+                    v: Node::new(i),
+                    value: p,
+                });
+            }
+        }
+        points.sort_by(f64::total_cmp);
+        for i in 1..points.len() {
+            if points[i] == points[i - 1] {
+                return Err(MetricError::ZeroDistance {
+                    u: Node::new(i - 1),
+                    v: Node::new(i),
+                });
+            }
+        }
+        Ok(LineMetric { points })
+    }
+
+    /// The exponential line `{2^0, 2^1, ..., 2^(n-1)}`.
+    ///
+    /// Aspect ratio `2^(n-1) - 1`: exponential in `n`, which is exactly the
+    /// "super-polynomial aspect ratio" regime where Theorems 3.4, 4.2 and
+    /// 5.2 improve on earlier bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::Empty`] if `n == 0`; `n` must be at most 1023
+    /// so points stay finite in `f64`.
+    pub fn exponential(n: usize) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::Empty);
+        }
+        assert!(n <= 1023, "exponential line overflows f64 beyond 2^1023");
+        Self::new((0..n).map(|i| (2.0f64).powi(i as i32)).collect())
+    }
+
+    /// The uniform line `{0, 1, ..., n-1}` (aspect ratio `n - 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::Empty`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::Empty);
+        }
+        Self::new((0..n).map(|i| i as f64).collect())
+    }
+
+    /// Coordinate of node `u` on the line.
+    #[must_use]
+    pub fn point(&self, u: Node) -> f64 {
+        self.points[u.index()]
+    }
+}
+
+impl Metric for LineMetric {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        (self.points[u.index()] - self.points[v.index()]).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricExt;
+
+    #[test]
+    fn sorts_input() {
+        let line = LineMetric::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(line.point(Node::new(0)), 1.0);
+        assert_eq!(line.point(Node::new(2)), 3.0);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(matches!(
+            LineMetric::new(vec![1.0, 1.0]),
+            Err(MetricError::ZeroDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn exponential_line_aspect_ratio() {
+        let line = LineMetric::exponential(8).unwrap();
+        // diameter = 2^7 - 1 = 127, min distance = 2 - 1 = 1.
+        assert_eq!(line.aspect_ratio(), 127.0);
+        assert!(line.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_line() {
+        let line = LineMetric::uniform(5).unwrap();
+        assert_eq!(line.dist(Node::new(0), Node::new(4)), 4.0);
+        assert_eq!(line.min_distance(), 1.0);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert!(LineMetric::exponential(0).is_err());
+        assert!(LineMetric::uniform(0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Identifier of a node in a finite metric space or graph.
+///
+/// Nodes are dense indices `0..n`; the newtype prevents accidentally mixing
+/// node ids with ring indices, level indices or enumeration indices, all of
+/// which are plain `usize` in the paper's notation.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::Node;
+///
+/// let u = Node::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "v3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Node(u32);
+
+impl Node {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (the library supports up to
+    /// 2^32 - 1 nodes, far beyond what the `O(n^2)` index structures allow).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Node(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = Node> + Clone {
+        (0..n).map(Node::new)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for Node {
+    fn from(value: u32) -> Self {
+        Node(value)
+    }
+}
+
+impl From<Node> for u32 {
+    fn from(value: Node) -> Self {
+        value.0
+    }
+}
+
+impl From<Node> for usize {
+    fn from(value: Node) -> Self {
+        value.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let u = Node::new(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u32::from(u), 42);
+        assert_eq!(usize::from(u), 42);
+        assert_eq!(Node::from(42u32), u);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<usize> = Node::all(4).map(Node::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Node::new(0)), "v0");
+        assert_eq!(format!("{:?}", Node::new(1)), "Node(1)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Node::new(1) < Node::new(2));
+    }
+}

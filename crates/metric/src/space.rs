@@ -1,0 +1,122 @@
+use crate::{Metric, MetricIndex, Node};
+
+/// A metric bundled with its [`MetricIndex`].
+///
+/// Nearly every construction in the paper needs both raw distances and
+/// ball/radius queries, so the higher-level crates take `&Space<M>` as
+/// input. The built artifacts (rings, labels, routing tables) own their
+/// data and do not borrow from the space.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{LineMetric, Node, Space};
+///
+/// let space = Space::new(LineMetric::uniform(16)?);
+/// assert_eq!(space.len(), 16);
+/// assert_eq!(space.dist(Node::new(2), Node::new(5)), 3.0);
+/// assert_eq!(space.index().ball_size(Node::new(0), 1.0), 2);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Space<M> {
+    metric: M,
+    index: MetricIndex,
+}
+
+impl<M: Metric> Space<M> {
+    /// Builds the index and bundles it with the metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is empty.
+    #[must_use]
+    pub fn new(metric: M) -> Self {
+        let index = MetricIndex::build(&metric);
+        Space { metric, index }
+    }
+
+    /// The underlying metric.
+    #[must_use]
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The precomputed index.
+    #[must_use]
+    pub fn index(&self) -> &MetricIndex {
+        &self.index
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metric.len()
+    }
+
+    /// Whether the space is empty (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metric.is_empty()
+    }
+
+    /// Distance between two nodes.
+    #[must_use]
+    pub fn dist(&self, u: Node, v: Node) -> f64 {
+        self.metric.dist(u, v)
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + Clone {
+        Node::all(self.len())
+    }
+
+    /// Consumes the space, returning the metric.
+    #[must_use]
+    pub fn into_metric(self) -> M {
+        self.metric
+    }
+}
+
+impl<M: Metric> Metric for Space<M> {
+    fn len(&self) -> usize {
+        self.metric.len()
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        self.metric.dist(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LineMetric;
+
+    #[test]
+    fn bundles_metric_and_index() {
+        let space = Space::new(LineMetric::uniform(4).unwrap());
+        assert_eq!(space.len(), 4);
+        assert_eq!(space.index().len(), 4);
+        assert_eq!(space.dist(Node::new(0), Node::new(3)), 3.0);
+        assert_eq!(space.nodes().count(), 4);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn into_metric_returns_inner() {
+        let line = LineMetric::uniform(4).unwrap();
+        let space = Space::new(line.clone());
+        assert_eq!(space.into_metric(), line);
+    }
+
+    #[test]
+    fn space_is_a_metric() {
+        fn diameter_of<M: Metric>(m: &M) -> f64 {
+            use crate::MetricExt;
+            m.diameter()
+        }
+        let space = Space::new(LineMetric::uniform(4).unwrap());
+        assert_eq!(diameter_of(&space), 3.0);
+    }
+}

@@ -1,0 +1,211 @@
+use crate::{MetricError, Node};
+
+/// A finite metric space on nodes `0..len()`.
+///
+/// Implementations must satisfy the metric axioms:
+///
+/// * `dist(u, u) == 0` and `dist(u, v) > 0` for `u != v`;
+/// * `dist(u, v) == dist(v, u)`;
+/// * `dist(u, v) <= dist(u, w) + dist(w, v)` (triangle inequality).
+///
+/// All distances must be finite and nonnegative. Generators in this crate
+/// uphold the axioms by construction; [`MetricExt::validate`] checks them
+/// exhaustively in `O(n^3)` for test use.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{LineMetric, Metric, Node};
+///
+/// let line = LineMetric::new(vec![0.0, 1.0, 3.0]).unwrap();
+/// assert_eq!(line.len(), 3);
+/// assert_eq!(line.dist(Node::new(0), Node::new(2)), 3.0);
+/// ```
+pub trait Metric {
+    /// Number of nodes in the space.
+    fn len(&self) -> usize;
+
+    /// Distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `u` or `v` is out of range.
+    fn dist(&self, u: Node, v: Node) -> f64;
+
+    /// Whether the space has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for &M {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        (**self).dist(u, v)
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for Box<M> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        (**self).dist(u, v)
+    }
+}
+
+/// Derived quantities over any [`Metric`]: diameter, aspect ratio and
+/// exhaustive validation. All methods are `O(n^2)` or worse; the
+/// [`MetricIndex`](crate::MetricIndex) caches the interesting ones.
+pub trait MetricExt: Metric {
+    /// Iterates over all node ids of this space.
+    fn nodes(&self) -> Box<dyn Iterator<Item = Node>> {
+        Box::new(Node::all(self.len()))
+    }
+
+    /// Largest pairwise distance, `0.0` for spaces with fewer than two nodes.
+    fn diameter(&self) -> f64 {
+        let n = self.len();
+        let mut best = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                best = best.max(self.dist(Node::new(i), Node::new(j)));
+            }
+        }
+        best
+    }
+
+    /// Smallest positive pairwise distance, `f64::INFINITY` for spaces with
+    /// fewer than two nodes.
+    fn min_distance(&self) -> f64 {
+        let n = self.len();
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.dist(Node::new(i), Node::new(j));
+                if d > 0.0 {
+                    best = best.min(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Aspect ratio `Delta` = diameter / minimum distance, `1.0` for spaces
+    /// with fewer than two nodes.
+    fn aspect_ratio(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 1.0;
+        }
+        self.diameter() / self.min_distance()
+    }
+
+    /// Exhaustively checks the metric axioms.
+    ///
+    /// Intended for tests and validating hand-made
+    /// [`ExplicitMetric`](crate::ExplicitMetric)s: `O(n^3)` time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom found, if any.
+    fn validate(&self) -> Result<(), MetricError> {
+        let n = self.len();
+        for i in 0..n {
+            let u = Node::new(i);
+            let duu = self.dist(u, u);
+            if duu != 0.0 {
+                return Err(MetricError::NonzeroSelfDistance { u, value: duu });
+            }
+            for j in 0..n {
+                let v = Node::new(j);
+                let d = self.dist(u, v);
+                if !d.is_finite() || d < 0.0 {
+                    return Err(MetricError::InvalidDistance { u, v, value: d });
+                }
+                if i != j {
+                    if d == 0.0 {
+                        return Err(MetricError::ZeroDistance { u, v });
+                    }
+                    if d != self.dist(v, u) {
+                        return Err(MetricError::Asymmetric { u, v });
+                    }
+                }
+            }
+        }
+        // Triangle inequality with a small relative slack for floating point.
+        for i in 0..n {
+            for j in 0..n {
+                let (u, v) = (Node::new(i), Node::new(j));
+                let duv = self.dist(u, v);
+                for k in 0..n {
+                    let w = Node::new(k);
+                    let through = self.dist(u, w) + self.dist(w, v);
+                    if duv > through * (1.0 + 1e-9) {
+                        return Err(MetricError::TriangleViolation { u, v, w });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<M: Metric + ?Sized> MetricExt for M {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExplicitMetric;
+
+    #[test]
+    fn diameter_and_min_distance() {
+        let m = ExplicitMetric::from_fn(3, |u, v| {
+            (u.index() as f64 - v.index() as f64).abs() * 2.0
+        })
+        .unwrap();
+        assert_eq!(m.diameter(), 4.0);
+        assert_eq!(m.min_distance(), 2.0);
+        assert_eq!(m.aspect_ratio(), 2.0);
+    }
+
+    #[test]
+    fn validate_accepts_valid_metric() {
+        let m = ExplicitMetric::from_fn(4, |u, v| {
+            (u.index() as f64 - v.index() as f64).abs()
+        })
+        .unwrap();
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_triangle_violation() {
+        // d(0,2) = 10 but d(0,1)+d(1,2) = 2.
+        let m = ExplicitMetric::new(vec![
+            0.0, 1.0, 10.0, //
+            1.0, 0.0, 1.0, //
+            10.0, 1.0, 0.0,
+        ])
+        .unwrap();
+        assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+    }
+
+    #[test]
+    fn aspect_ratio_of_singleton_is_one() {
+        let m = ExplicitMetric::from_fn(1, |_, _| 0.0).unwrap();
+        assert_eq!(m.aspect_ratio(), 1.0);
+    }
+
+    #[test]
+    fn metric_impl_for_references() {
+        let m = ExplicitMetric::from_fn(2, |u, v| if u == v { 0.0 } else { 1.0 }).unwrap();
+        let r: &dyn Metric = &m;
+        assert_eq!(r.len(), 2);
+        assert_eq!((&m).dist(Node::new(0), Node::new(1)), 1.0);
+        assert!(!r.is_empty());
+    }
+}

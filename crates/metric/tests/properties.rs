@@ -1,0 +1,121 @@
+//! Property-based tests for the metric substrate.
+
+use proptest::prelude::*;
+use ron_metric::{
+    cover, gen, EuclideanMetric, LineMetric, Metric, MetricExt, MetricIndex, Node,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated cube metric satisfies the metric axioms.
+    #[test]
+    fn uniform_cube_satisfies_axioms(n in 2usize..24, dim in 1usize..4, seed in 0u64..1000) {
+        let m = gen::uniform_cube(n, dim, seed);
+        prop_assert!(m.validate().is_ok());
+    }
+
+    /// Clustered metrics satisfy the metric axioms.
+    #[test]
+    fn clustered_satisfies_axioms(n in 2usize..24, clusters in 1usize..5, seed in 0u64..1000) {
+        let m = gen::clustered(n, 2, clusters, 0.05, seed);
+        prop_assert!(m.validate().is_ok());
+    }
+
+    /// Arbitrary distinct reals form a valid line metric.
+    #[test]
+    fn line_metric_axioms(points in prop::collection::btree_set(-1000i64..1000, 2..32)) {
+        let coords: Vec<f64> = points.iter().map(|&p| p as f64).collect();
+        let line = LineMetric::new(coords).unwrap();
+        prop_assert!(line.validate().is_ok());
+    }
+
+    /// Ball sizes are monotone in the radius and the counting radii invert them.
+    #[test]
+    fn ball_size_monotone_and_inverse(
+        n in 2usize..32,
+        seed in 0u64..500,
+        r1 in 0.0f64..2.0,
+        r2 in 0.0f64..2.0,
+    ) {
+        let m = gen::uniform_cube(n, 2, seed);
+        let idx = MetricIndex::build(&m);
+        let u = Node::new(0);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(idx.ball_size(u, lo) <= idx.ball_size(u, hi));
+        for k in 1..=n {
+            let r = idx.radius_for_count(u, k);
+            prop_assert!(idx.ball_size(u, r) >= k);
+            if r > 0.0 {
+                // Slightly smaller radius must hold fewer than k nodes, as r is
+                // the distance of the k-th nearest node.
+                prop_assert!(idx.ball_size(u, r * (1.0 - 1e-12)) < k);
+            }
+        }
+    }
+
+    /// Greedy cover: full coverage and center separation on random inputs.
+    #[test]
+    fn greedy_cover_properties(n in 2usize..32, seed in 0u64..500, r in 0.01f64..1.5) {
+        let m = gen::uniform_cube(n, 2, seed);
+        let all: Vec<Node> = (0..n).map(Node::new).collect();
+        let centers = cover::greedy_cover(&m, &all, r);
+        for &u in &all {
+            prop_assert!(centers.iter().any(|&c| m.dist(u, c) <= r));
+        }
+        for (i, &a) in centers.iter().enumerate() {
+            for &b in &centers[i + 1..] {
+                prop_assert!(m.dist(a, b) > r);
+            }
+        }
+    }
+
+    /// The annulus plus the inner ball equals the outer ball.
+    #[test]
+    fn annulus_partitions_ball(n in 2usize..32, seed in 0u64..500, r in 0.1f64..1.0) {
+        let m = gen::uniform_cube(n, 2, seed);
+        let idx = MetricIndex::build(&m);
+        let u = Node::new(n / 2);
+        let inner = idx.ball_size(u, r);
+        let ring = idx.annulus(u, r, 2.0 * r).len();
+        let outer = idx.ball_size(u, 2.0 * r);
+        prop_assert_eq!(inner + ring, outer);
+    }
+
+    /// `r_fraction` is non-increasing as eps shrinks by halving.
+    #[test]
+    fn cardinality_radii_monotone(n in 2usize..48, seed in 0u64..500) {
+        let m = gen::uniform_cube(n, 3, seed);
+        let idx = MetricIndex::build(&m);
+        for i in 0..n {
+            let radii = idx.cardinality_radii(Node::new(i), 5);
+            for w in radii.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    /// Euclidean distances agree with an explicitly materialized matrix.
+    #[test]
+    fn explicit_snapshot_agrees(n in 2usize..16, seed in 0u64..200) {
+        let m = gen::uniform_cube(n, 2, seed);
+        let e = ron_metric::ExplicitMetric::from_metric(&m).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let (u, v) = (Node::new(i), Node::new(j));
+                prop_assert!((m.dist(u, v) - e.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn euclidean_triangle_inequality_dense_check() {
+    let m = EuclideanMetric::new(
+        (0..20)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()])
+            .collect(),
+    )
+    .unwrap();
+    assert!(m.validate().is_ok());
+}

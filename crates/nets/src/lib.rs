@@ -1,0 +1,24 @@
+//! r-nets and nested net hierarchies (Section 1.1 of the paper).
+//!
+//! An *r-net* on a metric is a set `S` such that (i) every point is within
+//! `r` of `S` (covering) and (ii) any two points of `S` are at distance at
+//! least `r` (separation). Nets are the skeleton of every construction in
+//! the paper: the rings `Y_uj = B_u(r_j) ∩ G_j` of Theorem 2.1, the
+//! Y-neighbors of Theorem 3.2, the Z-sets of Theorem 3.4 and the level
+//! neighbors of Theorem 4.1 all intersect balls with nets at geometric
+//! scales.
+//!
+//! [`Net`] is a single net built greedily (the construction in Section 1.1,
+//! which also proves existence); [`NestedNets`] is the ladder
+//! `G_L ⊂ ... ⊂ G_1 ⊂ G_0` of Theorem 3.2, where `G_j` is a
+//! `(min_dist * 2^j)`-net — index `j` is the paper's scale exponent, with
+//! `G_0 = V` (all nodes) and `G_L` a single point covering everything.
+//!
+//! Lemma 1.4 (`|net ∩ B(u, r')| <= (4 r'/r)^alpha`) is exposed as
+//! [`net_cardinality_bound`] and checked in tests.
+
+mod nested;
+mod net;
+
+pub use nested::NestedNets;
+pub use net::{net_cardinality_bound, Net, NetError};

@@ -1,0 +1,202 @@
+use ron_metric::{distance_levels, Metric, Node, Space};
+
+use crate::Net;
+
+/// The nested net ladder `G_L ⊆ ... ⊆ G_1 ⊆ G_0` of Theorem 3.2.
+///
+/// Level `j` is a `(min_dist * 2^j)`-net — `j` is the paper's *scale
+/// exponent* after normalizing the minimum distance to 1. The ladder is
+/// built coarsest-first, seeding each level with the members of the level
+/// above, so `G_(j+1) ⊆ G_j` (a coarser net is a subset of every finer
+/// net). Consequences used throughout the library:
+///
+/// * `G_0` contains **all** nodes (everything is `min_dist`-separated), so
+///   zooming sequences can always terminate at the target itself;
+/// * `G_L` covers the whole space with a single ball.
+///
+/// The paper also indexes nets top-down as `Delta/2^j`-nets (Theorem 2.1);
+/// [`NestedNets::level_for_scale`] converts a distance scale to the ladder
+/// level with the matching radius, which callers use for either convention.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{LineMetric, Space};
+/// use ron_nets::NestedNets;
+///
+/// let space = Space::new(LineMetric::uniform(64)?);
+/// let nets = NestedNets::build(&space);
+/// assert_eq!(nets.net(0).len(), 64); // G_0 = V
+/// assert!(nets.net(nets.levels() - 1).len() <= 2);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NestedNets {
+    min_dist: f64,
+    nets: Vec<Net>,
+}
+
+impl NestedNets {
+    /// Builds the full ladder: levels `0..=L` with
+    /// `L = ceil(log2(aspect_ratio))`, in `O(n^2 log Delta)` time.
+    #[must_use]
+    pub fn build<M: Metric>(space: &Space<M>) -> Self {
+        let min_dist = space.index().min_distance();
+        let top = distance_levels(space.index().aspect_ratio());
+        let mut nets_rev: Vec<Net> = Vec::with_capacity(top + 1);
+        let mut seeds: Vec<Node> = Vec::new();
+        for j in (0..=top).rev() {
+            let radius = min_dist * (2.0f64).powi(j as i32);
+            let net = Net::build(space, radius, &seeds);
+            seeds = net.members().to_vec();
+            nets_rev.push(net);
+        }
+        nets_rev.reverse();
+        NestedNets { min_dist, nets: nets_rev }
+    }
+
+    /// Number of levels `L + 1` (level indices `0..levels()`).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The minimum distance used for scale normalization.
+    #[must_use]
+    pub fn min_distance(&self) -> f64 {
+        self.min_dist
+    }
+
+    /// The net at scale exponent `j` (radius `min_dist * 2^j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= levels()`.
+    #[must_use]
+    pub fn net(&self, j: usize) -> &Net {
+        &self.nets[j]
+    }
+
+    /// Radius of the level-`j` net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= levels()`.
+    #[must_use]
+    pub fn radius(&self, j: usize) -> f64 {
+        self.nets[j].radius()
+    }
+
+    /// Ladder level whose radius is the largest not exceeding `scale`
+    /// (clamped to the ladder): the paper's `G_(floor(log2 scale))` after
+    /// normalization.
+    ///
+    /// For `scale` below the minimum distance this returns 0 (the all-nodes
+    /// net); for `scale` above the top radius it returns the top level.
+    #[must_use]
+    pub fn level_for_scale(&self, scale: f64) -> usize {
+        if !(scale.is_finite() && scale > 0.0) {
+            return 0;
+        }
+        let normalized = scale / self.min_dist;
+        if normalized < 1.0 {
+            return 0;
+        }
+        let j = normalized.log2().floor() as usize;
+        j.min(self.levels() - 1)
+    }
+
+    /// Iterates over `(level, net)` pairs from finest (0) to coarsest.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Net)> {
+        self.nets.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    fn ladder() -> (Space<LineMetric>, NestedNets) {
+        let space = Space::new(LineMetric::uniform(64).unwrap());
+        let nets = NestedNets::build(&space);
+        (space, nets)
+    }
+
+    #[test]
+    fn all_levels_are_valid_nets() {
+        let (space, nets) = ladder();
+        for (j, net) in nets.iter() {
+            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+        }
+    }
+
+    #[test]
+    fn levels_are_nested() {
+        let (_, nets) = ladder();
+        for j in 0..nets.levels() - 1 {
+            let finer = nets.net(j);
+            for &m in nets.net(j + 1).members() {
+                assert!(finer.contains(m), "level {} member {m} missing at level {j}", j + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_level_is_everything() {
+        let (space, nets) = ladder();
+        assert_eq!(nets.net(0).len(), space.len());
+    }
+
+    #[test]
+    fn top_level_covers_with_one_ball() {
+        let (space, nets) = ladder();
+        let top = nets.net(nets.levels() - 1);
+        assert!(top.radius() >= space.index().diameter());
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn radii_double() {
+        let (_, nets) = ladder();
+        for j in 0..nets.levels() - 1 {
+            assert!((nets.radius(j + 1) / nets.radius(j) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn level_for_scale_brackets() {
+        let (_, nets) = ladder();
+        assert_eq!(nets.level_for_scale(0.5), 0);
+        assert_eq!(nets.level_for_scale(1.0), 0);
+        assert_eq!(nets.level_for_scale(2.0), 1);
+        assert_eq!(nets.level_for_scale(3.0), 1);
+        assert_eq!(nets.level_for_scale(4.0), 2);
+        assert_eq!(nets.level_for_scale(1e18), nets.levels() - 1);
+        assert_eq!(nets.level_for_scale(f64::NAN), 0);
+    }
+
+    #[test]
+    fn works_on_exponential_line() {
+        let space = Space::new(LineMetric::exponential(20).unwrap());
+        let nets = NestedNets::build(&space);
+        assert_eq!(nets.levels(), 20); // L = ceil(log2(2^19 - 1)) = 19
+        for (j, net) in nets.iter() {
+            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+        }
+        assert_eq!(nets.net(0).len(), 20);
+    }
+
+    #[test]
+    fn works_on_random_points() {
+        let space = Space::new(gen::uniform_cube(96, 2, 13));
+        let nets = NestedNets::build(&space);
+        for (j, net) in nets.iter() {
+            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+        }
+        // Net sizes shrink (weakly) with coarseness.
+        for j in 0..nets.levels() - 1 {
+            assert!(nets.net(j).len() >= nets.net(j + 1).len());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Property-based tests for the small-world models: completion and hop
+//! shape over random instances and seeds.
+
+use proptest::prelude::*;
+use ron_metric::{gen, Space};
+use ron_smallworld::{GreedyModel, PrunedModel, QueryStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 5.2(a): all queries complete within O(log n) hops on
+    /// random cubes, across contact-graph samples.
+    #[test]
+    fn greedy_model_random_instances(n in 16usize..48, seed in 0u64..500) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let model = GreedyModel::sample(&space, 2.0, seed.wrapping_mul(7));
+        let stats = QueryStats::over_all_pairs(n, |u, v| model.query(&space, u, v));
+        prop_assert_eq!(stats.completed, stats.queries);
+        prop_assert!(stats.max_hops <= 4 * model.levels_card() + 8);
+    }
+
+    /// Theorem 5.2(b): likewise with the pruned contacts and the
+    /// non-greedy rule.
+    #[test]
+    fn pruned_model_random_instances(n in 16usize..40, seed in 0u64..500) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let model = PrunedModel::sample(&space, 2.0, seed.wrapping_mul(13));
+        let stats = QueryStats::over_all_pairs(n, |u, v| model.query(&space, u, v));
+        prop_assert_eq!(stats.completed, stats.queries);
+        prop_assert!(stats.max_hops <= model.hop_budget());
+    }
+
+    /// Clustered metrics (two-scale structure) are also navigable.
+    #[test]
+    fn greedy_model_clusters(n in 16usize..40, clusters in 2usize..6, seed in 0u64..300) {
+        let space = Space::new(gen::clustered(n, 2, clusters, 0.02, seed));
+        let model = GreedyModel::sample(&space, 3.0, seed.wrapping_mul(3));
+        let stats = QueryStats::over_all_pairs(n, |u, v| model.query(&space, u, v));
+        prop_assert_eq!(stats.completed, stats.queries);
+    }
+}

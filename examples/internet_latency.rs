@@ -1,0 +1,61 @@
+//! Internet-latency-style distance estimation (the motivation of [33, 50]
+//! and of Meridian [57]): a clustered metric mimicking inter/intra-AS
+//! latencies, estimated three ways —
+//!
+//! 1. shared random beacons (the (eps, delta) baseline, which leaves a
+//!    fraction of pairs uncertified),
+//! 2. per-node beacon sets from Theorem 3.2 (zero failures),
+//! 3. compact labels of Theorem 3.4 (same accuracy, no global ids).
+//!
+//! Run with: `cargo run --example internet_latency`
+
+use rings_of_neighbors::labels::{
+    CompactScheme, GlobalIdDls, SharedBeaconTriangulation, Triangulation,
+};
+use rings_of_neighbors::metric::{gen, Node, Space};
+
+fn main() {
+    // 90 "hosts" in 9 clusters: intra-cluster distances ~1000x smaller
+    // than inter-cluster ones, like LAN vs WAN latency.
+    let space = Space::new(gen::clustered(90, 2, 9, 0.005, 13));
+    println!(
+        "latency space: n = {}, aspect ratio = {:.0}",
+        space.len(),
+        space.index().aspect_ratio()
+    );
+    let delta = 0.2;
+
+    // Baseline: 8 shared beacons for everyone.
+    let baseline = SharedBeaconTriangulation::build(&space, 8, 1);
+    let failing = baseline.failing_fraction(3.0 * delta);
+    println!(
+        "shared-beacon baseline: {} beacons, {:.1}% of pairs uncertified",
+        baseline.beacons().len(),
+        failing * 100.0
+    );
+
+    // Theorem 3.2: per-node beacons, every pair certified.
+    let tri = Triangulation::build(&space, delta);
+    println!(
+        "(0,delta)-triangulation: order {}, worst D+/D- = {:.3} (bound {:.3})",
+        tri.order(),
+        tri.max_ratio(),
+        (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta)
+    );
+
+    // Label sizes: global-id DLS vs compact labels.
+    let dls = GlobalIdDls::from_triangulation(&space, &tri);
+    let compact = CompactScheme::build(&space, delta);
+    println!("global-id labels: max {} bits", dls.max_label_bits());
+    println!("compact labels (Thm 3.4): max {} bits", compact.max_label_bits());
+
+    // Spot-check estimates across a cluster boundary and inside one.
+    for (u, v, what) in [
+        (Node::new(0), Node::new(9), "intra-cluster"),
+        (Node::new(0), Node::new(1), "inter-cluster"),
+    ] {
+        let d = space.dist(u, v);
+        let est = compact.estimate(u, v);
+        println!("{what}: true {d:.5}, compact estimate {est:.5} ({:.2}x)", est / d);
+    }
+}

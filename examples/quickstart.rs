@@ -1,0 +1,46 @@
+//! Quickstart: build a doubling metric, estimate distances from labels,
+//! and run a small-world query — the three faces of rings of neighbors.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rings_of_neighbors::labels::Triangulation;
+use rings_of_neighbors::metric::{gen, Node, Space};
+use rings_of_neighbors::smallworld::GreedyModel;
+
+fn main() {
+    // 1. A doubling metric: 128 random points in the unit square.
+    let space = Space::new(gen::uniform_cube(128, 2, 7));
+    println!(
+        "space: n = {}, aspect ratio = {:.1}",
+        space.len(),
+        space.index().aspect_ratio()
+    );
+
+    // 2. Distance estimation via (0, delta)-triangulation (Theorem 3.2):
+    //    every node stores ~order beacons; any pair gets a certified
+    //    estimate D- <= d <= D+ from labels alone.
+    let tri = Triangulation::build(&space, 0.2);
+    println!("triangulation order (beacons/node): {}", tri.order());
+    let (u, v) = (Node::new(3), Node::new(97));
+    let est = tri.estimate(u, v);
+    let d = space.dist(u, v);
+    println!(
+        "pair ({u}, {v}): true d = {d:.4}, D- = {:.4}, D+ = {:.4}, ratio = {:.3}",
+        est.lower,
+        est.upper,
+        est.ratio()
+    );
+    assert!(est.lower <= d && d <= est.upper);
+
+    // 3. Object location via a searchable small world (Theorem 5.2a):
+    //    greedy routing over sampled rings finds any target in O(log n)
+    //    hops.
+    let model = GreedyModel::sample(&space, 2.0, 42);
+    let outcome = model.query(&space, u, v).expect("query completes w.h.p.");
+    println!(
+        "small world: out-degree <= {}, query {u} -> {v} took {} hops",
+        model.contacts().max_out_degree(),
+        outcome.hops()
+    );
+    println!("path: {:?}", outcome.path);
+}

@@ -1,0 +1,64 @@
+//! Searchable small worlds: Kleinberg's grid [30] side by side with the
+//! paper's doubling-metric models (Theorem 5.2) and the single-link model
+//! (Theorem 5.5).
+//!
+//! Run with: `cargo run --example small_world`
+
+use rings_of_neighbors::graph::{gen as ggen, Apsp};
+use rings_of_neighbors::metric::{gen, Space};
+use rings_of_neighbors::smallworld::{
+    GreedyModel, KleinbergGrid, PrunedModel, QueryStats, SingleLinkModel,
+};
+
+fn main() {
+    // Kleinberg's 2-D grid with one inverse-square contact per node.
+    let grid = KleinbergGrid::sample(12, 1, 3).expect("valid grid");
+    let g_stats = QueryStats::over_all_pairs(grid.space().len(), |u, v| grid.query(u, v));
+    println!(
+        "Kleinberg grid 12x12 : degree <= {}, hops mean {:.1} / max {} ({}% done)",
+        grid.contacts().max_out_degree(),
+        g_stats.mean_hops,
+        g_stats.max_hops,
+        (g_stats.completion_rate() * 100.0) as u32
+    );
+
+    // Theorem 5.2(a) on random points (doubling, poly aspect ratio).
+    let cube = Space::new(gen::uniform_cube(144, 2, 9));
+    let model_a = GreedyModel::sample(&cube, 2.0, 4);
+    let a_stats = QueryStats::over_all_pairs(cube.len(), |u, v| model_a.query(&cube, u, v));
+    println!(
+        "Thm 5.2(a) cube      : degree <= {}, hops mean {:.1} / max {} ({}% done)",
+        model_a.contacts().max_out_degree(),
+        a_stats.mean_hops,
+        a_stats.max_hops,
+        (a_stats.completion_rate() * 100.0) as u32
+    );
+
+    // Theorem 5.2(b) on the exponential line (super-poly aspect ratio):
+    // pruned contacts, non-greedy jumps, still O(log n) hops.
+    let line = Space::new(gen::exponential_line(64));
+    let model_b = PrunedModel::sample(&line, 3.0, 5);
+    let b_stats = QueryStats::over_all_pairs(line.len(), |u, v| model_b.query(&line, u, v));
+    println!(
+        "Thm 5.2(b) exp line  : degree <= {}, hops mean {:.1} / max {} ({}% done)",
+        model_b.contacts().max_out_degree(),
+        b_stats.mean_hops,
+        b_stats.max_hops,
+        (b_stats.completion_rate() * 100.0) as u32
+    );
+
+    // Theorem 5.5: one long link per node over a grid graph.
+    let graph = ggen::grid_graph(12, 2);
+    let apsp = Apsp::compute(&graph);
+    let space = Space::new(apsp.to_metric().expect("grid is connected"));
+    let single = SingleLinkModel::sample(&space, &graph, 11);
+    let s_stats =
+        QueryStats::over_all_pairs(space.len(), |u, v| single.query(&space, &graph, u, v));
+    println!(
+        "Thm 5.5 single link  : degree <= {}, hops mean {:.1} / max {} ({}% done)",
+        graph.max_out_degree() + 1,
+        s_stats.mean_hops,
+        s_stats.max_hops,
+        (s_stats.completion_rate() * 100.0) as u32
+    );
+}

@@ -1,0 +1,24 @@
+//! # Rings of Neighbors
+//!
+//! Umbrella crate for the reproduction of Aleksandrs Slivkins,
+//! *"Distance Estimation and Object Location via Rings of Neighbors"*
+//! (PODC 2005; full version 2006).
+//!
+//! Re-exports every sub-crate under a stable path. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! ```
+//! use rings_of_neighbors::metric::{gen, Space};
+//!
+//! let space = Space::new(gen::uniform_cube(32, 2, 1));
+//! assert_eq!(space.len(), 32);
+//! ```
+
+pub use ron_core as core;
+pub use ron_graph as graph;
+pub use ron_labels as labels;
+pub use ron_measure as measure;
+pub use ron_metric as metric;
+pub use ron_nets as nets;
+pub use ron_routing as routing;
+pub use ron_smallworld as smallworld;
