@@ -11,7 +11,12 @@ fn bench(c: &mut Criterion) {
     let inst = ron_bench::graph_instance("grid-8x8");
     c.bench_function("fig_scaling/thm4.1_build_grid8x8", |b| {
         b.iter(|| {
-            black_box(SimpleScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25))
+            black_box(SimpleScheme::build(
+                &inst.space,
+                &inst.graph,
+                &inst.apsp,
+                0.25,
+            ))
         })
     });
 }

@@ -6,17 +6,31 @@ use ron_routing::BasicScheme;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ron_bench::table1(&["grid-8x8", "exp-path-24"], 0.25).render());
+    println!(
+        "{}",
+        ron_bench::table1(&["grid-8x8", "exp-path-24"], 0.25).render()
+    );
 
     let inst = ron_bench::graph_instance("grid-8x8");
     c.bench_function("table1/thm2.1_build_grid8x8", |b| {
         b.iter(|| {
-            black_box(BasicScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25))
+            black_box(BasicScheme::build(
+                &inst.space,
+                &inst.graph,
+                &inst.apsp,
+                0.25,
+            ))
         })
     });
     let scheme = BasicScheme::build(&inst.space, &inst.graph, &inst.apsp, 0.25);
     c.bench_function("table1/thm2.1_route_grid8x8", |b| {
-        b.iter(|| black_box(scheme.route(&inst.graph, Node::new(0), Node::new(63)).unwrap()))
+        b.iter(|| {
+            black_box(
+                scheme
+                    .route(&inst.graph, Node::new(0), Node::new(63))
+                    .unwrap(),
+            )
+        })
     });
 }
 

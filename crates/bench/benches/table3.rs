@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut stats = Default::default();
             black_box(
-                scheme.route(&inst.graph, Node::new(0), Node::new(23), &mut stats).unwrap(),
+                scheme
+                    .route(&inst.graph, Node::new(0), Node::new(23), &mut stats)
+                    .unwrap(),
             )
         })
     });

@@ -7,7 +7,10 @@
 
 fn main() {
     let delta = 0.25;
-    println!("{}", ron_bench::table1(&["grid-8x8", "exp-path-24"], delta).render());
+    println!(
+        "{}",
+        ron_bench::table1(&["grid-8x8", "exp-path-24"], delta).render()
+    );
     println!("{}", ron_bench::table2(delta).render());
     println!("{}", ron_bench::table3(delta).render());
     println!("{}", ron_bench::fig_scaling().render());

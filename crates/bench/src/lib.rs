@@ -102,7 +102,12 @@ pub fn graph_instance(name: &str) -> GraphInstance {
     };
     let apsp = Apsp::compute(&graph);
     let space = Space::new(apsp.to_metric().expect("instances are connected"));
-    GraphInstance { name: name.to_string(), graph, apsp, space }
+    GraphInstance {
+        name: name.to_string(),
+        graph,
+        apsp,
+        space,
+    }
 }
 
 /// Builds the named metric instance.
@@ -134,10 +139,18 @@ pub fn metric_instance(name: &str) -> Space<Box<dyn Metric>> {
 pub fn table1(instances: &[&str], delta: f64) -> Table {
     let mut t = Table {
         title: format!("Table 1: (1+d)-stretch routing on doubling graphs (delta = {delta})"),
-        header: ["graph", "n", "logDelta", "scheme", "table bits", "header bits", "max stretch"]
-            .iter()
-            .map(ToString::to_string)
-            .collect(),
+        header: [
+            "graph",
+            "n",
+            "logDelta",
+            "scheme",
+            "table bits",
+            "header bits",
+            "max stretch",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
         rows: Vec::new(),
     };
     for name in instances {
@@ -308,10 +321,16 @@ pub fn table2(delta: f64) -> Table {
 pub fn table3(delta: f64) -> Table {
     let mut t = Table {
         title: format!("Table 3: two-mode scheme space requirements (delta = {delta})"),
-        header: ["graph", "n", "logDelta", "component", "bits (max over nodes)"]
-            .iter()
-            .map(ToString::to_string)
-            .collect(),
+        header: [
+            "graph",
+            "n",
+            "logDelta",
+            "component",
+            "bits (max over nodes)",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
         rows: Vec::new(),
     };
     for name in ["grid-8x8", "exp-path-24"] {
@@ -355,14 +374,27 @@ pub fn table3(delta: f64) -> Table {
 pub fn fig_triangulation(delta: f64) -> Table {
     let mut t = Table {
         title: format!("E-3.2: (0,delta)-triangulation (delta = {delta})"),
-        header: ["metric", "n", "order", "worst D+/D-", "bound", "baseline eps (8 beacons)"]
-            .iter()
-            .map(ToString::to_string)
-            .collect(),
+        header: [
+            "metric",
+            "n",
+            "order",
+            "worst D+/D-",
+            "bound",
+            "baseline eps (8 beacons)",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
         rows: Vec::new(),
     };
     let bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
-    for name in ["cube-64", "cube-128", "cube-256", "clusters-120", "exp-line-32"] {
+    for name in [
+        "cube-64",
+        "cube-128",
+        "cube-256",
+        "clusters-120",
+        "exp-line-32",
+    ] {
         let space = metric_instance(name);
         let tri = Triangulation::build(&space, delta);
         let baseline = SharedBeaconTriangulation::build(&space, 8.min(space.len()), 7);
@@ -384,10 +416,17 @@ pub fn fig_triangulation(delta: f64) -> Table {
 pub fn fig_labels(delta: f64) -> Table {
     let mut t = Table {
         title: format!("E-3.4: distance-label bits (delta = {delta})"),
-        header: ["metric", "n", "loglogDelta", "global-id bits", "compact bits", "worst est/d"]
-            .iter()
-            .map(ToString::to_string)
-            .collect(),
+        header: [
+            "metric",
+            "n",
+            "loglogDelta",
+            "global-id bits",
+            "compact bits",
+            "worst est/d",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
         rows: Vec::new(),
     };
     for name in ["cube-64", "cube-128", "exp-line-24", "exp-line-48"] {
@@ -462,14 +501,26 @@ pub fn fig_smallworld() -> Table {
     }
     let grid = KleinbergGrid::sample(11, 1, 23).expect("valid grid");
     let qg = QueryStats::over_all_pairs(121, |u, v| grid.query(u, v));
-    push("Kleinberg grid", "grid-11x11", 121, grid.contacts().max_out_degree(), &qg);
+    push(
+        "Kleinberg grid",
+        "grid-11x11",
+        121,
+        grid.contacts().max_out_degree(),
+        &qg,
+    );
     for name in ["grid-8x8", "exp-path-24"] {
         let inst = graph_instance(name);
         let model = SingleLinkModel::sample(&inst.space, &inst.graph, 24);
         let q = QueryStats::over_all_pairs(inst.graph.len(), |u, v| {
             model.query(&inst.space, &inst.graph, u, v)
         });
-        push("Thm 5.5 single link", name, inst.graph.len(), inst.graph.max_out_degree() + 1, &q);
+        push(
+            "Thm 5.5 single link",
+            name,
+            inst.graph.len(),
+            inst.graph.max_out_degree() + 1,
+            &q,
+        );
     }
     t.rows = rows;
     t
@@ -481,10 +532,18 @@ pub fn fig_smallworld() -> Table {
 pub fn fig_structures() -> Table {
     let mut t = Table {
         title: "E-5.4: STRUCTURES on a UL-constrained metric".into(),
-        header: ["model", "n", "degree max", "log2(n)^2", "hops mean", "hops max", "done %"]
-            .iter()
-            .map(ToString::to_string)
-            .collect(),
+        header: [
+            "model",
+            "n",
+            "degree max",
+            "log2(n)^2",
+            "hops mean",
+            "hops max",
+            "done %",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
         rows: Vec::new(),
     };
     let space = metric_instance("pgrid-10");

@@ -70,7 +70,10 @@ impl SizeReport {
     /// Starts an empty report with a display name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        SizeReport { name: name.into(), parts: Vec::new() }
+        SizeReport {
+            name: name.into(),
+            parts: Vec::new(),
+        }
     }
 
     /// Adds a named component (accumulates if the name repeats).

@@ -51,8 +51,11 @@ impl Enumeration {
     pub fn from_ordered(nodes: Vec<Node>) -> Self {
         let mut seen = std::collections::BTreeSet::new();
         let nodes: Vec<Node> = nodes.into_iter().filter(|&v| seen.insert(v)).collect();
-        let mut lookup: Vec<(Node, u32)> =
-            nodes.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let mut lookup: Vec<(Node, u32)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         lookup.sort_unstable_by_key(|&(v, _)| v);
         Enumeration { nodes, lookup }
     }
@@ -233,8 +236,7 @@ mod tests {
 
     #[test]
     fn translation_entries_for_prefix() {
-        let zeta =
-            TranslationFn::from_triples(vec![(1, 1, 9), (0, 0, 4), (1, 0, 2), (2, 5, 1)]);
+        let zeta = TranslationFn::from_triples(vec![(1, 1, 9), (0, 0, 4), (1, 0, 2), (2, 5, 1)]);
         assert_eq!(zeta.entries_for(1), &[(1, 0, 2), (1, 1, 9)]);
         assert_eq!(zeta.entries_for(3), &[]);
     }

@@ -26,7 +26,11 @@ impl Ring {
     pub fn new(level: usize, radius: f64, mut members: Vec<Node>) -> Self {
         members.sort_unstable();
         members.dedup();
-        Ring { level, radius, members }
+        Ring {
+            level,
+            radius,
+            members,
+        }
     }
 
     /// The neighbor pointers, in node-id order.
@@ -150,8 +154,10 @@ impl RingFamily {
     /// All distinct neighbors of `u` across rings (sorted by node id).
     #[must_use]
     pub fn neighbors_of(&self, u: Node) -> Vec<Node> {
-        let mut all: Vec<Node> =
-            self.per_node[u.index()].iter().flat_map(|r| r.members().iter().copied()).collect();
+        let mut all: Vec<Node> = self.per_node[u.index()]
+            .iter()
+            .flat_map(|r| r.members().iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         all
@@ -167,14 +173,20 @@ impl RingFamily {
     /// small-world theorems.
     #[must_use]
     pub fn max_out_degree(&self) -> usize {
-        (0..self.len()).map(|i| self.out_degree(Node::new(i))).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.out_degree(Node::new(i)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total pointer count (with ring multiplicity), the raw size of the
     /// distributed structure.
     #[must_use]
     pub fn total_pointers(&self) -> usize {
-        self.per_node.iter().flat_map(|rings| rings.iter().map(Ring::len)).sum()
+        self.per_node
+            .iter()
+            .flat_map(|rings| rings.iter().map(Ring::len))
+            .sum()
     }
 
     /// Largest single ring cardinality (the paper's `K`).
@@ -246,7 +258,11 @@ mod tests {
         let (_, rings) = family();
         for i in 0..rings.len() {
             for ring in rings.rings_of(Node::new(i)) {
-                assert!(!ring.is_empty(), "empty ring at node {i} level {}", ring.level);
+                assert!(
+                    !ring.is_empty(),
+                    "empty ring at node {i} level {}",
+                    ring.level
+                );
             }
         }
     }

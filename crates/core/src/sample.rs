@@ -38,8 +38,9 @@ pub fn uniform_set_in_ball<M: Metric, R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Vec<Node> {
-    let mut picks: Vec<Node> =
-        (0..count).filter_map(|_| uniform_in_ball(space, u, r, rng)).collect();
+    let mut picks: Vec<Node> = (0..count)
+        .filter_map(|_| uniform_in_ball(space, u, r, rng))
+        .collect();
     picks.sort_unstable();
     picks.dedup();
     picks
@@ -174,7 +175,10 @@ mod tests {
                 zero_hits += 1;
             }
         }
-        assert!(zero_hits >= 195, "heavy node sampled only {zero_hits}/200 times");
+        assert!(
+            zero_hits >= 195,
+            "heavy node sampled only {zero_hits}/200 times"
+        );
     }
 
     #[test]
@@ -188,8 +192,8 @@ mod tests {
             counts[v.index()] += 1;
         }
         // Ball = {0,1,2,3}: each should get ~750 draws.
-        for i in 0..4 {
-            assert!(counts[i] > 500, "node {i} undersampled: {}", counts[i]);
+        for (i, &c) in counts.iter().enumerate().take(4) {
+            assert!(c > 500, "node {i} undersampled: {c}");
         }
         for (i, &c) in counts.iter().enumerate().skip(4) {
             assert_eq!(c, 0, "node {i} outside the ball was sampled");
@@ -202,8 +206,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // Annulus (2, 4] around node 0 = {3, 4}.
         for _ in 0..50 {
-            let v = uniform_in_annulus_or_next(&space, Node::new(0), 2.0, 4.0, &mut rng)
-                .unwrap();
+            let v = uniform_in_annulus_or_next(&space, Node::new(0), 2.0, 4.0, &mut rng).unwrap();
             assert!(v == Node::new(3) || v == Node::new(4));
         }
         // Empty annulus (20, 30]: fallback = nearest outside B(0, 20) = none.

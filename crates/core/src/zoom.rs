@@ -57,7 +57,11 @@ impl ZoomSequence {
             points.push(f);
             levels.push(level);
         }
-        ZoomSequence { target, points, levels }
+        ZoomSequence {
+            target,
+            points,
+            levels,
+        }
     }
 
     /// The target node `t`.
@@ -106,7 +110,9 @@ impl ZoomSequence {
 /// `Delta/2^j` ladder of Theorem 2.1 in absolute distances.
 #[must_use]
 pub fn geometric_scales(diameter: f64, levels: usize) -> Vec<f64> {
-    (0..levels).map(|j| diameter / (2.0f64).powi(j as i32)).collect()
+    (0..levels)
+        .map(|j| diameter / (2.0f64).powi(j as i32))
+        .collect()
 }
 
 #[cfg(test)]

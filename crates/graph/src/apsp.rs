@@ -55,7 +55,11 @@ impl Apsp {
                 }
             }
         }
-        Apsp { n, dist, first_hop_slot }
+        Apsp {
+            n,
+            dist,
+            first_hop_slot,
+        }
     }
 
     /// Number of nodes.
@@ -89,7 +93,8 @@ impl Apsp {
     /// The node the first-hop pointer leads to.
     #[must_use]
     pub fn first_hop(&self, graph: &Graph, u: Node, v: Node) -> Option<Node> {
-        self.first_hop_slot(u, v).map(|s| graph.link(u, s as usize).0)
+        self.first_hop_slot(u, v)
+            .map(|s| graph.link(u, s as usize).0)
     }
 
     /// Walks first-hop pointers from `u` to `v`, returning the full path.

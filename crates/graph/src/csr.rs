@@ -77,7 +77,10 @@ impl GraphBuilder {
     /// Starts a builder for a graph on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, arcs: Vec::new() }
+        GraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Adds an undirected edge (two arcs) with the given positive weight.
@@ -121,7 +124,7 @@ impl GraphBuilder {
     #[must_use]
     pub fn build(self) -> Graph {
         let mut arcs = self.arcs;
-        arcs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        arcs.sort_by_key(|a| (a.0, a.1));
         let mut offsets = vec![0u32; self.n + 1];
         for &(u, _, _) in &arcs {
             offsets[u as usize + 1] += 1;
@@ -131,7 +134,12 @@ impl GraphBuilder {
         }
         let heads: Vec<u32> = arcs.iter().map(|a| a.1).collect();
         let weights: Vec<f64> = arcs.iter().map(|a| a.2).collect();
-        Graph { n: self.n, offsets, heads, weights }
+        Graph {
+            n: self.n,
+            offsets,
+            heads,
+            weights,
+        }
     }
 }
 
@@ -178,7 +186,10 @@ impl Graph {
     /// Maximum out-degree over all nodes (the paper's `Dout`).
     #[must_use]
     pub fn max_out_degree(&self) -> usize {
-        (0..self.n).map(|i| self.out_degree(Node::new(i))).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.out_degree(Node::new(i)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Out-links of `u` as `(head, weight)` pairs, in slot order.
@@ -197,7 +208,10 @@ impl Graph {
     pub fn link(&self, u: Node, slot: usize) -> (Node, f64) {
         let i = u.index();
         let k = self.offsets[i] as usize + slot;
-        assert!(k < self.offsets[i + 1] as usize, "slot {slot} out of range at {u}");
+        assert!(
+            k < self.offsets[i + 1] as usize,
+            "slot {slot} out of range at {u}"
+        );
         (Node::new(self.heads[k] as usize), self.weights[k])
     }
 

@@ -72,7 +72,10 @@ pub fn shortest_paths(graph: &Graph, source: Node) -> ShortestPaths {
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: du, node: u }) = heap.pop() {
         if done[u.index()] {
             continue;
@@ -84,8 +87,7 @@ pub fn shortest_paths(graph: &Graph, source: Node) -> ShortestPaths {
             // Deterministic tie-break: keep the path whose parent has the
             // smaller node id, so equal-length paths resolve identically
             // across runs and sources.
-            let better = cand < dist[vi]
-                || (cand == dist[vi] && parent[vi].is_some_and(|p| u < p));
+            let better = cand < dist[vi] || (cand == dist[vi] && parent[vi].is_some_and(|p| u < p));
             if better {
                 dist[vi] = cand;
                 parent[vi] = Some(u);
@@ -94,11 +96,19 @@ pub fn shortest_paths(graph: &Graph, source: Node) -> ShortestPaths {
                 } else {
                     first_hop_slot[u.index()]
                 };
-                heap.push(HeapEntry { dist: cand, node: v });
+                heap.push(HeapEntry {
+                    dist: cand,
+                    node: v,
+                });
             }
         }
     }
-    ShortestPaths { source, dist, parent, first_hop_slot }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+        first_hop_slot,
+    }
 }
 
 impl ShortestPaths {

@@ -81,19 +81,22 @@ pub fn knn_geometric(n: usize, dim: usize, k: usize, seed: u64) -> (Graph, Eucli
     let mut present = std::collections::BTreeSet::new();
     for i in 0..n {
         let u = Node::new(i);
-        let mut order: Vec<(f64, usize)> =
-            (0..n).filter(|&j| j != i).map(|j| (points.dist(u, Node::new(j)), j)).collect();
+        let mut order: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (points.dist(u, Node::new(j)), j))
+            .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(w, j) in order.iter().take(k) {
             let key = (i.min(j), i.max(j));
             if present.insert(key) {
-                b.add_undirected(u, Node::new(j), w).expect("knn edges are valid");
+                b.add_undirected(u, Node::new(j), w)
+                    .expect("knn edges are valid");
             }
         }
     }
     // Union-find over current edges; connect components greedily.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -220,7 +223,10 @@ mod tests {
     fn knn_geometric_is_connected() {
         for seed in 0..5 {
             let (g, points) = knn_geometric(48, 2, 3, seed);
-            assert!(g.is_connected(), "seed {seed} produced a disconnected graph");
+            assert!(
+                g.is_connected(),
+                "seed {seed} produced a disconnected graph"
+            );
             assert_eq!(g.len(), points.len());
         }
     }

@@ -40,8 +40,7 @@ impl HopProfile {
             let cur = &mut hi[..n];
             cur.copy_from_slice(prev);
             pred.copy_within((h - 1) * n..h * n, h * n);
-            for i in 0..n {
-                let du = prev[i];
+            for (i, &du) in prev.iter().enumerate().take(n) {
                 if du.is_infinite() {
                     continue;
                 }
@@ -54,7 +53,13 @@ impl HopProfile {
                 }
             }
         }
-        HopProfile { source, n, dist, pred, max_hops }
+        HopProfile {
+            source,
+            n,
+            dist,
+            pred,
+            max_hops,
+        }
     }
 
     /// The source node.
@@ -92,8 +97,9 @@ impl HopProfile {
         let mut level = h;
         while cur != self.source {
             // Walk down to the level where cur's best distance was set.
-            while level > 0 && self.dist[(level - 1) * self.n + cur.index()]
-                == self.dist[level * self.n + cur.index()]
+            while level > 0
+                && self.dist[(level - 1) * self.n + cur.index()]
+                    == self.dist[level * self.n + cur.index()]
             {
                 level -= 1;
             }

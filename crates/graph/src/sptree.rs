@@ -109,7 +109,15 @@ impl IdRangeTree {
         }
         targets.sort_unstable();
         targets.dedup();
-        IdRangeTree { members, parent, children, dfs_pos, dfs_order, subtree, targets }
+        IdRangeTree {
+            members,
+            parent,
+            children,
+            dfs_pos,
+            dfs_order,
+            subtree,
+            targets,
+        }
     }
 
     /// The member nodes, in construction order (root first).
@@ -264,8 +272,9 @@ mod tests {
 
     fn chain(members: usize, targets: usize) -> IdRangeTree {
         let nodes: Vec<Node> = (0..members).map(Node::new).collect();
-        let parent: Vec<Option<usize>> =
-            (0..members).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parent: Vec<Option<usize>> = (0..members)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         IdRangeTree::new(nodes, parent, (100..100 + targets as u32).collect())
     }
 

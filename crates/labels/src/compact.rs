@@ -194,8 +194,7 @@ impl CompactScheme {
             .iter()
             .map(|t| Enumeration::new(t.iter().copied().collect()))
             .collect();
-        let virt_bits =
-            psi.iter().map(Enumeration::index_bits).max().unwrap_or(0);
+        let virt_bits = psi.iter().map(Enumeration::index_bits).max().unwrap_or(0);
 
         // --- Host enumerations: canonical level-0 block first.
         let block = system.level0_block();
@@ -206,7 +205,10 @@ impl CompactScheme {
             .map(|u| {
                 let mut order = block.clone();
                 order.extend(
-                    system.neighbors_of(u).into_iter().filter(|v| !block_set.contains(v)),
+                    system
+                        .neighbors_of(u)
+                        .into_iter()
+                        .filter(|v| !block_set.contains(v)),
                 );
                 Enumeration::from_ordered(order)
             })
@@ -244,8 +246,7 @@ impl CompactScheme {
                             let psi_v = &psi[v.index()];
                             for &w in &level_next {
                                 if let Some(y) = psi_v.index_of(w) {
-                                    let z =
-                                        phi_u.index_of(w).expect("level set is in host enum");
+                                    let z = phi_u.index_of(w).expect("level set is in host enum");
                                     triples.push((x, y, z));
                                 }
                             }
@@ -270,7 +271,12 @@ impl CompactScheme {
                     })
                     .collect();
 
-                CompactLabel { host_dists, zeta, zoom_first, zoom_virtual }
+                CompactLabel {
+                    host_dists,
+                    zeta,
+                    zoom_first,
+                    zoom_virtual,
+                }
             })
             .collect();
 
@@ -414,7 +420,10 @@ impl CompactScheme {
     /// The largest label size over all nodes, in bits.
     #[must_use]
     pub fn max_label_bits(&self) -> u64 {
-        (0..self.len()).map(|i| self.label_bits(Node::new(i)).total_bits()).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.label_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -18,7 +18,10 @@ pub struct EncodedDistance {
 
 impl EncodedDistance {
     /// The encoding of distance zero.
-    pub const ZERO: EncodedDistance = EncodedDistance { exp: i32::MIN, man: 0 };
+    pub const ZERO: EncodedDistance = EncodedDistance {
+        exp: i32::MIN,
+        man: 0,
+    };
 
     /// Whether this encodes the distance 0.
     #[must_use]
@@ -70,7 +73,10 @@ impl DistanceCodec {
     /// Panics if `mantissa_bits` is 0 or exceeds 31.
     #[must_use]
     pub fn with_mantissa_bits(mantissa_bits: u32) -> Self {
-        assert!((1..=31).contains(&mantissa_bits), "mantissa width out of range");
+        assert!(
+            (1..=31).contains(&mantissa_bits),
+            "mantissa width out of range"
+        );
         DistanceCodec { mantissa_bits }
     }
 
@@ -93,7 +99,10 @@ impl DistanceCodec {
     /// Panics if `d` is negative or not finite.
     #[must_use]
     pub fn encode(self, d: f64) -> EncodedDistance {
-        assert!(d.is_finite() && d >= 0.0, "distance must be finite and nonnegative");
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "distance must be finite and nonnegative"
+        );
         if d == 0.0 {
             return EncodedDistance::ZERO;
         }
@@ -105,9 +114,15 @@ impl DistanceCodec {
         let man = (frac * (1u64 << mb) as f64).ceil() as u64;
         if man >= (1u64 << (mb + 1)) {
             // Rounding crossed a power of two.
-            EncodedDistance { exp: exp + 1, man: 1u32 << mb }
+            EncodedDistance {
+                exp: exp + 1,
+                man: 1u32 << mb,
+            }
         } else {
-            EncodedDistance { exp, man: man as u32 }
+            EncodedDistance {
+                exp,
+                man: man as u32,
+            }
         }
     }
 

@@ -93,7 +93,11 @@ impl NeighborSystem {
             for i in 0..levels {
                 // X_ui: packing balls with d(u, h_B) + r_B below the
                 // previous-level radius (infinite for i = 0).
-                let limit = if i == 0 { f64::INFINITY } else { r[u.index()][i - 1] };
+                let limit = if i == 0 {
+                    f64::INFINITY
+                } else {
+                    r[u.index()][i - 1]
+                };
                 let mut xs: Vec<u32> = packings[i]
                     .balls()
                     .iter()
@@ -107,15 +111,25 @@ impl NeighborSystem {
                 // Y_ui: net points at scale delta*r_ui/4 within 12 r_ui/delta.
                 let rui = r[u.index()][i];
                 let level = nets.level_for_scale(delta * rui / 4.0);
-                let members =
-                    nets.net(level).members_in_ball(space, u, 12.0 * rui / delta);
+                let members = nets
+                    .net(level)
+                    .members_in_ball(space, u, 12.0 * rui / delta);
                 let mut members = members;
                 members.sort_unstable();
                 y[u.index()].push(members);
                 y_level[u.index()].push(level);
             }
         }
-        NeighborSystem { delta, levels, r, nets, packings, x, y, y_level }
+        NeighborSystem {
+            delta,
+            levels,
+            r,
+            nets,
+            packings,
+            x,
+            y,
+            y_level,
+        }
     }
 
     /// The construction parameter `delta`.
@@ -215,8 +229,10 @@ impl NeighborSystem {
     #[must_use]
     pub fn level0_block(&self) -> Vec<Node> {
         let u = Node::new(0);
-        let mut block: Vec<Node> =
-            self.x_neighbors(u, 0).chain(self.y_neighbors(u, 0).iter().copied()).collect();
+        let mut block: Vec<Node> = self
+            .x_neighbors(u, 0)
+            .chain(self.y_neighbors(u, 0).iter().copied())
+            .collect();
         block.sort_unstable();
         block.dedup();
         block
@@ -226,7 +242,10 @@ impl NeighborSystem {
     /// triangulation *order* of Theorem 3.2.
     #[must_use]
     pub fn order(&self) -> usize {
-        (0..self.len()).map(|i| self.neighbors_of(Node::new(i)).len()).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.neighbors_of(Node::new(i)).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -86,7 +86,10 @@ impl Triangulation {
                     .collect::<Vec<_>>()
             })
             .collect();
-        Triangulation { delta: system.delta(), labels }
+        Triangulation {
+            delta: system.delta(),
+            labels,
+        }
     }
 
     /// The construction parameter `delta`.
@@ -172,7 +175,11 @@ pub(crate) fn estimate_from_labels(a: &[(Node, f64)], b: &[(Node, f64)]) -> Esti
         }
     }
     assert!(common > 0, "no common beacon between labels");
-    Estimate { upper, lower, common }
+    Estimate {
+        upper,
+        lower,
+        common,
+    }
 }
 
 /// The `(1 + O(delta))`-approximate distance labeling scheme obtained from
@@ -206,7 +213,12 @@ impl GlobalIdDls {
                     .collect()
             })
             .collect();
-        GlobalIdDls { codec, aspect_ratio: space.index().aspect_ratio(), n: space.len(), labels }
+        GlobalIdDls {
+            codec,
+            aspect_ratio: space.index().aspect_ratio(),
+            n: space.len(),
+            labels,
+        }
     }
 
     /// The `(1 + O(delta))`-approximate distance estimate `D+` computed
@@ -222,7 +234,10 @@ impl GlobalIdDls {
         let mut report = SizeReport::new(format!("dls label of {u}"));
         let beacons = self.labels[u.index()].len() as u64;
         report.add("beacon ids", beacons * id_bits(self.n));
-        report.add("distances", beacons * self.codec.bits_per_distance(self.aspect_ratio));
+        report.add(
+            "distances",
+            beacons * self.codec.bits_per_distance(self.aspect_ratio),
+        );
         report
     }
 
@@ -341,8 +356,7 @@ mod tests {
         );
         // On the exponential line the rings are sparse and order tracks
         // the level count closely.
-        let e64 =
-            Triangulation::build(&Space::new(LineMetric::exponential(64).unwrap()), delta);
+        let e64 = Triangulation::build(&Space::new(LineMetric::exponential(64).unwrap()), delta);
         let e_levels = 6usize;
         assert!(
             e64.order() <= 24 * e_levels,
@@ -381,7 +395,10 @@ mod tests {
                 let d = space.dist(u, v);
                 let est = dls.estimate(u, v);
                 assert!(est >= d - 1e-9, "estimate {est} below true {d}");
-                assert!(est <= d * factor * (1.0 + 1e-9), "estimate {est} above {factor}*{d}");
+                assert!(
+                    est <= d * factor * (1.0 + 1e-9),
+                    "estimate {est} above {factor}*{d}"
+                );
             }
         }
     }

@@ -153,8 +153,7 @@ mod tests {
         let counting = NodeMeasure::counting(20);
         let s_counting = measured_doubling_constant(&space, &counting);
         let nets = NestedNets::build(&space);
-        let s_doubling =
-            measured_doubling_constant(&space, &doubling_measure(&space, &nets));
+        let s_doubling = measured_doubling_constant(&space, &doubling_measure(&space, &nets));
         assert!(
             s_counting > s_doubling,
             "doubling measure ({s_doubling}) should beat counting ({s_counting})"

@@ -32,7 +32,9 @@ impl NodeMeasure {
     #[must_use]
     pub fn counting(n: usize) -> Self {
         assert!(n > 0, "measure needs at least one node");
-        NodeMeasure { mass: vec![1.0 / n as f64; n] }
+        NodeMeasure {
+            mass: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Builds a measure from raw positive weights, normalizing the sum
@@ -50,7 +52,9 @@ impl NodeMeasure {
             weights.iter().all(|w| w.is_finite() && *w > 0.0) && total.is_finite() && total > 0.0,
             "weights must be positive and finite"
         );
-        NodeMeasure { mass: weights.into_iter().map(|w| w / total).collect() }
+        NodeMeasure {
+            mass: weights.into_iter().map(|w| w / total).collect(),
+        }
     }
 
     /// Number of nodes.

@@ -110,7 +110,10 @@ impl fmt::Display for PackingError {
                 write!(f, "packing ball {ball} has mass {mass} < required {needed}")
             }
             PackingError::CoverageViolated { u, reach, allowed } => {
-                write!(f, "node {u}: nearest packing ball reach {reach} > allowed {allowed}")
+                write!(
+                    f,
+                    "node {u}: nearest packing ball reach {reach} > allowed {allowed}"
+                )
             }
         }
     }
@@ -169,8 +172,12 @@ impl Packing {
         let mut taken = vec![false; n];
         let mut balls: Vec<PackedBall> = Vec::new();
         for &(center, radius) in &candidates {
-            let members: Vec<Node> =
-                space.index().ball(center, radius).iter().map(|&(_, v)| v).collect();
+            let members: Vec<Node> = space
+                .index()
+                .ball(center, radius)
+                .iter()
+                .map(|&(_, v)| v)
+                .collect();
             if members.iter().any(|&v| taken[v.index()]) {
                 continue;
             }
@@ -180,7 +187,13 @@ impl Packing {
             let mut sorted = members.clone();
             sorted.sort_unstable();
             let mass = measure.mass_of(&sorted);
-            balls.push(PackedBall { center, radius, rep: center, members: sorted, mass });
+            balls.push(PackedBall {
+                center,
+                radius,
+                rep: center,
+                members: sorted,
+                mass,
+            });
         }
 
         // Coverage witnesses: nearest family ball by d_uv + r.
@@ -197,8 +210,16 @@ impl Packing {
             })
             .collect();
 
-        let min_mass = balls.iter().map(PackedBall::mass).fold(f64::INFINITY, f64::min);
-        Packing { eps, balls, witness, min_mass }
+        let min_mass = balls
+            .iter()
+            .map(PackedBall::mass)
+            .fold(f64::INFINITY, f64::min);
+        Packing {
+            eps,
+            balls,
+            witness,
+            min_mass,
+        }
     }
 
     /// The packing parameter `eps`.
@@ -268,7 +289,11 @@ impl Packing {
         for (i, ball) in self.balls.iter().enumerate() {
             let mass = measure.mass_of(ball.members());
             if mass <= 0.0 {
-                return Err(PackingError::BallTooLight { ball: i, mass, needed: f64::MIN_POSITIVE });
+                return Err(PackingError::BallTooLight {
+                    ball: i,
+                    mass,
+                    needed: f64::MIN_POSITIVE,
+                });
             }
         }
         // Coverage: d(u, center) + radius <= 6 r_u(eps).
@@ -342,7 +367,9 @@ mod tests {
     fn check(space: &Space<impl Metric>, eps: f64) -> Packing {
         let mu = NodeMeasure::counting(space.len());
         let packing = Packing::build(space, &mu, eps);
-        packing.verify(space, &mu).unwrap_or_else(|e| panic!("eps {eps}: {e}"));
+        packing
+            .verify(space, &mu)
+            .unwrap_or_else(|e| panic!("eps {eps}: {e}"));
         packing
     }
 

@@ -124,7 +124,10 @@ mod tests {
         assert!(alpha <= 3.5, "doubling dim too large: {alpha}");
         // ...but grid dimension reveals the unbounded growth:
         // B_u(2r) can catch many points at once on the exponential line.
-        assert!(grid >= alpha, "expected grid dim ({grid}) >= doubling dim ({alpha})");
+        assert!(
+            grid >= alpha,
+            "expected grid dim ({grid}) >= doubling dim ({alpha})"
+        );
     }
 
     #[test]
@@ -139,9 +142,11 @@ mod tests {
         for n in [8usize, 32, 64] {
             let space = Space::new(LineMetric::uniform(n).unwrap());
             let alpha = doubling_dimension(space.metric(), space.index()).max(1.0);
-            let slack =
-                aspect_ratio_lower_bound_slack(n, space.index().aspect_ratio(), alpha);
-            assert!(slack >= -1e-9, "Lemma 1.2 violated: slack {slack} for n={n}");
+            let slack = aspect_ratio_lower_bound_slack(n, space.index().aspect_ratio(), alpha);
+            assert!(
+                slack >= -1e-9,
+                "Lemma 1.2 violated: slack {slack} for n={n}"
+            );
         }
     }
 }

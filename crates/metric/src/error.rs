@@ -61,10 +61,16 @@ impl fmt::Display for MetricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MetricError::ShapeMismatch { expected, actual } => {
-                write!(f, "distance matrix has {actual} entries, expected {expected}")
+                write!(
+                    f,
+                    "distance matrix has {actual} entries, expected {expected}"
+                )
             }
             MetricError::InvalidDistance { u, v, value } => {
-                write!(f, "distance d({u}, {v}) = {value} is not a finite nonnegative number")
+                write!(
+                    f,
+                    "distance d({u}, {v}) = {value} is not a finite nonnegative number"
+                )
             }
             MetricError::NonzeroSelfDistance { u, value } => {
                 write!(f, "self distance d({u}, {u}) = {value} is nonzero")
@@ -76,7 +82,10 @@ impl fmt::Display for MetricError {
                 write!(f, "distinct nodes {u} and {v} are at distance zero")
             }
             MetricError::TriangleViolation { u, v, w } => {
-                write!(f, "triangle inequality fails: d({u}, {v}) > d({u}, {w}) + d({w}, {v})")
+                write!(
+                    f,
+                    "triangle inequality fails: d({u}, {v}) > d({u}, {w}) + d({w}, {v})"
+                )
             }
             MetricError::Empty => write!(f, "metric space has no nodes"),
         }

@@ -37,7 +37,10 @@ impl EuclideanMetric {
         let mut coords = Vec::with_capacity(points.len() * dim);
         for (i, p) in points.iter().enumerate() {
             if p.len() != dim {
-                return Err(MetricError::ShapeMismatch { expected: dim, actual: p.len() });
+                return Err(MetricError::ShapeMismatch {
+                    expected: dim,
+                    actual: p.len(),
+                });
             }
             for &c in p {
                 if !c.is_finite() {
@@ -56,7 +59,10 @@ impl EuclideanMetric {
         for i in 0..n {
             for j in (i + 1)..n {
                 if m.dist(Node::new(i), Node::new(j)) == 0.0 {
-                    return Err(MetricError::ZeroDistance { u: Node::new(i), v: Node::new(j) });
+                    return Err(MetricError::ZeroDistance {
+                        u: Node::new(i),
+                        v: Node::new(j),
+                    });
                 }
             }
         }
@@ -79,11 +85,7 @@ impl EuclideanMetric {
 
 impl Metric for EuclideanMetric {
     fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.coords.len() / self.dim
-        }
+        self.coords.len().checked_div(self.dim).unwrap_or(0)
     }
 
     fn dist(&self, u: Node, v: Node) -> f64 {

@@ -37,7 +37,10 @@ impl ExplicitMetric {
     pub fn new(dists: Vec<f64>) -> Result<Self, MetricError> {
         let n = (dists.len() as f64).sqrt().round() as usize;
         if n * n != dists.len() {
-            return Err(MetricError::ShapeMismatch { expected: n * n, actual: dists.len() });
+            return Err(MetricError::ShapeMismatch {
+                expected: n * n,
+                actual: dists.len(),
+            });
         }
         let m = ExplicitMetric { n, dists };
         m.check_basics()?;
@@ -84,7 +87,10 @@ impl ExplicitMetric {
     /// Panics if `factor` is not a positive finite number.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         ExplicitMetric {
             n: self.n,
             dists: self.dists.iter().map(|d| d * factor).collect(),
@@ -175,10 +181,8 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_distances() {
-        let a = ExplicitMetric::from_fn(3, |u, v| {
-            (u.index() as f64 - v.index() as f64).abs()
-        })
-        .unwrap();
+        let a =
+            ExplicitMetric::from_fn(3, |u, v| (u.index() as f64 - v.index() as f64).abs()).unwrap();
         let b = a.scaled(3.0);
         assert_eq!(b.dist(Node::new(0), Node::new(2)), 6.0);
     }

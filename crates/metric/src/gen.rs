@@ -28,8 +28,9 @@ use crate::{EuclideanMetric, LineMetric, MetricError};
 pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> EuclideanMetric {
     assert!(n > 0 && dim > 0, "need n > 0 points of dim > 0");
     retrying(seed, |rng| {
-        let points: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+            .collect();
         EuclideanMetric::new(points)
     })
 }
@@ -47,7 +48,10 @@ pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> EuclideanMetric {
 /// Panics if `n == 0`, `dim == 0`, `clusters == 0`, or `spread <= 0`.
 #[must_use]
 pub fn clustered(n: usize, dim: usize, clusters: usize, spread: f64, seed: u64) -> EuclideanMetric {
-    assert!(n > 0 && dim > 0 && clusters > 0, "need nonempty configuration");
+    assert!(
+        n > 0 && dim > 0 && clusters > 0,
+        "need nonempty configuration"
+    );
     assert!(spread > 0.0, "spread must be positive");
     retrying(seed, |rng| {
         let centers: Vec<Vec<f64>> = (0..clusters)
@@ -116,10 +120,7 @@ pub fn exponential_line(n: usize) -> LineMetric {
 ///
 /// Duplicate points have probability ~0 under continuous sampling but the
 /// retry keeps the generators total without panicking on cosmic bad luck.
-fn retrying<T>(
-    seed: u64,
-    mut make: impl FnMut(&mut StdRng) -> Result<T, MetricError>,
-) -> T {
+fn retrying<T>(seed: u64, mut make: impl FnMut(&mut StdRng) -> Result<T, MetricError>) -> T {
     for attempt in 0..8u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
         if let Ok(m) = make(&mut rng) {

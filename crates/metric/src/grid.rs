@@ -99,7 +99,11 @@ impl GridMetric {
         assert_eq!(coords.len(), self.dim, "coordinate arity mismatch");
         let mut i = 0usize;
         for &c in coords {
-            assert!(c < self.side, "coordinate {c} out of range 0..{}", self.side);
+            assert!(
+                c < self.side,
+                "coordinate {c} out of range 0..{}",
+                self.side
+            );
             i = i * self.side + c;
         }
         Node::new(i)
@@ -114,11 +118,7 @@ impl Metric for GridMetric {
     fn dist(&self, u: Node, v: Node) -> f64 {
         let (a, b) = (self.coords(u), self.coords(v));
         match self.norm {
-            GridNorm::L1 => a
-                .iter()
-                .zip(&b)
-                .map(|(&x, &y)| x.abs_diff(y) as f64)
-                .sum(),
+            GridNorm::L1 => a.iter().zip(&b).map(|(&x, &y)| x.abs_diff(y) as f64).sum(),
             GridNorm::L2 => a
                 .iter()
                 .zip(&b)

@@ -47,8 +47,9 @@ impl MetricIndex {
         let mut min_dist = f64::INFINITY;
         for i in 0..n {
             let u = Node::new(i);
-            let mut row: Vec<(f64, Node)> =
-                (0..n).map(|j| (metric.dist(u, Node::new(j)), Node::new(j))).collect();
+            let mut row: Vec<(f64, Node)> = (0..n)
+                .map(|j| (metric.dist(u, Node::new(j)), Node::new(j)))
+                .collect();
             row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let far = row.last().expect("nonempty row").0;
             diameter = diameter.max(far);
@@ -61,7 +62,12 @@ impl MetricIndex {
         if n == 1 {
             min_dist = 1.0;
         }
-        MetricIndex { n, by_dist, diameter, min_dist }
+        MetricIndex {
+            n,
+            by_dist,
+            diameter,
+            min_dist,
+        }
     }
 
     /// Number of nodes.
@@ -147,7 +153,11 @@ impl MetricIndex {
     /// Panics if `k == 0` or `k > n`.
     #[must_use]
     pub fn radius_for_count(&self, u: Node, k: usize) -> f64 {
-        assert!(k >= 1 && k <= self.n, "count {k} out of range 1..={}", self.n);
+        assert!(
+            k >= 1 && k <= self.n,
+            "count {k} out of range 1..={}",
+            self.n
+        );
         self.sorted_from(u)[k - 1].0
     }
 
@@ -181,7 +191,11 @@ impl MetricIndex {
     /// Nearest node to `u` (inclusive of `u`) satisfying `pred`, together
     /// with its distance. Linear scan in distance order.
     #[must_use]
-    pub fn nearest_where(&self, u: Node, mut pred: impl FnMut(Node) -> bool) -> Option<(f64, Node)> {
+    pub fn nearest_where(
+        &self,
+        u: Node,
+        mut pred: impl FnMut(Node) -> bool,
+    ) -> Option<(f64, Node)> {
         self.sorted_from(u).iter().copied().find(|&(_, v)| pred(v))
     }
 
@@ -227,7 +241,11 @@ mod tests {
     fn annulus_half_open() {
         let idx = idx();
         let u = Node::new(0);
-        let ring: Vec<usize> = idx.annulus(u, 2.0, 5.0).iter().map(|&(_, v)| v.index()).collect();
+        let ring: Vec<usize> = idx
+            .annulus(u, 2.0, 5.0)
+            .iter()
+            .map(|&(_, v)| v.index())
+            .collect();
         assert_eq!(ring, vec![3, 4, 5]);
     }
 

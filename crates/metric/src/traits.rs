@@ -164,10 +164,9 @@ mod tests {
 
     #[test]
     fn diameter_and_min_distance() {
-        let m = ExplicitMetric::from_fn(3, |u, v| {
-            (u.index() as f64 - v.index() as f64).abs() * 2.0
-        })
-        .unwrap();
+        let m =
+            ExplicitMetric::from_fn(3, |u, v| (u.index() as f64 - v.index() as f64).abs() * 2.0)
+                .unwrap();
         assert_eq!(m.diameter(), 4.0);
         assert_eq!(m.min_distance(), 2.0);
         assert_eq!(m.aspect_ratio(), 2.0);
@@ -175,10 +174,8 @@ mod tests {
 
     #[test]
     fn validate_accepts_valid_metric() {
-        let m = ExplicitMetric::from_fn(4, |u, v| {
-            (u.index() as f64 - v.index() as f64).abs()
-        })
-        .unwrap();
+        let m =
+            ExplicitMetric::from_fn(4, |u, v| (u.index() as f64 - v.index() as f64).abs()).unwrap();
         assert!(m.validate().is_ok());
     }
 
@@ -191,7 +188,10 @@ mod tests {
             10.0, 1.0, 0.0,
         ])
         .unwrap();
-        assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MetricError::TriangleViolation { .. })
+        ));
     }
 
     #[test]
@@ -205,7 +205,10 @@ mod tests {
         let m = ExplicitMetric::from_fn(2, |u, v| if u == v { 0.0 } else { 1.0 }).unwrap();
         let r: &dyn Metric = &m;
         assert_eq!(r.len(), 2);
-        assert_eq!((&m).dist(Node::new(0), Node::new(1)), 1.0);
+        assert_eq!(
+            <&ExplicitMetric as Metric>::dist(&&m, Node::new(0), Node::new(1)),
+            1.0
+        );
         assert!(!r.is_empty());
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the metric substrate.
 
 use proptest::prelude::*;
-use ron_metric::{
-    cover, gen, EuclideanMetric, LineMetric, Metric, MetricExt, MetricIndex, Node,
-};
+use ron_metric::{cover, gen, EuclideanMetric, LineMetric, Metric, MetricExt, MetricIndex, Node};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -52,7 +52,10 @@ impl NestedNets {
             nets_rev.push(net);
         }
         nets_rev.reverse();
-        NestedNets { min_dist, nets: nets_rev }
+        NestedNets {
+            min_dist,
+            nets: nets_rev,
+        }
     }
 
     /// Number of levels `L + 1` (level indices `0..levels()`).
@@ -127,7 +130,8 @@ mod tests {
     fn all_levels_are_valid_nets() {
         let (space, nets) = ladder();
         for (j, net) in nets.iter() {
-            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+            net.verify(&space)
+                .unwrap_or_else(|e| panic!("level {j}: {e}"));
         }
     }
 
@@ -137,7 +141,11 @@ mod tests {
         for j in 0..nets.levels() - 1 {
             let finer = nets.net(j);
             for &m in nets.net(j + 1).members() {
-                assert!(finer.contains(m), "level {} member {m} missing at level {j}", j + 1);
+                assert!(
+                    finer.contains(m),
+                    "level {} member {m} missing at level {j}",
+                    j + 1
+                );
             }
         }
     }
@@ -182,7 +190,8 @@ mod tests {
         let nets = NestedNets::build(&space);
         assert_eq!(nets.levels(), 20); // L = ceil(log2(2^19 - 1)) = 19
         for (j, net) in nets.iter() {
-            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+            net.verify(&space)
+                .unwrap_or_else(|e| panic!("level {j}: {e}"));
         }
         assert_eq!(nets.net(0).len(), 20);
     }
@@ -192,7 +201,8 @@ mod tests {
         let space = Space::new(gen::uniform_cube(96, 2, 13));
         let nets = NestedNets::build(&space);
         for (j, net) in nets.iter() {
-            net.verify(&space).unwrap_or_else(|e| panic!("level {j}: {e}"));
+            net.verify(&space)
+                .unwrap_or_else(|e| panic!("level {j}: {e}"));
         }
         // Net sizes shrink (weakly) with coarseness.
         for j in 0..nets.levels() - 1 {

@@ -85,13 +85,18 @@ impl Net {
     /// Panics if `radius` is negative or not finite.
     #[must_use]
     pub fn build<M: Metric>(space: &Space<M>, radius: f64, seeds: &[Node]) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "net radius must be nonnegative");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "net radius must be nonnegative"
+        );
         let n = space.len();
         let mut is_member = vec![false; n];
         let mut members = Vec::new();
         for &s in seeds {
             debug_assert!(
-                members.iter().all(|&m| m == s || space.dist(m, s) >= radius),
+                members
+                    .iter()
+                    .all(|&m| m == s || space.dist(m, s) >= radius),
                 "seed set is not {radius}-separated"
             );
             if !is_member[s.index()] {
@@ -115,7 +120,11 @@ impl Net {
             }
         }
         members.sort_unstable();
-        Net { radius, members, is_member }
+        Net {
+            radius,
+            members,
+            is_member,
+        }
     }
 
     /// The net radius `r`.
@@ -185,14 +194,23 @@ impl Net {
             for &b in &self.members[i + 1..] {
                 let d = space.dist(a, b);
                 if d < self.radius {
-                    return Err(NetError::SeparationViolated { a, b, dist: d, radius: self.radius });
+                    return Err(NetError::SeparationViolated {
+                        a,
+                        b,
+                        dist: d,
+                        radius: self.radius,
+                    });
                 }
             }
         }
         for u in space.nodes() {
             let (nearest, _) = self.nearest_member(space, u);
             if nearest > self.radius {
-                return Err(NetError::CoveringViolated { u, nearest, radius: self.radius });
+                return Err(NetError::CoveringViolated {
+                    u,
+                    nearest,
+                    radius: self.radius,
+                });
             }
         }
         Ok(())
@@ -224,7 +242,8 @@ mod tests {
         let space = Space::new(LineMetric::uniform(32).unwrap());
         for r in [1.0, 2.0, 5.0, 31.0, 100.0] {
             let net = Net::build(&space, r, &[]);
-            net.verify(&space).unwrap_or_else(|e| panic!("radius {r}: {e}"));
+            net.verify(&space)
+                .unwrap_or_else(|e| panic!("radius {r}: {e}"));
         }
     }
 
@@ -310,7 +329,10 @@ mod tests {
             members: vec![Node::new(0), Node::new(1)],
             is_member: vec![true, true, false, false],
         };
-        assert!(matches!(net.verify(&space), Err(NetError::SeparationViolated { .. })));
+        assert!(matches!(
+            net.verify(&space),
+            Err(NetError::SeparationViolated { .. })
+        ));
     }
 
     #[test]
@@ -325,6 +347,9 @@ mod tests {
                 v
             },
         };
-        assert!(matches!(net.verify(&space), Err(NetError::CoveringViolated { .. })));
+        assert!(matches!(
+            net.verify(&space),
+            Err(NetError::CoveringViolated { .. })
+        ));
     }
 }

@@ -50,7 +50,11 @@ impl FullTableBaseline {
                 }
             }
         }
-        FullTableBaseline { n, dout: graph.max_out_degree(), slots }
+        FullTableBaseline {
+            n,
+            dout: graph.max_out_degree(),
+            slots,
+        }
     }
 
     /// Routes with stretch exactly 1 by following stored first hops.
@@ -65,14 +69,20 @@ impl FullTableBaseline {
         while cur != tgt {
             let slot = self.slots[cur.index() * self.n + tgt.index()];
             if slot == NO_SLOT {
-                return Err(RouteError::NoDecision { at: cur, reason: "target unreachable" });
+                return Err(RouteError::NoDecision {
+                    at: cur,
+                    reason: "target unreachable",
+                });
             }
             let (next, w) = graph.link(cur, slot as usize);
             length += w;
             cur = next;
             path.push(cur);
             if path.len() > self.n {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget: self.n });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget: self.n,
+                });
             }
         }
         Ok(RouteTrace { path, length })
@@ -84,8 +94,10 @@ impl FullTableBaseline {
     #[must_use]
     pub fn table_bits(&self) -> SizeReport {
         let mut report = SizeReport::new("full-table baseline");
-        report
-            .add("first-hop pointers", (self.n as u64 - 1) * index_bits(self.dout));
+        report.add(
+            "first-hop pointers",
+            (self.n as u64 - 1) * index_bits(self.dout),
+        );
         report.add("node id", id_bits(self.n));
         report
     }
@@ -118,11 +130,15 @@ mod tests {
     fn table_grows_linearly_with_n() {
         let small = {
             let g = gen::grid_graph(3, 2);
-            FullTableBaseline::build(&g, &Apsp::compute(&g)).table_bits().total_bits()
+            FullTableBaseline::build(&g, &Apsp::compute(&g))
+                .table_bits()
+                .total_bits()
         };
         let big = {
             let g = gen::grid_graph(6, 2);
-            FullTableBaseline::build(&g, &Apsp::compute(&g)).table_bits().total_bits()
+            FullTableBaseline::build(&g, &Apsp::compute(&g))
+                .table_bits()
+                .total_bits()
         };
         // 9 -> 36 nodes: tables grow ~4x.
         assert!(big >= small * 3);

@@ -116,10 +116,10 @@ impl BasicScheme {
         let diameter = space.index().diameter();
         let num_scales = distance_levels(space.index().aspect_ratio()) + 1;
         let nets = NestedNets::build(space);
-        let scales: Vec<f64> =
-            (0..num_scales).map(|j| diameter / (2.0f64).powi(j as i32)).collect();
-        let net_levels: Vec<usize> =
-            scales.iter().map(|&s| nets.level_for_scale(s)).collect();
+        let scales: Vec<f64> = (0..num_scales)
+            .map(|j| diameter / (2.0f64).powi(j as i32))
+            .collect();
+        let net_levels: Vec<usize> = scales.iter().map(|&s| nets.level_for_scale(s)).collect();
 
         // Rings Y_uj.
         let mut k_max = 1usize;
@@ -138,7 +138,11 @@ impl BasicScheme {
                             .iter()
                             .map(|&m| graph.and_then(|(_, apsp)| apsp.first_hop_slot(u, m)))
                             .collect();
-                        RingTable { members, dists, first_hop }
+                        RingTable {
+                            members,
+                            dists,
+                            first_hop,
+                        }
                     })
                     .collect()
             })
@@ -164,7 +168,10 @@ impl BasicScheme {
                             .expect("Claim 2.3: f_tj is a j-ring neighbor of f_(t,j-1)")
                     })
                     .collect();
-                BasicLabel { id: t.index() as u32, seq }
+                BasicLabel {
+                    id: t.index() as u32,
+                    seq,
+                }
             })
             .collect();
 
@@ -192,7 +199,16 @@ impl BasicScheme {
             .collect();
 
         let dout = graph.map_or(0, |(g, _)| g.max_out_degree());
-        BasicScheme { delta, n, dout, num_scales, k_max, rings, zetas, labels }
+        BasicScheme {
+            delta,
+            n,
+            dout,
+            num_scales,
+            k_max,
+            rings,
+            zetas,
+            labels,
+        }
     }
 
     /// The construction parameter `delta`.
@@ -263,7 +279,10 @@ impl BasicScheme {
         let mut level: Option<usize> = None;
         while cur != tgt {
             if path.len() > budget {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget,
+                });
             }
             let m = self.decode(cur, &label);
             let j_ut = m.len() - 1;
@@ -281,7 +300,11 @@ impl BasicScheme {
                     self.rings[cur.index()][j].first_hop[m[j] as usize].is_none()
                 }
             };
-            let j = if reselect { j_ut } else { level.expect("non-reselect has a level") };
+            let j = if reselect {
+                j_ut
+            } else {
+                level.expect("non-reselect has a level")
+            };
             let ring = &self.rings[cur.index()][j];
             let idx = m[j] as usize;
             let Some(slot) = ring.first_hop[idx] else {
@@ -314,7 +337,10 @@ impl BasicScheme {
         let mut cur = src;
         while cur != tgt {
             if path.len() > budget {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget,
+                });
             }
             let m = self.decode(cur, &label);
             let j = m.len() - 1;
@@ -379,7 +405,10 @@ impl BasicScheme {
     /// Largest routing table over all nodes, in bits.
     #[must_use]
     pub fn max_table_bits(&self) -> u64 {
-        (0..self.n).map(|i| self.table_bits(Node::new(i)).total_bits()).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.table_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Packet-header size in bits: the routing label (zooming sequence in
@@ -410,8 +439,7 @@ mod tests {
     fn delivers_all_pairs_on_grid() {
         let (graph, apsp, _, scheme) = grid_setup(0.25);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
         assert_eq!(stats.pairs, 25 * 24);
         assert!(
             stats.max_stretch <= 1.0 + 8.0 * 0.25,
@@ -443,9 +471,12 @@ mod tests {
         let space = Space::new(apsp.to_metric().unwrap());
         let scheme = BasicScheme::build(&space, &graph, &apsp, 0.25);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
-        assert!(stats.max_stretch <= 3.0, "stretch {} too large", stats.max_stretch);
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
+        assert!(
+            stats.max_stretch <= 3.0,
+            "stretch {} too large",
+            stats.max_stretch
+        );
         drop(points);
     }
 
@@ -458,9 +489,11 @@ mod tests {
         let scheme = BasicScheme::build(&space, &graph, &apsp, 0.25);
         assert!(scheme.num_scales() >= 15);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
-        assert!((stats.max_stretch - 1.0).abs() < 1e-9, "paths are unique on a path graph");
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
+        assert!(
+            (stats.max_stretch - 1.0).abs() < 1e-9,
+            "paths are unique on a path graph"
+        );
     }
 
     #[test]
@@ -505,7 +538,10 @@ mod tests {
         // Header is tiny compared to tables.
         assert!(scheme.header_bits() < scheme.max_table_bits());
         let report = scheme.table_bits(Node::new(0));
-        assert!(report.parts().iter().any(|(name, _)| name == "translation maps"));
+        assert!(report
+            .parts()
+            .iter()
+            .any(|(name, _)| name == "translation maps"));
     }
 
     #[test]

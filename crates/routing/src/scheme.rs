@@ -94,7 +94,12 @@ impl StretchStats {
         mut route: impl FnMut(Node, Node) -> Result<RouteTrace, RouteError>,
     ) -> Result<StretchStats, RouteError> {
         let n = graph.len();
-        let mut stats = StretchStats { pairs: 0, max_stretch: 1.0, mean_stretch: 0.0, max_hops: 0 };
+        let mut stats = StretchStats {
+            pairs: 0,
+            max_stretch: 1.0,
+            mean_stretch: 0.0,
+            max_hops: 0,
+        };
         let mut sum = 0.0;
         for i in 0..n {
             for j in 0..n {
@@ -134,9 +139,15 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = RouteError::HopBudgetExceeded { stuck_at: Node::new(3), budget: 10 };
+        let e = RouteError::HopBudgetExceeded {
+            stuck_at: Node::new(3),
+            budget: 10,
+        };
         assert!(e.to_string().contains("10 hops"));
-        let e = RouteError::NoDecision { at: Node::new(1), reason: "test" };
+        let e = RouteError::NoDecision {
+            at: Node::new(1),
+            reason: "test",
+        };
         assert!(e.to_string().contains("test"));
     }
 

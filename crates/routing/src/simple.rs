@@ -121,7 +121,15 @@ impl SimpleScheme {
             .collect();
 
         let dout = graph.map_or(0, |(g, _)| g.max_out_degree());
-        SimpleScheme { delta, n, dout, num_scales, dls, neighbors, max_degree }
+        SimpleScheme {
+            delta,
+            n,
+            dout,
+            num_scales,
+            dls,
+            neighbors,
+            max_degree,
+        }
     }
 
     /// The construction parameter `delta`.
@@ -155,9 +163,7 @@ impl SimpleScheme {
         self.neighbors[u.index()]
             .iter()
             .filter(|&&(v, _)| v != u)
-            .map(|&(v, _)| {
-                (self.dls.estimate_labels(self.dls.label(v), tgt_label), v)
-            })
+            .map(|&(v, _)| (self.dls.estimate_labels(self.dls.label(v), tgt_label), v))
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(_, v)| v)
     }
@@ -177,7 +183,10 @@ impl SimpleScheme {
         let mut intermediate: Option<Node> = None;
         while cur != tgt {
             if path.len() > budget {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget,
+                });
             }
             let t_prime = match intermediate {
                 Some(t_prime) if t_prime != cur => t_prime,
@@ -234,7 +243,10 @@ impl SimpleScheme {
         let mut cur = src;
         while cur != tgt {
             if path.len() > budget {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget,
+                });
             }
             let Some(v) = self.select_intermediate(cur, tgt) else {
                 return Err(RouteError::NoDecision {
@@ -272,7 +284,10 @@ impl SimpleScheme {
     /// Largest routing table over all nodes, in bits.
     #[must_use]
     pub fn max_table_bits(&self) -> u64 {
-        (0..self.n).map(|i| self.table_bits(Node::new(i)).total_bits()).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.table_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Packet-header bits: the target's distance label plus the
@@ -297,11 +312,14 @@ mod tests {
         let space = Space::new(apsp.to_metric().unwrap());
         let scheme = SimpleScheme::build(&space, &graph, &apsp, 0.25);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
         assert_eq!(stats.pairs, 16 * 15);
         // Each intermediate leg may add (3/2) delta; allow generous slack.
-        assert!(stats.max_stretch <= 1.0 + 8.0 * 0.25, "stretch {}", stats.max_stretch);
+        assert!(
+            stats.max_stretch <= 1.0 + 8.0 * 0.25,
+            "stretch {}",
+            stats.max_stretch
+        );
     }
 
     #[test]
@@ -311,8 +329,7 @@ mod tests {
         let space = Space::new(apsp.to_metric().unwrap());
         let scheme = SimpleScheme::build(&space, &graph, &apsp, 0.25);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
         assert!(stats.max_stretch <= 3.0, "stretch {}", stats.max_stretch);
     }
 
@@ -353,8 +370,7 @@ mod tests {
         let space = Space::new(apsp.to_metric().unwrap());
         let scheme = SimpleScheme::build(&space, &graph, &apsp, 0.25);
         let stats =
-            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v))
-                .unwrap();
+            StretchStats::over_all_pairs(&graph, &apsp, |u, v| scheme.route(&graph, u, v)).unwrap();
         assert!((stats.max_stretch - 1.0).abs() < 1e-9);
     }
 

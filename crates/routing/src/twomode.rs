@@ -110,7 +110,11 @@ enum Phase {
     /// Walking to the root of cluster `(level, ball)`.
     ToRoot { level: usize, ball: u32 },
     /// Descending the cluster tree, possibly mid child-route.
-    Tree { level: usize, ball: u32, pending: Option<(Vec<u32>, usize)> },
+    Tree {
+        level: usize,
+        ball: u32,
+        pending: Option<(Vec<u32>, usize)>,
+    },
     /// Following the stored source route.
     Source { route: Vec<u32>, pos: usize },
 }
@@ -182,8 +186,11 @@ impl TwoModeScheme {
             .map(|u| {
                 (0..levels)
                     .map(|i| {
-                        let scale =
-                            if i == 0 { diameter / 4.0 } else { system.radius(u, i) / 4.0 };
+                        let scale = if i == 0 {
+                            diameter / 4.0
+                        } else {
+                            system.radius(u, i) / 4.0
+                        };
                         let level = nets.level_for_scale(scale);
                         nets.net(level).nearest_member(space, u).1
                     })
@@ -238,8 +245,10 @@ impl TwoModeScheme {
                 }
             }
         }
-        let psi: Vec<Enumeration> =
-            t_sets.iter().map(|s| Enumeration::new(s.iter().copied().collect())).collect();
+        let psi: Vec<Enumeration> = t_sets
+            .iter()
+            .map(|s| Enumeration::new(s.iter().copied().collect()))
+            .collect();
         let virt_bits = psi.iter().map(Enumeration::index_bits).max().unwrap_or(0);
 
         // Host enumerations: canonical block first.
@@ -250,7 +259,10 @@ impl TwoModeScheme {
             .map(|u| {
                 let mut order = block.clone();
                 order.extend(
-                    system.neighbors_of(u).into_iter().filter(|v| !block_set.contains(v)),
+                    system
+                        .neighbors_of(u)
+                        .into_iter()
+                        .filter(|v| !block_set.contains(v)),
                 );
                 Enumeration::from_ordered(order)
             })
@@ -291,7 +303,8 @@ impl TwoModeScheme {
                         let host = zoom[t.index()][i - 1];
                         let p = &psi[host.index()];
                         f_idx.push(
-                            p.index_of(zoom[t.index()][i]).expect("zoom membership forced"),
+                            p.index_of(zoom[t.index()][i])
+                                .expect("zoom membership forced"),
                         );
                         x_idx.push(xf.and_then(|x| p.index_of(x)));
                         y.push(
@@ -308,7 +321,14 @@ impl TwoModeScheme {
                         );
                     }
                 }
-                TwoLabel { id: t.index() as u32, f_idx, x_idx, x_dist, y, r_t }
+                TwoLabel {
+                    id: t.index() as u32,
+                    f_idx,
+                    x_idx,
+                    x_dist,
+                    y,
+                    r_t,
+                }
             })
             .collect();
 
@@ -318,8 +338,11 @@ impl TwoModeScheme {
             .map(|u| {
                 let p = &phi[u.index()];
                 let dists: Vec<f64> = p.nodes().iter().map(|&v| space.dist(u, v)).collect();
-                let hops: Vec<Option<u32>> =
-                    p.nodes().iter().map(|&v| apsp.first_hop_slot(u, v)).collect();
+                let hops: Vec<Option<u32>> = p
+                    .nodes()
+                    .iter()
+                    .map(|&v| apsp.first_hop_slot(u, v))
+                    .collect();
                 let zetas: Vec<TranslationFn> = (0..levels.saturating_sub(1))
                     .map(|i| {
                         let mut level_i: Vec<Node> = system
@@ -351,8 +374,9 @@ impl TwoModeScheme {
                     })
                     .collect();
                 let r: Vec<f64> = (0..levels).map(|i| system.radius(u, i)).collect();
-                let witness: Vec<u32> =
-                    (0..levels).map(|i| system.packing(i).witness_index(u) as u32).collect();
+                let witness: Vec<u32> = (0..levels)
+                    .map(|i| system.packing(i).witness_index(u) as u32)
+                    .collect();
                 let x_lookup: Vec<Vec<(u32, u32)>> = (0..levels)
                     .map(|i| {
                         let mut v: Vec<(u32, u32)> = system
@@ -367,7 +391,15 @@ impl TwoModeScheme {
                         v
                     })
                     .collect();
-                NodeTable { phi: p.clone(), dists, hops, zetas, r, witness, x_lookup }
+                NodeTable {
+                    phi: p.clone(),
+                    dists,
+                    hops,
+                    zetas,
+                    r,
+                    witness,
+                    x_lookup,
+                }
             })
             .collect();
 
@@ -426,12 +458,14 @@ impl TwoModeScheme {
                         let mut routes = BTreeMap::new();
                         for &id in tree.targets() {
                             let owner = tree.responsible(id).expect("target assigned");
-                            routes.insert(
-                                id,
-                                slot_route(graph, apsp, owner, Node::new(id as usize)),
-                            );
+                            routes
+                                .insert(id, slot_route(graph, apsp, owner, Node::new(id as usize)));
                         }
-                        Cluster { tree, child_routes, routes }
+                        Cluster {
+                            tree,
+                            child_routes,
+                            routes,
+                        }
                     })
                     .collect()
             })
@@ -601,7 +635,10 @@ impl TwoModeScheme {
         let table = &self.tables[v.index()];
         let idx = match t.j {
             None => label.x_idx[t.i]?,
-            Some(j) => label.y[t.i].iter().find(|&&(jj, _, _)| jj == j).map(|&(_, idx, _)| idx)?,
+            Some(j) => label.y[t.i]
+                .iter()
+                .find(|&&(jj, _, _)| jj == j)
+                .map(|&(_, idx, _)| idx)?,
         };
         if t.i == 0 {
             Some(idx)
@@ -648,7 +685,10 @@ impl TwoModeScheme {
         let delta_p = self.delta / (1.0 - self.delta);
         while cur != tgt {
             if path.len() > budget {
-                return Err(RouteError::HopBudgetExceeded { stuck_at: cur, budget });
+                return Err(RouteError::HopBudgetExceeded {
+                    stuck_at: cur,
+                    budget,
+                });
             }
             let table = &self.tables[cur.index()];
             // Every arm below either assigns a slot or `continue`s after a
@@ -703,7 +743,11 @@ impl TwoModeScheme {
                     let bl = *ball;
                     let cluster = &self.clusters[lv][bl as usize];
                     if cluster.tree.member_index(cur).is_some_and(|k| k == 0) {
-                        phase = Phase::Tree { level: lv, ball: bl, pending: None };
+                        phase = Phase::Tree {
+                            level: lv,
+                            ball: bl,
+                            pending: None,
+                        };
                         continue;
                     }
                     let lookup = &table.x_lookup[lv];
@@ -721,7 +765,11 @@ impl TwoModeScheme {
                     })?;
                     forward_slot = Some(slot);
                 }
-                Phase::Tree { level, ball, pending } => {
+                Phase::Tree {
+                    level,
+                    ball,
+                    pending,
+                } => {
                     let lv = *level;
                     let bl = *ball;
                     if let Some((route, pos)) = pending {
@@ -735,10 +783,13 @@ impl TwoModeScheme {
                         }
                     } else {
                         let cluster = &self.clusters[lv][bl as usize];
-                        let k = cluster.tree.member_index(cur).ok_or(RouteError::NoDecision {
-                            at: cur,
-                            reason: "tree phase at a non-member node",
-                        })?;
+                        let k = cluster
+                            .tree
+                            .member_index(cur)
+                            .ok_or(RouteError::NoDecision {
+                                at: cur,
+                                reason: "tree phase at a non-member node",
+                            })?;
                         match cluster.tree.route_step(k, label.id) {
                             ron_graph::RangeStep::Responsible => {
                                 let route =
@@ -755,8 +806,11 @@ impl TwoModeScheme {
                                         at: cur,
                                         reason: "missing child route",
                                     })?;
-                                phase =
-                                    Phase::Tree { level: lv, ball: bl, pending: Some((route, 0)) };
+                                phase = Phase::Tree {
+                                    level: lv,
+                                    ball: bl,
+                                    pending: Some((route, 0)),
+                                };
                                 continue;
                             }
                             ron_graph::RangeStep::NotHere => {
@@ -828,14 +882,14 @@ impl TwoModeScheme {
             for cluster in per_level {
                 if let Some(k) = cluster.tree.member_index(u) {
                     for (_, route) in &cluster.child_routes[k] {
-                        m2_bits += route.len() as u64 * index_bits(self.dout)
-                            + 2 * id_bits(self.n); // the range boundaries
+                        m2_bits += route.len() as u64 * index_bits(self.dout) + 2 * id_bits(self.n);
+                        // the range boundaries
                     }
                     for &id in cluster.tree.targets() {
                         if cluster.tree.responsible(id) == Some(u) {
                             if let Some(route) = cluster.routes.get(&id) {
-                                m2_bits += route.len() as u64 * index_bits(self.dout)
-                                    + id_bits(self.n);
+                                m2_bits +=
+                                    route.len() as u64 * index_bits(self.dout) + id_bits(self.n);
                             }
                         }
                     }
@@ -849,7 +903,10 @@ impl TwoModeScheme {
     /// Largest routing table over all nodes, in bits.
     #[must_use]
     pub fn max_table_bits(&self) -> u64 {
-        (0..self.n).map(|i| self.table_bits(Node::new(i)).total_bits()).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.table_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Routing-label bits of `t` (the M1 friend data plus `ID(t)`).
@@ -860,11 +917,15 @@ impl TwoModeScheme {
         let dbits = self.codec.mantissa_bits() as u64 + index_bits(self.ladder_levels + 4);
         report.add("target id", id_bits(self.n));
         report.add("zoom chain", label.f_idx.len() as u64 * self.virt_bits);
-        report.add("x friends", label.x_idx.len() as u64 * (self.virt_bits + dbits));
+        report.add(
+            "x friends",
+            label.x_idx.len() as u64 * (self.virt_bits + dbits),
+        );
         let y_count: u64 = label.y.iter().map(|v| v.len() as u64).sum();
         report.add(
             "y friends",
-            y_count * (self.virt_bits + dbits) + self.levels as u64 * 2 * index_bits(self.ladder_levels),
+            y_count * (self.virt_bits + dbits)
+                + self.levels as u64 * 2 * index_bits(self.ladder_levels),
         );
         report.add("radii", self.levels as u64 * dbits);
         report
@@ -873,7 +934,10 @@ impl TwoModeScheme {
     /// Largest routing label, in bits.
     #[must_use]
     pub fn max_label_bits(&self) -> u64 {
-        (0..self.n).map(|i| self.label_bits(Node::new(i)).total_bits()).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.label_bits(Node::new(i)).total_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Packet-header bits: label plus mode fields plus the largest source

@@ -83,7 +83,11 @@ impl GreedyModel {
                 list
             })
             .collect();
-        GreedyModel { contacts: ContactGraph::new(contacts), levels_card, levels_dist }
+        GreedyModel {
+            contacts: ContactGraph::new(contacts),
+            levels_card,
+            levels_dist,
+        }
     }
 
     /// The sampled contact graph.
@@ -117,7 +121,14 @@ impl GreedyModel {
     /// of the w.h.p. event; tests treat it as an error).
     #[must_use]
     pub fn query<M: Metric>(&self, space: &Space<M>, src: Node, tgt: Node) -> Option<QueryOutcome> {
-        route_with(space, &self.contacts, src, tgt, self.hop_budget(), greedy_rule(space))
+        route_with(
+            space,
+            &self.contacts,
+            src,
+            tgt,
+            self.hop_budget(),
+            greedy_rule(space),
+        )
     }
 }
 

@@ -83,7 +83,11 @@ impl KleinbergGrid {
                 list
             })
             .collect();
-        Ok(KleinbergGrid { space, contacts: ContactGraph::new(contacts), side })
+        Ok(KleinbergGrid {
+            space,
+            contacts: ContactGraph::new(contacts),
+            side,
+        })
     }
 
     /// The underlying grid space.

@@ -17,7 +17,10 @@ impl ContactGraph {
     /// Panics if `contacts` is empty.
     #[must_use]
     pub fn new(mut contacts: Vec<Vec<Node>>) -> Self {
-        assert!(!contacts.is_empty(), "contact graph needs at least one node");
+        assert!(
+            !contacts.is_empty(),
+            "contact graph needs at least one node"
+        );
         for (i, list) in contacts.iter_mut().enumerate() {
             list.sort_unstable();
             list.dedup();
@@ -202,7 +205,15 @@ mod tests {
         let space = line(8);
         // Everyone knows the next node on the line.
         let contacts = ContactGraph::new(
-            (0..8).map(|i| if i + 1 < 8 { vec![Node::new(i + 1)] } else { vec![] }).collect(),
+            (0..8)
+                .map(|i| {
+                    if i + 1 < 8 {
+                        vec![Node::new(i + 1)]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect(),
         );
         let outcome = route_with(
             &space,
@@ -220,8 +231,7 @@ mod tests {
     fn greedy_stalls_without_progress() {
         let space = line(4);
         // Node 0 only knows node 1... but node 1 knows nothing.
-        let contacts =
-            ContactGraph::new(vec![vec![Node::new(1)], vec![], vec![], vec![]]);
+        let contacts = ContactGraph::new(vec![vec![Node::new(1)], vec![], vec![], vec![]]);
         assert!(route_with(
             &space,
             &contacts,
@@ -237,7 +247,15 @@ mod tests {
     fn budget_is_respected() {
         let space = line(16);
         let contacts = ContactGraph::new(
-            (0..16).map(|i| if i + 1 < 16 { vec![Node::new(i + 1)] } else { vec![] }).collect(),
+            (0..16)
+                .map(|i| {
+                    if i + 1 < 16 {
+                        vec![Node::new(i + 1)]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect(),
         );
         assert!(route_with(
             &space,

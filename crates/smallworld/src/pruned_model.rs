@@ -87,7 +87,11 @@ impl PrunedModel {
                 }
                 // Pruned Y-type: windowed scales around each r_ui.
                 for i in 0..levels_card {
-                    let r_lo = if i + 1 < levels_card { radii[i + 1] } else { 0.0 };
+                    let r_lo = if i + 1 < levels_card {
+                        radii[i + 1]
+                    } else {
+                        0.0
+                    };
                     let r_hi = if i == 0 { f64::INFINITY } else { radii[i - 1] };
                     if radii[i] <= 0.0 {
                         continue;
@@ -122,7 +126,11 @@ impl PrunedModel {
                 list
             })
             .collect();
-        PrunedModel { contacts: ContactGraph::new(contacts), levels_card, x_param: x }
+        PrunedModel {
+            contacts: ContactGraph::new(contacts),
+            levels_card,
+            x_param: x,
+        }
     }
 
     /// The sampled contact graph.
@@ -263,8 +271,7 @@ mod tests {
         let pruned = PrunedModel::sample(&space, 1.0, 4);
         let full = GreedyModel::sample(&space, 1.0, 4);
         assert!(
-            (pruned.contacts().mean_out_degree())
-                <= full.contacts().mean_out_degree() * 1.05,
+            (pruned.contacts().mean_out_degree()) <= full.contacts().mean_out_degree() * 1.05,
             "pruned degree {} vs full {}",
             pruned.contacts().mean_out_degree(),
             full.contacts().mean_out_degree()

@@ -129,8 +129,10 @@ mod tests {
     use crate::model::QueryStats;
     use ron_graph::{gen, Apsp};
 
-    fn setup(graph: Graph, seed: u64) -> (Space<ron_metric::ExplicitMetric>, Graph, SingleLinkModel)
-    {
+    fn setup(
+        graph: Graph,
+        seed: u64,
+    ) -> (Space<ron_metric::ExplicitMetric>, Graph, SingleLinkModel) {
         let apsp = Apsp::compute(&graph);
         let space = Space::new(apsp.to_metric().unwrap());
         let model = SingleLinkModel::sample(&space, &graph, seed);
@@ -140,8 +142,7 @@ mod tests {
     #[test]
     fn all_queries_complete_on_grid() {
         let (space, graph, model) = setup(gen::grid_graph(6, 2), 3);
-        let stats =
-            QueryStats::over_all_pairs(36, |u, v| model.query(&space, &graph, u, v));
+        let stats = QueryStats::over_all_pairs(36, |u, v| model.query(&space, &graph, u, v));
         assert_eq!(stats.completed, stats.queries);
         // Greedy over local contacts always completes; long links shrink
         // hops below the grid diameter on average.
@@ -154,7 +155,10 @@ mod tests {
         let apsp = Apsp::compute(&plain_graph);
         let space = Space::new(apsp.to_metric().unwrap());
         // Greedy with no long links: hop count = L1 distance.
-        let no_links = SingleLinkModel { long: space.nodes().collect(), levels_dist: 1 };
+        let no_links = SingleLinkModel {
+            long: space.nodes().collect(),
+            levels_dist: 1,
+        };
         let with_links = SingleLinkModel::sample(&space, &plain_graph, 5);
         let s_plain =
             QueryStats::over_all_pairs(64, |u, v| no_links.query(&space, &plain_graph, u, v));
@@ -166,8 +170,7 @@ mod tests {
     #[test]
     fn completes_on_exponential_path() {
         let (space, graph, model) = setup(gen::exponential_path(24), 9);
-        let stats =
-            QueryStats::over_all_pairs(24, |u, v| model.query(&space, &graph, u, v));
+        let stats = QueryStats::over_all_pairs(24, |u, v| model.query(&space, &graph, u, v));
         assert_eq!(stats.completed, stats.queries);
         // Hop bound 2^O(alpha) log^2 Delta; on a 24-node path the walk is
         // also trivially bounded by n per halving.

@@ -63,16 +63,13 @@ impl Structures {
                 while end + 1 < n && row[end + 1].0 == row[pos].0 {
                     end += 1;
                 }
-                for p in pos..=end {
-                    ball_size[p] = (end + 1) as u32;
-                }
+                ball_size[pos..=end].fill((end + 1) as u32);
                 pos = end + 1;
             }
             for pos_b in 0..n {
                 let b = row[pos_b].1;
                 let size = ball_size[pos_b];
-                for pos_a in 0..pos_b {
-                    let a = row[pos_a].1;
+                for &(_, a) in &row[..pos_b] {
                     let idx = a.index() * n + b.index();
                     if x[idx] > size {
                         x[idx] = size;
@@ -121,7 +118,11 @@ impl Structures {
                     .collect()
             })
             .collect();
-        Structures { contacts: ContactGraph::new(contacts), x, n }
+        Structures {
+            contacts: ContactGraph::new(contacts),
+            x,
+            n,
+        }
     }
 
     /// The sampled contact graph.
@@ -145,7 +146,14 @@ impl Structures {
     /// Runs one greedy query.
     #[must_use]
     pub fn query<M: Metric>(&self, space: &Space<M>, src: Node, tgt: Node) -> Option<QueryOutcome> {
-        route_with(space, &self.contacts, src, tgt, self.hop_budget(), greedy_rule(space))
+        route_with(
+            space,
+            &self.contacts,
+            src,
+            tgt,
+            self.hop_budget(),
+            greedy_rule(space),
+        )
     }
 }
 
@@ -200,8 +208,7 @@ mod tests {
         // Theorem 5.4(a): O(log n) hops on UL-constrained metrics.
         let space = grid_space();
         let model = Structures::sample(&space, 2.0, 7);
-        let stats =
-            QueryStats::over_all_pairs(space.len(), |u, v| model.query(&space, u, v));
+        let stats = QueryStats::over_all_pairs(space.len(), |u, v| model.query(&space, u, v));
         assert_eq!(stats.completed, stats.queries, "greedy stalled");
         assert!(
             stats.max_hops <= model.hop_budget(),

@@ -28,9 +28,8 @@ fn main() {
     let simple = SimpleScheme::build(&space, &graph, &apsp, delta);
     let twomode = TwoModeScheme::build(&space, &graph, &apsp, delta);
 
-    let b_stats =
-        StretchStats::over_all_pairs(&graph, &apsp, |u, v| baseline.route(&graph, u, v))
-            .expect("baseline routes");
+    let b_stats = StretchStats::over_all_pairs(&graph, &apsp, |u, v| baseline.route(&graph, u, v))
+        .expect("baseline routes");
     println!(
         "full table : stretch max {:.3}, table {} bits, header {} bits",
         b_stats.max_stretch,
@@ -47,9 +46,8 @@ fn main() {
         basic.header_bits()
     );
 
-    let p_stats =
-        StretchStats::over_all_pairs(&graph, &apsp, |u, v| simple.route(&graph, u, v))
-            .expect("Thm 4.1 routes");
+    let p_stats = StretchStats::over_all_pairs(&graph, &apsp, |u, v| simple.route(&graph, u, v))
+        .expect("Thm 4.1 routes");
     println!(
         "Thm 4.1    : stretch max {:.3}, table {} bits, header {} bits",
         p_stats.max_stretch,

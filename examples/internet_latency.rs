@@ -47,7 +47,10 @@ fn main() {
     let dls = GlobalIdDls::from_triangulation(&space, &tri);
     let compact = CompactScheme::build(&space, delta);
     println!("global-id labels: max {} bits", dls.max_label_bits());
-    println!("compact labels (Thm 3.4): max {} bits", compact.max_label_bits());
+    println!(
+        "compact labels (Thm 3.4): max {} bits",
+        compact.max_label_bits()
+    );
 
     // Spot-check estimates across a cluster boundary and inside one.
     for (u, v, what) in [
@@ -56,6 +59,9 @@ fn main() {
     ] {
         let d = space.dist(u, v);
         let est = compact.estimate(u, v);
-        println!("{what}: true {d:.5}, compact estimate {est:.5} ({:.2}x)", est / d);
+        println!(
+            "{what}: true {d:.5}, compact estimate {est:.5} ({:.2}x)",
+            est / d
+        );
     }
 }

@@ -78,7 +78,8 @@ fn substrate_composition() {
     let space = Space::new(gen::clustered(60, 2, 6, 0.02, 31));
     let nets = NestedNets::build(&space);
     for (j, net) in nets.iter() {
-        net.verify(&space).unwrap_or_else(|e| panic!("net {j}: {e}"));
+        net.verify(&space)
+            .unwrap_or_else(|e| panic!("net {j}: {e}"));
     }
     let mu = doubling_measure(&space, &nets);
     assert!((mu.masses().iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the surface the bench targets use: [`Criterion::default`],
+//! [`Criterion::sample_size`], [`Criterion::bench_function`] with a
+//! [`Bencher::iter`] closure, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the positional and the
+//! `name = ...; config = ...; targets = ...` forms).
+//!
+//! Instead of criterion's statistical analysis it reports a simple
+//! mean/min/max over `sample_size` timed batches — enough to compare runs by
+//! eye and to keep `cargo bench` meaningful without external dependencies.
+
+use std::time::Instant;
+
+/// Drives one benchmark body: `iter` times the closure over an
+/// adaptively-sized batch and records per-iteration nanoseconds.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Calibrate the batch so one sample costs roughly a millisecond.
+        let start = Instant::now();
+        std::hint::black_box(body());
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = (1_000_000 / once).clamp(1, 10_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / batch as f64);
+        }
+    }
+}
+
+/// Top-level benchmark registry, mirroring criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut bencher);
+        let n = bencher.samples.len().max(1) as f64;
+        let mean = bencher.samples.iter().sum::<f64>() / n;
+        let min = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "bench: {id:<48} mean {} (min {}, max {}) over {} samples",
+            fmt_nanos(mean),
+            fmt_nanos(min),
+            fmt_nanos(max),
+            bencher.samples.len(),
+        );
+        self
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; std's hint is canonical.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property suites use:
+//! the [`proptest!`] macro over range strategies (which may reference
+//! previously bound arguments), `prop::collection::btree_set`,
+//! [`ProptestConfig::with_cases`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case reports its inputs and panics as-is;
+//! - case generation is deterministic per test (seeded from the test name),
+//!   so failures reproduce exactly on re-run.
+
+pub mod strategy {
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleUniform};
+
+    /// A source of random test inputs. Mirrors proptest's `Strategy` but
+    /// samples directly instead of building a shrinkable value tree.
+    pub trait Strategy {
+        type Value: core::fmt::Debug + Clone;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + core::fmt::Debug + Clone + 'static,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + core::fmt::Debug + Clone + 'static,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+
+    /// Strategy producing `BTreeSet`s with a size drawn from `size` whose
+    /// elements come from `element`. If the element domain is too small to
+    /// reach the drawn size, the set saturates at whatever was collectible.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.random_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(64) + 64 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// The RNG driving case generation. Re-exported so the `proptest!`
+    /// expansion can name it via `$crate` without requiring downstream test
+    /// crates to depend on `rand` themselves.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Builds the deterministic per-test RNG.
+    pub fn new_rng(seed: u64) -> TestRng {
+        <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+
+    /// Stable seed derived from the test path so every run replays the same
+    /// case sequence (FNV-1a over the name).
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// `proptest::prelude::*` — everything the test suites import.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors proptest's `prelude::prop` shorthand module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// The `proptest!` block macro. Each contained `#[test] fn` becomes an
+/// ordinary test that samples its arguments `config.cases` times and runs the
+/// body once per case, printing the failing inputs before a panic unwinds.
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($config:expr) ) => {};
+    (@fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::new_rng(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for _case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                let case_inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $(&$arg,)+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed for {}: {}",
+                        _case + 1, config.cases, stringify!($name), case_inputs,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @fns ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
