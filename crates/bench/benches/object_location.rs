@@ -1,0 +1,38 @@
+//! Regenerates the object-location table (E-OL) and times the two hot
+//! paths of the serving stack: a single dynamic lookup and a batched
+//! engine round through the snapshot + LRU cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_location::{DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot};
+use ron_metric::{gen, Node, Space};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ron_bench::table_location().render());
+
+    let space = Space::new(gen::uniform_cube(256, 2, 1));
+    let mut overlay = DirectoryOverlay::build(&space);
+    for i in 0..64u64 {
+        overlay.publish(&space, ObjectId(i), Node::new((i as usize * 31 + 1) % 256));
+    }
+    c.bench_function("object_location/lookup_cube256", |b| {
+        b.iter(|| black_box(overlay.lookup(&space, Node::new(200), ObjectId(3)).unwrap()))
+    });
+
+    let snapshot = Snapshot::capture(&space, &overlay);
+    let engine = QueryEngine::new(&space, &snapshot);
+    let queries: Vec<(Node, ObjectId)> = (0..1024usize)
+        .map(|i| (Node::new((i * 53 + 7) % 256), ObjectId((i % 64) as u64)))
+        .collect();
+    let config = EngineConfig::default();
+    c.bench_function("object_location/engine_batch_1024", |b| {
+        b.iter(|| black_box(engine.serve(&queries, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

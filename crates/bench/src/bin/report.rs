@@ -18,4 +18,5 @@ fn main() {
     println!("{}", ron_bench::fig_labels(0.25).render());
     println!("{}", ron_bench::fig_smallworld().render());
     println!("{}", ron_bench::fig_structures().render());
+    println!("{}", ron_bench::table_location().render());
 }

@@ -13,6 +13,9 @@
 
 use ron_graph::{gen as ggen, Apsp, Graph};
 use ron_labels::{CompactScheme, GlobalIdDls, SharedBeaconTriangulation, Triangulation};
+use ron_location::{
+    ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot,
+};
 use ron_metric::{gen, LineMetric, Metric, Node, Space};
 use ron_routing::{BasicScheme, FullTableBaseline, SimpleScheme, StretchStats, TwoModeScheme};
 use ron_smallworld::{
@@ -572,6 +575,120 @@ pub fn fig_structures() -> Table {
         format!("{:.0}", qa.completion_rate() * 100.0),
     ]);
     t
+}
+
+/// E-OL: the object-location engine — static serving through the
+/// concurrent query engine, then targeted churn with per-step
+/// degradation and post-repair recovery.
+///
+/// Engine phases report throughput and latency percentiles; churn phases
+/// report the sampled success rate and the repair bill. Instances are
+/// built concretely (not via [`metric_instance`]) because the worker
+/// pool needs `Sync` metrics.
+#[must_use]
+pub fn table_location() -> Table {
+    let mut t = Table {
+        title: "E-OL: object location via rings (publish/lookup, targeted churn)".into(),
+        header: [
+            "metric",
+            "n",
+            "objs",
+            "phase",
+            "success %",
+            "mean stretch",
+            "max stretch",
+            "k-lookups/s",
+            "p50 us",
+            "p99 us",
+            "repair writes",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
+        rows: Vec::new(),
+    };
+    location_rows(&mut t, "cube-256", Space::new(gen::uniform_cube(256, 2, 1)));
+    location_rows(
+        &mut t,
+        "exp-line-32",
+        Space::new(LineMetric::exponential(32).expect("valid")),
+    );
+    t
+}
+
+fn location_rows<M: Metric + Sync>(t: &mut Table, name: &str, space: Space<M>) {
+    let n = space.len();
+    let objects = (n / 4).max(8);
+    let mut overlay = DirectoryOverlay::build(&space);
+    for i in 0..objects {
+        overlay.publish(&space, ObjectId(i as u64), Node::new((i * 31 + 1) % n));
+    }
+    // Static serving through the engine: deterministic batch mixing all
+    // origins and a skewed object distribution (squaring favours low ids,
+    // so the LRU cache sees repeats).
+    let queries: Vec<(Node, ObjectId)> = (0..4000usize)
+        .map(|i| {
+            let origin = Node::new((i * 53 + 7) % n);
+            let frac = ((i * 97 + 13) % 1000) as f64 / 1000.0;
+            let obj = ObjectId(((frac * frac * objects as f64) as usize % objects) as u64);
+            (origin, obj)
+        })
+        .collect();
+    let snapshot = Snapshot::capture(&space, &overlay);
+    let engine = QueryEngine::new(&space, &snapshot);
+    let report = engine.serve(&queries, &EngineConfig::default());
+    t.rows.push(vec![
+        name.to_string(),
+        n.to_string(),
+        objects.to_string(),
+        "static (engine)".into(),
+        format!("{:.1}", report.success_rate() * 100.0),
+        f(report.paths.mean_stretch()),
+        f(report.paths.max_stretch),
+        f(report.throughput() / 1000.0),
+        f(report.latency.p50_us),
+        f(report.latency.p99_us),
+        "-".into(),
+    ]);
+    // Targeted (hub-first) churn, DRFE-R style: degrade, repair, recover.
+    let churn = ron_location::drive_churn(
+        &space,
+        &mut overlay,
+        ChurnSchedule::Targeted { fraction: 0.2 },
+        &ChurnConfig {
+            steps: 2,
+            queries_per_step: 400,
+            seed: 1105,
+        },
+    );
+    for (i, step) in churn.steps.iter().enumerate() {
+        t.rows.push(vec![
+            name.to_string(),
+            step.alive_after.to_string(),
+            objects.to_string(),
+            format!("churn step {} (-{})", i + 1, step.removed),
+            format!("{:.1}", step.before_repair.success_rate() * 100.0),
+            f(step.before_repair.paths.mean_stretch()),
+            f(step.before_repair.paths.max_stretch),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        t.rows.push(vec![
+            name.to_string(),
+            step.alive_after.to_string(),
+            objects.to_string(),
+            format!("  + repair {}", i + 1),
+            format!("{:.1}", step.after_repair.success_rate() * 100.0),
+            f(step.after_repair.paths.mean_stretch()),
+            f(step.after_repair.paths.max_stretch),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            (step.repair.pointer_writes + step.repair.pointer_deletes).to_string(),
+        ]);
+    }
 }
 
 /// Figure F1: stretch of every routing scheme as delta varies (the

@@ -154,13 +154,22 @@ impl RingFamily {
     /// All distinct neighbors of `u` across rings (sorted by node id).
     #[must_use]
     pub fn neighbors_of(&self, u: Node) -> Vec<Node> {
-        let mut all: Vec<Node> = self.per_node[u.index()]
-            .iter()
-            .flat_map(|r| r.members().iter().copied())
-            .collect();
-        all.sort_unstable();
-        all.dedup();
+        let mut all = Vec::new();
+        self.collect_neighbors(u, &mut all);
         all
+    }
+
+    /// Fills `buf` with the distinct neighbors of `u`, sorted by node id
+    /// (allocation-free when `buf` has capacity).
+    fn collect_neighbors(&self, u: Node, buf: &mut Vec<Node>) {
+        buf.clear();
+        buf.extend(
+            self.per_node[u.index()]
+                .iter()
+                .flat_map(|r| r.members().iter().copied()),
+        );
+        buf.sort_unstable();
+        buf.dedup();
     }
 
     /// Out-degree of `u` (distinct neighbors).
@@ -177,6 +186,27 @@ impl RingFamily {
             .map(|i| self.out_degree(Node::new(i)))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Histogram of out-degrees: entry `d` is the number of nodes with
+    /// exactly `d` distinct neighbors (length `max_out_degree() + 1`).
+    ///
+    /// Collects the whole degree distribution in one pass with a reused
+    /// scratch buffer, so callers wanting load reports or percentile
+    /// columns avoid the per-node allocation of `out_degree` in a loop.
+    #[must_use]
+    pub fn neighbor_count_histogram(&self) -> Vec<usize> {
+        let mut hist: Vec<usize> = Vec::new();
+        let mut scratch: Vec<Node> = Vec::new();
+        for i in 0..self.len() {
+            self.collect_neighbors(Node::new(i), &mut scratch);
+            let d = scratch.len();
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+        hist
     }
 
     /// Total pointer count (with ring multiplicity), the raw size of the
@@ -275,6 +305,18 @@ mod tests {
         assert!(rings.max_ring_size() >= 1);
         let u = Node::new(0);
         assert_eq!(rings.out_degree(u), rings.neighbors_of(u).len());
+    }
+
+    #[test]
+    fn histogram_counts_every_node_once() {
+        let (_, rings) = family();
+        let hist = rings.neighbor_count_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), rings.len());
+        assert_eq!(hist.len(), rings.max_out_degree() + 1);
+        assert!(*hist.last().unwrap() >= 1);
+        // The histogram agrees with the per-node accounting.
+        let d0 = rings.out_degree(Node::new(0));
+        assert!(hist[d0] >= 1);
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! Dynamics: join/leave, incremental repair, and churn schedules.
+//!
+//! A `leave` deletes a node's pointer tables and net memberships; a `join`
+//! re-inserts a node greedily into the ladder. [`DirectoryOverlay::repair`]
+//! then restores the two serving invariants incrementally:
+//!
+//! 1. **covering** — every alive node is within `r_j` of an alive
+//!    level-`j` member (uncovered nodes are promoted, preserving the
+//!    nesting `G_j ⊆ G_{j-1}`);
+//! 2. **publish** — every alive member of `B_h(c r_j) ∩ G_j` holds the
+//!    level-`j` entry for each object homed at `h`, pointing down the
+//!    (current) zoom chain; objects whose home died are re-homed to the
+//!    nearest alive node first.
+//!
+//! Repair is incremental: only objects whose rings or chains could have
+//! been affected by the membership changes accumulated since the last
+//! repair (`touched` sets) are reconciled, DRFE-R-style, and the report
+//! counts the work (promotions, pointer writes/deletes, re-homings).
+//!
+//! [`drive_churn`] replays random or targeted (hub-first) removal
+//! schedules in steps, sampling lookup success and stretch before and
+//! after each repair.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use ron_metric::{Metric, Node, Space};
+use ron_routing::PathStats;
+
+use crate::directory::{DirectoryOverlay, Placement};
+
+/// Work performed by one [`DirectoryOverlay::repair`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Nodes inserted into net levels to restore covering.
+    pub promotions: usize,
+    /// Directory entries written (new or re-targeted).
+    pub pointer_writes: usize,
+    /// Stale directory entries deleted.
+    pub pointer_deletes: usize,
+    /// Objects migrated to a new home because theirs died.
+    pub rehomed: usize,
+    /// Objects whose placement was reconciled (the incremental subset).
+    pub objects_touched: usize,
+}
+
+impl RepairReport {
+    /// Accumulates another report (for totals over churn steps).
+    pub fn absorb(&mut self, other: &RepairReport) {
+        self.promotions += other.promotions;
+        self.pointer_writes += other.pointer_writes;
+        self.pointer_deletes += other.pointer_deletes;
+        self.rehomed += other.rehomed;
+        self.objects_touched += other.objects_touched;
+    }
+}
+
+impl DirectoryOverlay {
+    /// Brings a dead node back: marks it alive and inserts it greedily
+    /// into the ladder (level 0 always; each coarser level while the
+    /// separation `>= r_j` to the nearest member holds, preserving
+    /// nesting). Pointer backfill happens at the next [`repair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already alive.
+    ///
+    /// [`repair`]: DirectoryOverlay::repair
+    pub fn join<M: Metric>(&mut self, space: &Space<M>, v: Node) {
+        assert!(!self.alive[v.index()], "{v} is already alive");
+        self.alive[v.index()] = true;
+        self.alive_count += 1;
+        self.insert_member(0, v);
+        for j in 1..self.levels() {
+            let separated = match self.finger(space, v, j) {
+                Some((d, _)) => d >= self.radii[j],
+                None => true, // empty level: v restores it
+            };
+            if !separated {
+                break;
+            }
+            self.insert_member(j, v);
+        }
+    }
+
+    /// Removes a node: its pointer tables are lost, its net memberships
+    /// vacated. Directory damage persists until [`repair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already dead, or if it is the last alive node.
+    ///
+    /// [`repair`]: DirectoryOverlay::repair
+    pub fn leave(&mut self, v: Node) {
+        assert!(self.alive[v.index()], "{v} is already dead");
+        assert!(self.alive_count > 1, "cannot remove the last alive node");
+        self.alive[v.index()] = false;
+        self.alive_count -= 1;
+        for j in 0..self.levels() {
+            if self.member[j][v.index()] {
+                self.member[j][v.index()] = false;
+                self.touched[j].push(v);
+                self.level_dirty[j] = true;
+            }
+        }
+        for table in &mut self.tables[v.index()] {
+            table.clear();
+        }
+    }
+
+    fn insert_member(&mut self, level: usize, v: Node) {
+        if !self.member[level][v.index()] {
+            self.member[level][v.index()] = true;
+            self.touched[level].push(v);
+            self.level_dirty[level] = true;
+        }
+    }
+
+    /// Restores the covering and publish invariants after any sequence of
+    /// joins and leaves; afterwards every lookup from an alive origin
+    /// succeeds again. Returns the work performed.
+    pub fn repair<M: Metric>(&mut self, space: &Space<M>) -> RepairReport {
+        let mut report = RepairReport::default();
+        self.repair_covering(space, &mut report);
+        self.repair_homes(space, &mut report);
+        self.repair_pointers(space, &mut report);
+        for t in &mut self.touched {
+            t.clear();
+        }
+        report
+    }
+
+    /// Covering pass: promote uncovered alive nodes, coarse-compatible
+    /// (a node promoted to level `j` joins every finer level too, keeping
+    /// the ladder nested). Separation may degrade — covering is the
+    /// serving invariant; degree growth is the measured price.
+    fn repair_covering<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+        let n = self.len();
+        for j in 1..self.levels() {
+            for i in 0..n {
+                let u = Node::new(i);
+                if !self.alive[i] || self.member[j][i] {
+                    continue;
+                }
+                let covered = match self.finger(space, u, j) {
+                    Some((d, _)) => d <= self.radii[j] * (1.0 + 1e-12),
+                    None => false,
+                };
+                if covered {
+                    continue;
+                }
+                for k in 1..=j {
+                    if !self.member[k][u.index()] {
+                        self.insert_member(k, u);
+                        report.promotions += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-homes objects whose home died to the nearest alive node.
+    fn repair_homes<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+        for idx in 0..self.objects.len() {
+            let obj = self.objects[idx];
+            let home = self.homes[&obj];
+            if self.alive[home.index()] {
+                continue;
+            }
+            let (_, new_home) = space
+                .index()
+                .nearest_where(home, |v| self.alive[v.index()])
+                .expect("at least one node stays alive");
+            self.homes.insert(obj, new_home);
+            report.rehomed += 1;
+        }
+    }
+
+    /// Pointer reconciliation: for each object whose rings or chain could
+    /// have changed (membership `touched` near its home, chain drift, or a
+    /// re-homing), diff the desired entry set against the installed one.
+    ///
+    /// The skip test never recomputes the chain: a chain point at level
+    /// `j` can only drift if membership changed strictly nearer to the
+    /// home than the old point — and after the covering pass any such
+    /// change lies within `r_j <= c r_j`, so it already shows up as a
+    /// touched node inside the publish radius. No touched node inside any
+    /// publish radius and an unmoved home therefore mean both rings and
+    /// chain are intact, and the object costs only `sum_j |touched[j]|`
+    /// distance probes.
+    fn repair_pointers<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+        let levels = self.levels();
+        for idx in 0..self.objects.len() {
+            let obj = self.objects[idx];
+            let home = self.homes[&obj];
+            let old = self.placements.get(&obj).cloned().unwrap_or_default();
+            let moved = old.chain.first() != Some(&home);
+
+            // Levels whose ring membership may have changed: some touched
+            // node lies within the publish radius of the home.
+            let mut ring_changed = vec![false; levels];
+            for (j, slot) in ring_changed.iter_mut().enumerate() {
+                *slot = self.touched[j]
+                    .iter()
+                    .any(|&t| space.dist(home, t) <= self.ring_factor * self.radii[j] + 1e-12);
+            }
+            if !moved && ring_changed.iter().all(|&r| !r) {
+                continue;
+            }
+            report.objects_touched += 1;
+
+            let new_chain = self.desired_chain(space, home);
+            let mut refresh = vec![false; levels];
+            for (j, slot) in refresh.iter_mut().enumerate() {
+                let chain_drift = j > 0 && old.chain.get(j - 1) != Some(&new_chain[j - 1]);
+                *slot = moved || ring_changed[j] || chain_drift;
+            }
+
+            let mut placement = Placement {
+                chain: new_chain.clone(),
+                entries: Vec::new(),
+            };
+            // Untouched levels keep their installed entries verbatim.
+            for &(level, w) in &old.entries {
+                if !refresh[level] {
+                    placement.entries.push((level, w));
+                }
+            }
+            for (level, _) in refresh.iter().enumerate().filter(|&(_, &r)| r) {
+                let desired = self.dynamic_ring(space, home, level);
+                let target = if level == 0 {
+                    home
+                } else {
+                    new_chain[level - 1]
+                };
+                // Delete stale entries from nodes that left the ring.
+                for &(l, w) in &old.entries {
+                    if l == level
+                        && self.alive[w.index()]
+                        && desired
+                            .binary_search_by(|probe| {
+                                space
+                                    .dist(home, *probe)
+                                    .total_cmp(&space.dist(home, w))
+                                    .then(probe.cmp(&w))
+                            })
+                            .is_err()
+                        && self.tables[w.index()][level].remove(&obj).is_some()
+                    {
+                        report.pointer_deletes += 1;
+                    }
+                }
+                for w in desired {
+                    let prev = self.tables[w.index()][level].insert(obj, target);
+                    if prev != Some(target) {
+                        report.pointer_writes += 1;
+                    }
+                    placement.entries.push((level, w));
+                }
+            }
+            self.placements.insert(obj, placement);
+        }
+    }
+}
+
+/// A removal schedule for [`drive_churn`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnSchedule {
+    /// Remove uniformly random alive nodes (seeded, reproducible).
+    Random {
+        /// Fraction of the initially alive nodes to remove, in `(0, 1)`.
+        fraction: f64,
+        /// Seed for the victim shuffle.
+        seed: u64,
+    },
+    /// Remove the highest-degree nodes first: coarsest net membership,
+    /// then directory load — the adversarial hub attack.
+    Targeted {
+        /// Fraction of the initially alive nodes to remove, in `(0, 1)`.
+        fraction: f64,
+    },
+}
+
+/// Driver configuration: how many steps to split the schedule into and
+/// how many sample queries to measure per step.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Number of removal steps (each followed by one repair).
+    pub steps: usize,
+    /// Sampled `(origin, object)` queries measured before and after each
+    /// repair.
+    pub queries_per_step: usize,
+    /// Seed for query sampling.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            steps: 4,
+            queries_per_step: 256,
+            seed: 0x0b1ec7,
+        }
+    }
+}
+
+/// Success and stretch over a sample of lookups.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySample {
+    /// Queries attempted.
+    pub queries: usize,
+    /// Queries that located the current home.
+    pub successes: usize,
+    /// Path statistics over the successful lookups.
+    pub paths: PathStats,
+}
+
+impl QuerySample {
+    /// Fraction of sampled lookups that succeeded (`1.0` when empty).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One churn step: removals, degradation, repair, recovery.
+#[derive(Clone, Debug)]
+pub struct ChurnStep {
+    /// Nodes removed this step.
+    pub removed: usize,
+    /// Alive nodes after the removals.
+    pub alive_after: usize,
+    /// Sampled lookups after the removals, before repair.
+    pub before_repair: QuerySample,
+    /// Repair work performed.
+    pub repair: RepairReport,
+    /// Sampled lookups after repair.
+    pub after_repair: QuerySample,
+}
+
+/// The full replay of a schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnReport {
+    /// Per-step measurements.
+    pub steps: Vec<ChurnStep>,
+}
+
+impl ChurnReport {
+    /// Total nodes removed across all steps.
+    #[must_use]
+    pub fn total_removed(&self) -> usize {
+        self.steps.iter().map(|s| s.removed).sum()
+    }
+
+    /// Total repair work across all steps.
+    #[must_use]
+    pub fn total_repair(&self) -> RepairReport {
+        let mut total = RepairReport::default();
+        for s in &self.steps {
+            total.absorb(&s.repair);
+        }
+        total
+    }
+
+    /// Success rate of the last post-repair sample (`1.0` if no steps).
+    #[must_use]
+    pub fn final_success_rate(&self) -> f64 {
+        self.steps
+            .last()
+            .map_or(1.0, |s| s.after_repair.success_rate())
+    }
+}
+
+/// Replays `schedule` against the overlay in `config.steps` batches,
+/// measuring sampled lookup success/stretch before and after each repair.
+///
+/// # Panics
+///
+/// Panics if the schedule fraction is not in `(0, 1)`, or if nothing is
+/// published (there would be nothing to measure).
+pub fn drive_churn<M: Metric>(
+    space: &Space<M>,
+    overlay: &mut DirectoryOverlay,
+    schedule: ChurnSchedule,
+    config: &ChurnConfig,
+) -> ChurnReport {
+    let fraction = match schedule {
+        ChurnSchedule::Random { fraction, .. } | ChurnSchedule::Targeted { fraction } => fraction,
+    };
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "churn fraction {fraction} out of (0, 1)"
+    );
+    assert!(
+        !overlay.objects().is_empty(),
+        "publish something before driving churn"
+    );
+    let total = ((overlay.alive_count() as f64) * fraction).floor() as usize;
+    let steps = config.steps.max(1);
+    let mut sampler = StdRng::seed_from_u64(config.seed);
+    let mut report = ChurnReport::default();
+    let mut removed_so_far = 0usize;
+    for step in 0..steps {
+        let quota = (total * (step + 1)) / steps - removed_so_far;
+        if quota == 0 {
+            continue;
+        }
+        let victims = pick_victims(overlay, schedule, step, quota);
+        for &v in &victims {
+            overlay.leave(v);
+        }
+        removed_so_far += victims.len();
+        let before_repair = sample_queries(space, overlay, &mut sampler, config.queries_per_step);
+        let repair = overlay.repair(space);
+        let after_repair = sample_queries(space, overlay, &mut sampler, config.queries_per_step);
+        report.steps.push(ChurnStep {
+            removed: victims.len(),
+            alive_after: overlay.alive_count(),
+            before_repair,
+            repair,
+            after_repair,
+        });
+    }
+    report
+}
+
+/// Picks this step's victims: a seeded shuffle of the alive nodes for
+/// `Random`, the current hubs (coarsest membership, then directory load)
+/// for `Targeted`.
+fn pick_victims(
+    overlay: &DirectoryOverlay,
+    schedule: ChurnSchedule,
+    step: usize,
+    quota: usize,
+) -> Vec<Node> {
+    let mut alive: Vec<Node> = (0..overlay.len())
+        .map(Node::new)
+        .filter(|&v| overlay.is_alive(v))
+        .collect();
+    let quota = quota.min(alive.len().saturating_sub(1));
+    match schedule {
+        ChurnSchedule::Random { seed, .. } => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(step as u64));
+            alive.shuffle(&mut rng);
+        }
+        ChurnSchedule::Targeted { .. } => {
+            alive.sort_by_key(|&v| {
+                let level = overlay.top_level_of(v).unwrap_or(0);
+                let load = overlay.entries_at(v);
+                // Highest level first, then most loaded, then lowest id.
+                (std::cmp::Reverse(level), std::cmp::Reverse(load), v)
+            });
+        }
+    }
+    alive.truncate(quota);
+    alive
+}
+
+/// Samples `count` lookups of published objects from alive origins.
+fn sample_queries<M: Metric>(
+    space: &Space<M>,
+    overlay: &DirectoryOverlay,
+    rng: &mut StdRng,
+    count: usize,
+) -> QuerySample {
+    let alive: Vec<Node> = (0..overlay.len())
+        .map(Node::new)
+        .filter(|&v| overlay.is_alive(v))
+        .collect();
+    let mut sample = QuerySample::default();
+    for _ in 0..count {
+        let origin = alive[rng.random_range(0..alive.len())];
+        let obj = overlay.objects()[rng.random_range(0..overlay.objects().len())];
+        sample.queries += 1;
+        match overlay.lookup(space, origin, obj) {
+            Ok(out) if Some(out.home) == overlay.home_of(obj) => {
+                sample.successes += 1;
+                sample
+                    .paths
+                    .record(out.length, space.dist(origin, out.home), out.hops());
+            }
+            _ => {}
+        }
+    }
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::ObjectId;
+    use ron_metric::{gen, LineMetric};
+
+    fn seeded(n: usize, objects: usize) -> (Space<LineMetric>, DirectoryOverlay) {
+        let space = Space::new(LineMetric::uniform(n).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..objects {
+            ov.publish(&space, ObjectId(i as u64), Node::new((i * 7) % n));
+        }
+        (space, ov)
+    }
+
+    fn assert_all_found(space: &Space<LineMetric>, ov: &DirectoryOverlay) {
+        for s in space.nodes().filter(|&s| ov.is_alive(s)) {
+            for &obj in ov.objects() {
+                let out = ov.lookup(space, s, obj).expect("post-repair lookup");
+                assert_eq!(Some(out.home), ov.home_of(obj));
+            }
+        }
+    }
+
+    #[test]
+    fn leave_then_repair_restores_all_lookups() {
+        let (space, mut ov) = seeded(32, 5);
+        // Kill the top-level hub and a home.
+        let top = ov.levels() - 1;
+        let hub = space.nodes().find(|&v| ov.is_net_member(top, v)).unwrap();
+        ov.leave(hub);
+        ov.leave(Node::new(7));
+        let report = ov.repair(&space);
+        assert!(report.promotions + report.pointer_writes > 0);
+        assert_all_found(&space, &ov);
+    }
+
+    #[test]
+    fn dead_home_is_rehomed() {
+        let (space, mut ov) = seeded(32, 5);
+        let home = ov.home_of(ObjectId(0)).unwrap();
+        ov.leave(home);
+        assert!(ov.lookup(&space, Node::new(31), ObjectId(0)).is_err());
+        let report = ov.repair(&space);
+        assert_eq!(report.rehomed, 1);
+        let new_home = ov.home_of(ObjectId(0)).unwrap();
+        assert_ne!(new_home, home);
+        assert!(ov.is_alive(new_home));
+        assert_all_found(&space, &ov);
+    }
+
+    #[test]
+    fn publish_survives_an_emptied_level_before_repair() {
+        let (space, mut ov) = seeded(32, 2);
+        // Kill the singleton top-level hub: the coarsest net is now empty
+        // and stays empty until repair.
+        let top = ov.levels() - 1;
+        let hub = space.nodes().find(|&v| ov.is_net_member(top, v)).unwrap();
+        ov.leave(hub);
+        // Publishing into the damaged overlay must not panic, and the new
+        // object must be locatable at least from nearby origins (entries
+        // above the hole forward straight to the home).
+        let home = space.nodes().find(|&v| ov.is_alive(v)).unwrap();
+        ov.publish(&space, ObjectId(99), home);
+        let out = ov.lookup(&space, home, ObjectId(99)).expect("self lookup");
+        assert_eq!(out.home, home);
+        // After repair every origin finds it again.
+        ov.repair(&space);
+        assert_all_found(&space, &ov);
+    }
+
+    #[test]
+    fn join_reenters_the_ladder() {
+        let (space, mut ov) = seeded(32, 3);
+        ov.leave(Node::new(12));
+        ov.repair(&space);
+        ov.join(&space, Node::new(12));
+        assert!(ov.is_alive(Node::new(12)));
+        assert!(ov.is_net_member(0, Node::new(12)));
+        ov.repair(&space);
+        assert_all_found(&space, &ov);
+    }
+
+    #[test]
+    fn repair_is_incremental() {
+        let (space, mut ov) = seeded(64, 8);
+        // A fringe (level-0-only) node far from most homes touches few
+        // objects.
+        let fringe = (0..space.len())
+            .rev()
+            .map(Node::new)
+            .find(|&v| ov.top_level_of(v) == Some(0))
+            .unwrap();
+        ov.leave(fringe);
+        let report = ov.repair(&space);
+        assert!(
+            report.objects_touched < ov.objects().len(),
+            "fringe leave reconciled {} of {} objects",
+            report.objects_touched,
+            ov.objects().len()
+        );
+        // A second repair with nothing new to do is free.
+        let idle = ov.repair(&space);
+        assert_eq!(idle, RepairReport::default());
+    }
+
+    #[test]
+    fn targeted_schedule_hits_hubs_first() {
+        let (space, mut ov) = seeded(64, 6);
+        let top = ov.levels() - 1;
+        let hub = space.nodes().find(|&v| ov.is_net_member(top, v)).unwrap();
+        let report = drive_churn(
+            &space,
+            &mut ov,
+            ChurnSchedule::Targeted { fraction: 0.1 },
+            &ChurnConfig {
+                steps: 1,
+                queries_per_step: 64,
+                seed: 5,
+            },
+        );
+        assert!(!ov.is_alive(hub), "targeted churn must take the hub");
+        assert_eq!(report.total_removed(), 6);
+        assert_eq!(report.final_success_rate(), 1.0);
+        assert_all_found(&space, &ov);
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible_and_recovers() {
+        let space = Space::new(gen::uniform_cube(48, 2, 3));
+        let schedule = ChurnSchedule::Random {
+            fraction: 0.25,
+            seed: 9,
+        };
+        let run = |mut ov: DirectoryOverlay| {
+            drive_churn(&space, &mut ov, schedule, &ChurnConfig::default())
+        };
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..6u64 {
+            ov.publish(&space, ObjectId(i), Node::new((i as usize * 5) % 48));
+        }
+        let a = run(ov.clone());
+        let b = run(ov);
+        assert_eq!(a.total_removed(), b.total_removed());
+        assert_eq!(a.total_repair(), b.total_repair());
+        assert_eq!(a.final_success_rate(), 1.0);
+        assert!(a.steps.iter().all(|s| s.after_repair.success_rate() == 1.0));
+    }
+}

@@ -1,0 +1,364 @@
+//! The directory overlay state: net-ladder membership, per-node pointer
+//! tables, and the object registry.
+//!
+//! A [`DirectoryOverlay`] turns the static structures of `ron-nets` and
+//! `ron-core` into a serving system. It is built once over a
+//! [`Space`](ron_metric::Space) and then mutated by `publish` /
+//! `unpublish` (see [`publish`](crate::publish)), `join` / `leave` /
+//! `repair` (see [`churn`](crate::churn)), and queried by `lookup`
+//! (see [`lookup`](crate::lookup)) or through an immutable
+//! [`Snapshot`](crate::engine::Snapshot).
+
+use std::collections::HashMap;
+
+use ron_core::RingFamily;
+use ron_metric::{Metric, Node, Space};
+use ron_nets::NestedNets;
+
+/// Identifier of a published object.
+///
+/// Objects are application payloads; the overlay only tracks which node
+/// currently *homes* each object and where the directory pointers to that
+/// home live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// Where one object's directory state lives: its zoom chain and the
+/// `(level, node)` pairs holding pointer entries for it.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Placement {
+    /// `chain[j]` is the net point the level-`j+1` entries forward to
+    /// (`chain[0]` is the home itself, since `G_0` contains every node).
+    pub(crate) chain: Vec<Node>,
+    /// Every `(level, node)` currently holding an entry for the object.
+    pub(crate) entries: Vec<(usize, Node)>,
+}
+
+/// Default ring-radius factor: pointers for an object homed at `h` are
+/// replicated on `B_h(2 r_j) ∩ G_j` at every ladder level `j`.
+///
+/// Factor 2 is the smallest with a static delivery guarantee: a lookup
+/// finger `f_sj` satisfies `d(f_sj, h) <= r_j + d(s, h)`, so the entry is
+/// present whenever `r_j >= d(s, h)` — and the top radius dominates the
+/// diameter, so the climb always terminates successfully.
+pub const DEFAULT_RING_FACTOR: f64 = 2.0;
+
+/// The publish/lookup directory overlay.
+///
+/// Structure (the object-location half of the paper, realised in the
+/// Awerbuch–Peleg style over the paper's net rings): for each object with
+/// home `h`, a pointer to the next chain node is installed at every member
+/// of the ring `B_h(c r_j) ∩ G_j` for every ladder level `j` (the rings of
+/// [`RingFamily::from_nets`] with radius `c r_j`). A lookup from origin `s`
+/// climbs the fingers `f_sj` (nearest net member per level — the zooming
+/// sequence of `s`, reversed) until it hits an entry, then follows the
+/// stored chain — the zooming sequence of `h` — down to the home.
+///
+/// The dynamics layer maintains net membership and pointers under churn;
+/// see [`DirectoryOverlay::join`], [`DirectoryOverlay::leave`] and
+/// [`DirectoryOverlay::repair`].
+///
+/// # Example
+///
+/// ```
+/// use ron_location::{DirectoryOverlay, ObjectId};
+/// use ron_metric::{gen, Node, Space};
+///
+/// let space = Space::new(gen::uniform_cube(64, 2, 7));
+/// let mut overlay = DirectoryOverlay::build(&space);
+/// overlay.publish(&space, ObjectId(1), Node::new(9));
+/// let hit = overlay.lookup(&space, Node::new(40), ObjectId(1))?;
+/// assert_eq!(hit.home, Node::new(9));
+/// # Ok::<(), ron_location::LocateError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DirectoryOverlay {
+    pub(crate) ring_factor: f64,
+    pub(crate) radii: Vec<f64>,
+    pub(crate) nets: NestedNets,
+    pub(crate) rings: RingFamily,
+    /// Dynamic net membership: `member[j][v]` iff `v` is an *alive* member
+    /// of the level-`j` net. Starts as the static ladder.
+    pub(crate) member: Vec<Vec<bool>>,
+    /// Whether level `j` has diverged from the static ladder (any join,
+    /// leave or promotion) — controls the static fast path in `publish`.
+    pub(crate) level_dirty: Vec<bool>,
+    /// Nodes whose level-`j` membership changed since the last `repair`.
+    pub(crate) touched: Vec<Vec<Node>>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) alive_count: usize,
+    /// `tables[v][j]`: the level-`j` pointer entries stored at node `v`.
+    pub(crate) tables: Vec<Vec<HashMap<ObjectId, Node>>>,
+    /// Published objects in publish order (deterministic iteration).
+    pub(crate) objects: Vec<ObjectId>,
+    pub(crate) homes: HashMap<ObjectId, Node>,
+    pub(crate) placements: HashMap<ObjectId, Placement>,
+}
+
+impl DirectoryOverlay {
+    /// Builds the overlay over `space` with the default ring factor.
+    #[must_use]
+    pub fn build<M: Metric>(space: &Space<M>) -> Self {
+        Self::build_with_factor(space, DEFAULT_RING_FACTOR)
+    }
+
+    /// Builds the overlay with an explicit ring-radius factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_factor < 2.0` (the smallest factor with a static
+    /// delivery guarantee; see [`DEFAULT_RING_FACTOR`]).
+    #[must_use]
+    pub fn build_with_factor<M: Metric>(space: &Space<M>, ring_factor: f64) -> Self {
+        assert!(
+            ring_factor >= 2.0,
+            "ring factor {ring_factor} loses the delivery guarantee (needs >= 2)"
+        );
+        let n = space.len();
+        let nets = NestedNets::build(space);
+        let levels = nets.levels();
+        let radii: Vec<f64> = (0..levels).map(|j| nets.radius(j)).collect();
+        // The publish rings are exactly the net rings of Theorem 2.1 shape
+        // with radius `ring_factor * r_j`.
+        let rings = RingFamily::from_nets(space, &nets, |_, r| Some(ring_factor * r));
+        let member = (0..levels)
+            .map(|j| {
+                let net = nets.net(j);
+                (0..n).map(|v| net.contains(Node::new(v))).collect()
+            })
+            .collect();
+        DirectoryOverlay {
+            ring_factor,
+            radii,
+            nets,
+            rings,
+            member,
+            level_dirty: vec![false; levels],
+            touched: vec![Vec::new(); levels],
+            alive: vec![true; n],
+            alive_count: n,
+            tables: (0..n).map(|_| vec![HashMap::new(); levels]).collect(),
+            objects: Vec::new(),
+            homes: HashMap::new(),
+            placements: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes in the underlying space (alive or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the overlay has no nodes (never true: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Number of ladder levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// The ring-radius factor `c` of the publish rings `B_h(c r_j) ∩ G_j`.
+    #[must_use]
+    pub fn ring_factor(&self) -> f64 {
+        self.ring_factor
+    }
+
+    /// The static net ladder the overlay was built from.
+    #[must_use]
+    pub fn nets(&self) -> &NestedNets {
+        &self.nets
+    }
+
+    /// The static publish rings (`RingFamily` at radius `c r_j`).
+    #[must_use]
+    pub fn rings(&self) -> &RingFamily {
+        &self.rings
+    }
+
+    /// Whether `v` is currently alive.
+    #[must_use]
+    pub fn is_alive(&self, v: Node) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether `v` is an alive member of the level-`j` net.
+    #[must_use]
+    pub fn is_net_member(&self, level: usize, v: Node) -> bool {
+        self.member[level][v.index()]
+    }
+
+    /// The finger of `s` at level `j`: the nearest alive member of the
+    /// dynamic level-`j` net (with its distance), or `None` if the level
+    /// has no members left.
+    #[must_use]
+    pub fn finger<M: Metric>(
+        &self,
+        space: &Space<M>,
+        s: Node,
+        level: usize,
+    ) -> Option<(f64, Node)> {
+        space
+            .index()
+            .nearest_where(s, |v| self.member[level][v.index()])
+    }
+
+    /// Published objects, in publish order.
+    #[must_use]
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// The current home of `obj`, if published. The home may be dead
+    /// between a `leave` and the next `repair` (which re-homes it).
+    #[must_use]
+    pub fn home_of(&self, obj: ObjectId) -> Option<Node> {
+        self.homes.get(&obj).copied()
+    }
+
+    /// Total directory entries currently installed across all nodes.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|levels| levels.iter().map(HashMap::len))
+            .sum()
+    }
+
+    /// Directory entries stored at `v` (its share of the serving load).
+    #[must_use]
+    pub fn entries_at(&self, v: Node) -> usize {
+        self.tables[v.index()].iter().map(HashMap::len).sum()
+    }
+
+    /// The coarsest ladder level `v` is currently a member of, or `None`
+    /// if `v` is dead. Coarse members are the overlay's hubs: they cover
+    /// large balls and hold the most pointers.
+    #[must_use]
+    pub fn top_level_of(&self, v: Node) -> Option<usize> {
+        if !self.alive[v.index()] {
+            return None;
+        }
+        (0..self.levels())
+            .rev()
+            .find(|&j| self.member[j][v.index()])
+    }
+
+    /// The dynamic publish ring of `home` at `level`: alive members of the
+    /// dynamic net within `ring_factor * r_level` of `home`, nearest first.
+    #[must_use]
+    pub(crate) fn dynamic_ring<M: Metric>(
+        &self,
+        space: &Space<M>,
+        home: Node,
+        level: usize,
+    ) -> Vec<Node> {
+        let r = self.ring_factor * self.radii[level];
+        space
+            .index()
+            .ball(home, r)
+            .iter()
+            .filter(|&&(_, v)| self.member[level][v.index()])
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// Looks up the level-`level` entry for `obj` at node `v`.
+    #[must_use]
+    pub(crate) fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
+        self.tables[v.index()][level].get(&obj).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::LineMetric;
+
+    fn overlay() -> (Space<LineMetric>, DirectoryOverlay) {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let overlay = DirectoryOverlay::build(&space);
+        (space, overlay)
+    }
+
+    #[test]
+    fn build_mirrors_static_ladder() {
+        let (space, ov) = overlay();
+        assert_eq!(ov.len(), 32);
+        assert_eq!(ov.levels(), ov.nets().levels());
+        assert_eq!(ov.alive_count(), 32);
+        for (j, net) in ov.nets().iter() {
+            for v in space.nodes() {
+                assert_eq!(ov.is_net_member(j, v), net.contains(v));
+            }
+        }
+        // Level 0 is everything; the top level is a single hub.
+        assert!((0..32).all(|i| ov.is_net_member(0, Node::new(i))));
+        let top = ov.levels() - 1;
+        let hubs = (0..32)
+            .filter(|&i| ov.is_net_member(top, Node::new(i)))
+            .count();
+        assert_eq!(hubs, 1);
+    }
+
+    #[test]
+    fn fingers_respect_net_radii() {
+        let (space, ov) = overlay();
+        for s in space.nodes() {
+            for j in 0..ov.levels() {
+                let (d, f) = ov.finger(&space, s, j).expect("static nets are full");
+                assert!(ov.is_net_member(j, f));
+                assert!(d <= ov.nets().radius(j) + 1e-12, "covering at level {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_ring_matches_static_rings_when_pristine() {
+        let (space, ov) = overlay();
+        for u in space.nodes() {
+            for j in 0..ov.levels() {
+                let stat = ov.rings().ring(u, j).expect("all levels built");
+                let mut dynamic = ov.dynamic_ring(&space, u, j);
+                dynamic.sort_unstable();
+                assert_eq!(stat.members(), &dynamic[..], "node {u} level {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_of_finds_hubs() {
+        let (_, ov) = overlay();
+        let top = ov.levels() - 1;
+        let hub = (0..32)
+            .map(Node::new)
+            .find(|&v| ov.is_net_member(top, v))
+            .unwrap();
+        assert_eq!(ov.top_level_of(hub), Some(top));
+        assert_eq!(ov.total_entries(), 0);
+        assert_eq!(ov.entries_at(hub), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery guarantee")]
+    fn small_ring_factor_rejected() {
+        let space = Space::new(LineMetric::uniform(8).unwrap());
+        let _ = DirectoryOverlay::build_with_factor(&space, 1.5);
+    }
+}

@@ -1,0 +1,444 @@
+//! The concurrent query engine: a worker pool serving batched lookups
+//! over an immutable snapshot, with a shared LRU result cache.
+//!
+//! The engine separates *structure maintenance* (the mutable
+//! [`DirectoryOverlay`]) from *serving*: a [`Snapshot`] freezes the
+//! overlay's fingers into a flat table, worker threads
+//! (`std::thread::scope`; no external dependencies, per the vendored-shim
+//! discipline) split the batch, and every successful lookup is memoised
+//! in an LRU cache keyed by `(origin, object)`. The [`BatchReport`]
+//! carries throughput, p50/p99 latency and hops/stretch statistics
+//! (through the shared [`PathStats`] accounting of `ron-routing`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ron_metric::{Metric, Node, Space};
+use ron_routing::PathStats;
+
+use crate::directory::{DirectoryOverlay, ObjectId};
+use crate::stats::{BatchReport, LatencySummary};
+
+/// An immutable serving view of a [`DirectoryOverlay`]: the per-node,
+/// per-level fingers are precomputed so a lookup is a pure table walk.
+///
+/// Capture a fresh snapshot after any churn + repair; the snapshot
+/// borrows the overlay, so the borrow checker enforces that the overlay
+/// cannot be mutated while a snapshot serves.
+#[derive(Clone, Debug)]
+pub struct Snapshot<'a> {
+    overlay: &'a DirectoryOverlay,
+    /// `fingers[v * levels + j]`: nearest alive level-`j` member to `v`.
+    fingers: Vec<Option<Node>>,
+    levels: usize,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Freezes the overlay's current fingers.
+    #[must_use]
+    pub fn capture<M: Metric>(space: &Space<M>, overlay: &'a DirectoryOverlay) -> Self {
+        let n = overlay.len();
+        let levels = overlay.levels();
+        let mut fingers = Vec::with_capacity(n * levels);
+        for i in 0..n {
+            let v = Node::new(i);
+            for j in 0..levels {
+                fingers.push(overlay.finger(space, v, j).map(|(_, f)| f));
+            }
+        }
+        Snapshot {
+            overlay,
+            fingers,
+            levels,
+        }
+    }
+
+    /// The overlay this snapshot was captured from.
+    #[must_use]
+    pub fn overlay(&self) -> &DirectoryOverlay {
+        self.overlay
+    }
+
+    /// Serves one lookup from the frozen finger table.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DirectoryOverlay::lookup`].
+    pub fn lookup<M: Metric>(
+        &self,
+        space: &Space<M>,
+        origin: Node,
+        obj: ObjectId,
+    ) -> Result<crate::lookup::LookupOutcome, crate::lookup::LocateError> {
+        self.overlay.locate_with(space, origin, obj, |s, j| {
+            self.fingers[s.index() * self.levels + j]
+        })
+    }
+}
+
+/// A compact cached lookup result (the path itself is not retained).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct CachedHit {
+    home: Node,
+    length: f64,
+    hops: usize,
+}
+
+/// A fixed-capacity LRU map: `HashMap` index into a slab of
+/// doubly-linked entries. O(1) get/insert, least-recently-used eviction.
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    map: HashMap<(Node, ObjectId), usize>,
+    slots: Vec<LruSlot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+#[derive(Debug)]
+struct LruSlot {
+    key: (Node, ObjectId),
+    value: CachedHit,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: (Node, ObjectId)) -> Option<CachedHit> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i].value)
+    }
+
+    fn insert(&mut self, key: (Node, ObjectId), value: CachedHit) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(LruSlot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the least recently used entry and reuse its slot.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.slots[i].key = key;
+            self.slots[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads serving the batch.
+    pub workers: usize,
+    /// Capacity of the shared LRU result cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// The concurrent query engine: serves batches of `(origin, object)`
+/// lookups over a [`Snapshot`] with a worker pool and a shared LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use ron_location::{DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot};
+/// use ron_metric::{gen, Node, Space};
+///
+/// let space = Space::new(gen::uniform_cube(64, 2, 7));
+/// let mut overlay = DirectoryOverlay::build(&space);
+/// overlay.publish(&space, ObjectId(0), Node::new(5));
+/// let snapshot = Snapshot::capture(&space, &overlay);
+/// let engine = QueryEngine::new(&space, &snapshot);
+/// let queries = vec![(Node::new(60), ObjectId(0)); 128];
+/// let report = engine.serve(&queries, &EngineConfig::default());
+/// assert_eq!(report.successes, 128);
+/// assert!(report.cache_hits > 0);
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine<'a, M> {
+    space: &'a Space<M>,
+    snapshot: &'a Snapshot<'a>,
+}
+
+impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
+    /// Creates an engine over a frozen snapshot.
+    #[must_use]
+    pub fn new(space: &'a Space<M>, snapshot: &'a Snapshot<'a>) -> Self {
+        QueryEngine { space, snapshot }
+    }
+
+    /// Serves the batch with `config.workers` threads, returning
+    /// throughput, latency percentiles and path statistics.
+    pub fn serve(&self, queries: &[(Node, ObjectId)], config: &EngineConfig) -> BatchReport {
+        let workers = config.workers.max(1).min(queries.len().max(1));
+        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        let chunk = queries.len().div_ceil(workers);
+        let start = Instant::now();
+        let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk.max(1))
+                .map(|slice| scope.spawn(|| self.serve_chunk(slice, &cache)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        let mut report = BatchReport {
+            elapsed,
+            ..BatchReport::default()
+        };
+        let mut nanos = Vec::with_capacity(queries.len());
+        for w in worker_results {
+            report.served += w.served;
+            report.successes += w.successes;
+            report.failures += w.failures;
+            report.cache_hits += w.cache_hits;
+            report.paths.merge(&w.paths);
+            nanos.extend(w.latencies_ns);
+        }
+        report.latency = LatencySummary::from_nanos(nanos);
+        report
+    }
+
+    fn serve_chunk(&self, queries: &[(Node, ObjectId)], cache: &Mutex<LruCache>) -> WorkerResult {
+        let mut out = WorkerResult::default();
+        for &(origin, obj) in queries {
+            let t0 = Instant::now();
+            let hit = {
+                let mut guard = cache.lock().expect("cache lock");
+                guard.get((origin, obj))
+            };
+            let result = match hit {
+                Some(cached) => {
+                    out.cache_hits += 1;
+                    Some(cached)
+                }
+                None => match self.snapshot.lookup(self.space, origin, obj) {
+                    Ok(outcome) => {
+                        let cached = CachedHit {
+                            home: outcome.home,
+                            length: outcome.length,
+                            hops: outcome.hops(),
+                        };
+                        cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert((origin, obj), cached);
+                        Some(cached)
+                    }
+                    Err(_) => None,
+                },
+            };
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            out.latencies_ns.push(elapsed);
+            out.served += 1;
+            match result {
+                Some(hit) => {
+                    out.successes += 1;
+                    out.paths
+                        .record(hit.length, self.space.dist(origin, hit.home), hit.hops);
+                }
+                None => out.failures += 1,
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct WorkerResult {
+    served: usize,
+    successes: usize,
+    failures: usize,
+    cache_hits: usize,
+    latencies_ns: Vec<u64>,
+    paths: PathStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    fn key(i: u64) -> (Node, ObjectId) {
+        (Node::new(i as usize % 4), ObjectId(i))
+    }
+
+    fn hit(i: usize) -> CachedHit {
+        CachedHit {
+            home: Node::new(i),
+            length: i as f64,
+            hops: i,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert(key(1), hit(1));
+        lru.insert(key(2), hit(2));
+        assert_eq!(lru.get(key(1)), Some(hit(1))); // 1 is now MRU
+        lru.insert(key(3), hit(3)); // evicts 2
+        assert_eq!(lru.get(key(2)), None);
+        assert_eq!(lru.get(key(1)), Some(hit(1)));
+        assert_eq!(lru.get(key(3)), Some(hit(3)));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_update_moves_to_front() {
+        let mut lru = LruCache::new(2);
+        lru.insert(key(1), hit(1));
+        lru.insert(key(2), hit(2));
+        lru.insert(key(1), hit(9)); // update, 1 becomes MRU
+        lru.insert(key(3), hit(3)); // evicts 2
+        assert_eq!(lru.get(key(1)), Some(hit(9)));
+        assert_eq!(lru.get(key(2)), None);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_inert() {
+        let mut lru = LruCache::new(0);
+        lru.insert(key(1), hit(1));
+        assert_eq!(lru.get(key(1)), None);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_agrees_with_overlay_lookup() {
+        let space = Space::new(gen::uniform_cube(64, 2, 19));
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..8u64 {
+            ov.publish(&space, ObjectId(i), Node::new((i as usize * 9) % 64));
+        }
+        let snap = Snapshot::capture(&space, &ov);
+        for s in space.nodes() {
+            for &obj in ov.objects() {
+                let a = ov.lookup(&space, s, obj).unwrap();
+                let b = snap.lookup(&space, s, obj).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_serves_batches_with_full_success() {
+        let space = Space::new(LineMetric::uniform(64).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..8u64 {
+            ov.publish(&space, ObjectId(i), Node::new((i as usize * 7) % 64));
+        }
+        let snap = Snapshot::capture(&space, &ov);
+        let engine = QueryEngine::new(&space, &snap);
+        let queries: Vec<(Node, ObjectId)> = (0..512)
+            .map(|i| (Node::new((i * 13) % 64), ObjectId((i % 8) as u64)))
+            .collect();
+        let report = engine.serve(
+            &queries,
+            &EngineConfig {
+                workers: 4,
+                cache_capacity: 64,
+            },
+        );
+        assert_eq!(report.served, 512);
+        assert_eq!(report.successes, 512);
+        assert_eq!(report.failures, 0);
+        assert!(report.cache_hits > 0, "repeated keys must hit the cache");
+        assert_eq!(report.latency.count, 512);
+        assert_eq!(report.paths.count, 512);
+        assert!(report.throughput() > 0.0);
+        // Cached results must agree with uncached lookups: stretch stats
+        // stay within the static bound.
+        assert!(report.paths.max_stretch <= 18.0);
+    }
+
+    #[test]
+    fn engine_counts_failures_on_damaged_overlay() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(5));
+        ov.leave(Node::new(5)); // kill the home, no repair
+        let snap = Snapshot::capture(&space, &ov);
+        let engine = QueryEngine::new(&space, &snap);
+        let queries = vec![(Node::new(20), ObjectId(0)); 16];
+        let report = engine.serve(&queries, &EngineConfig::default());
+        assert_eq!(report.failures, 16);
+        assert_eq!(report.successes, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Object location over rings of neighbors — the serving half of
+//! Slivkins (PODC 2005).
+//!
+//! The paper's title promises *distance estimation and object location*;
+//! the sibling crates reproduce the estimation half (labels, routing,
+//! small worlds). This crate turns the same static structures — the
+//! nested net ladder of `ron-nets` and the net rings of `ron-core` — into
+//! an object-location *system*:
+//!
+//! * [`DirectoryOverlay`]: a publish/lookup directory. `publish(obj, h)`
+//!   installs pointers on the rings `B_h(c r_j) ∩ G_j` up the ladder,
+//!   each pointing down the home's zooming sequence
+//!   ([`ron_core::zoom`]); `lookup(s, obj)` climbs the origin's fingers
+//!   and descends the chain, with constant worst-case stretch on static
+//!   instances (tests pin 18);
+//! * **dynamics** ([`churn`]): `join` / `leave` with incremental
+//!   net-membership and directory-pointer [`repair`], plus a churn driver
+//!   replaying random and targeted (hub-first) removal schedules and
+//!   reporting success/stretch degradation and repair cost — the DRFE-R
+//!   evaluation shape;
+//! * **serving** ([`engine`]): a `std::thread` worker pool over an
+//!   immutable [`Snapshot`] with a shared LRU result cache, reporting
+//!   throughput, p50/p99 latency and hops/stretch (through
+//!   [`ron_routing::PathStats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ron_location::{ChurnConfig, ChurnSchedule, DirectoryOverlay, ObjectId};
+//! use ron_metric::{gen, Node, Space};
+//!
+//! let space = Space::new(gen::uniform_cube(64, 2, 7));
+//! let mut overlay = DirectoryOverlay::build(&space);
+//! for i in 0..4u64 {
+//!     overlay.publish(&space, ObjectId(i), Node::new((i as usize * 11) % 64));
+//! }
+//! let report = ron_location::drive_churn(
+//!     &space,
+//!     &mut overlay,
+//!     ChurnSchedule::Targeted { fraction: 0.2 },
+//!     &ChurnConfig { steps: 2, queries_per_step: 64, seed: 1 },
+//! );
+//! assert_eq!(report.final_success_rate(), 1.0);
+//! ```
+
+pub mod churn;
+mod directory;
+pub mod engine;
+mod lookup;
+mod publish;
+pub mod stats;
+
+pub use churn::{
+    drive_churn, ChurnConfig, ChurnReport, ChurnSchedule, ChurnStep, QuerySample, RepairReport,
+};
+pub use directory::{DirectoryOverlay, ObjectId, DEFAULT_RING_FACTOR};
+pub use engine::{EngineConfig, QueryEngine, Snapshot};
+pub use lookup::{LocateError, LookupOutcome};
+pub use stats::{BatchReport, LatencySummary};

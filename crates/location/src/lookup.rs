@@ -1,0 +1,274 @@
+//! Locating published objects: climb the origin's fingers, descend the
+//! home's zoom chain.
+//!
+//! From origin `s`, the lookup visits the fingers `f_s0, f_s1, ...`
+//! (nearest net member per level — the reversed zooming sequence of `s`)
+//! until one holds a directory entry for the object, then follows the
+//! stored chain downward to the home. On a static (or repaired) overlay
+//! the climb is guaranteed to hit by the top level, and the traversed
+//! length is at most a constant multiple of `d(s, home)` — the geometric
+//! sums of Theorem 2.1's analysis; tests pin a worst-case stretch of 18.
+
+use std::error::Error;
+use std::fmt;
+
+use ron_metric::{Metric, Node, Space};
+
+use crate::directory::{DirectoryOverlay, ObjectId};
+
+/// The outcome of one successful lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LookupOutcome {
+    /// The located home node.
+    pub home: Node,
+    /// Overlay nodes visited, starting at the origin, ending at the home.
+    pub path: Vec<Node>,
+    /// Total metric length of the traversed overlay path.
+    pub length: f64,
+    /// Ladder level at which the directory entry was found.
+    pub found_level: usize,
+}
+
+impl LookupOutcome {
+    /// Number of overlay hops traversed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Stretch relative to the true origin-to-home distance (`1.0` when
+    /// origin and home coincide).
+    #[must_use]
+    pub fn stretch(&self, true_dist: f64) -> f64 {
+        if true_dist <= 0.0 {
+            1.0
+        } else {
+            self.length / true_dist
+        }
+    }
+}
+
+/// Lookup failures. On a static or freshly repaired overlay none of these
+/// can occur for alive origins and published objects; between churn and
+/// repair they measure the degradation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LocateError {
+    /// The querying node is dead.
+    OriginDown {
+        /// The dead origin.
+        origin: Node,
+    },
+    /// The object was never published (or was unpublished).
+    UnknownObject {
+        /// The unknown object.
+        obj: ObjectId,
+    },
+    /// The climb exhausted every ladder level without finding an entry.
+    NotFound {
+        /// The object looked up.
+        obj: ObjectId,
+        /// The origin of the query.
+        origin: Node,
+    },
+    /// A chain entry pointed at a dead node, or a chain node lost its
+    /// entry (directory damage awaiting repair).
+    BrokenChain {
+        /// The object looked up.
+        obj: ObjectId,
+        /// Node where the descent broke.
+        at: Node,
+        /// Ladder level of the broken step.
+        level: usize,
+    },
+}
+
+impl fmt::Display for LocateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocateError::OriginDown { origin } => write!(f, "origin {origin} is dead"),
+            LocateError::UnknownObject { obj } => write!(f, "{obj} is not published"),
+            LocateError::NotFound { obj, origin } => {
+                write!(f, "no directory entry for {obj} on the climb from {origin}")
+            }
+            LocateError::BrokenChain { obj, at, level } => {
+                write!(f, "chain for {obj} broke at {at} (level {level})")
+            }
+        }
+    }
+}
+
+impl Error for LocateError {}
+
+impl DirectoryOverlay {
+    /// Locates `obj` from `origin`, returning the home and the traversed
+    /// overlay path.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocateError`]; errors other than `UnknownObject` and
+    /// `OriginDown` only occur between churn and the next repair.
+    pub fn lookup<M: Metric>(
+        &self,
+        space: &Space<M>,
+        origin: Node,
+        obj: ObjectId,
+    ) -> Result<LookupOutcome, LocateError> {
+        self.locate_with(space, origin, obj, |s, j| {
+            self.finger(space, s, j).map(|(_, f)| f)
+        })
+    }
+
+    /// Shared lookup walk over any finger provider (the dynamic overlay
+    /// scans the metric index; engine snapshots use a precomputed table).
+    pub(crate) fn locate_with<M: Metric>(
+        &self,
+        space: &Space<M>,
+        origin: Node,
+        obj: ObjectId,
+        fingers: impl Fn(Node, usize) -> Option<Node>,
+    ) -> Result<LookupOutcome, LocateError> {
+        if !self.is_alive(origin) {
+            return Err(LocateError::OriginDown { origin });
+        }
+        if self.home_of(obj).is_none() {
+            return Err(LocateError::UnknownObject { obj });
+        }
+        let mut path = vec![origin];
+        let mut cur = origin;
+        let mut length = 0.0f64;
+        let mut hop = |path: &mut Vec<Node>, cur: &mut Node, to: Node| {
+            if *cur != to {
+                length += space.dist(*cur, to);
+                path.push(to);
+                *cur = to;
+            }
+        };
+        for j in 0..self.levels() {
+            let Some(f) = fingers(origin, j) else {
+                continue; // level emptied by churn; keep climbing
+            };
+            hop(&mut path, &mut cur, f);
+            let Some(first) = self.entry(cur, j, obj) else {
+                continue;
+            };
+            // Hit at level j: descend the home's zoom chain.
+            let mut level = j;
+            let mut next = first;
+            loop {
+                if !self.is_alive(next) {
+                    return Err(LocateError::BrokenChain {
+                        obj,
+                        at: next,
+                        level,
+                    });
+                }
+                hop(&mut path, &mut cur, next);
+                // A node storing the object recognises arrival — entries
+                // may legitimately shortcut straight to the home (e.g.
+                // when a level below was emptied by churn at publish
+                // time).
+                if self.home_of(obj) == Some(cur) || level == 0 {
+                    break;
+                }
+                level -= 1;
+                next = self
+                    .entry(cur, level, obj)
+                    .ok_or(LocateError::BrokenChain {
+                        obj,
+                        at: cur,
+                        level,
+                    })?;
+            }
+            return Ok(LookupOutcome {
+                home: cur,
+                path,
+                length,
+                found_level: j,
+            });
+        }
+        Err(LocateError::NotFound { obj, origin })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    #[test]
+    fn every_origin_finds_every_object_on_the_line() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        for (i, h) in [0usize, 13, 31].iter().enumerate() {
+            ov.publish(&space, ObjectId(i as u64), Node::new(*h));
+        }
+        for s in space.nodes() {
+            for (i, h) in [0usize, 13, 31].iter().enumerate() {
+                let out = ov.lookup(&space, s, ObjectId(i as u64)).expect("static");
+                assert_eq!(out.home, Node::new(*h));
+                assert_eq!(*out.path.first().unwrap(), s);
+                assert_eq!(*out.path.last().unwrap(), Node::new(*h));
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_stretch_is_bounded_on_random_points() {
+        let space = Space::new(gen::uniform_cube(96, 2, 11));
+        let mut ov = DirectoryOverlay::build(&space);
+        let homes = [4usize, 40, 77];
+        for (i, h) in homes.iter().enumerate() {
+            ov.publish(&space, ObjectId(i as u64), Node::new(*h));
+        }
+        let mut worst = 1.0f64;
+        for s in space.nodes() {
+            for (i, h) in homes.iter().enumerate() {
+                let out = ov.lookup(&space, s, ObjectId(i as u64)).expect("static");
+                worst = worst.max(out.stretch(space.dist(s, Node::new(*h))));
+            }
+        }
+        // Geometric-sum bound: climb <= 4 r*, first chain hop <= 3 r*,
+        // descent <= 2 r*, with r* <= 2 d(s, h) -- so stretch <= 18.
+        assert!(worst <= 18.0, "worst stretch {worst}");
+    }
+
+    #[test]
+    fn self_lookup_is_free() {
+        let space = Space::new(LineMetric::uniform(16).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(3));
+        let out = ov.lookup(&space, Node::new(3), ObjectId(0)).unwrap();
+        assert_eq!(out.home, Node::new(3));
+        assert_eq!(out.length, 0.0);
+        assert_eq!(out.hops(), 0);
+        assert_eq!(out.stretch(0.0), 1.0);
+        assert_eq!(out.found_level, 0);
+    }
+
+    #[test]
+    fn unknown_object_and_errors_display() {
+        let space = Space::new(LineMetric::uniform(8).unwrap());
+        let ov = DirectoryOverlay::build(&space);
+        let err = ov
+            .lookup(&space, Node::new(0), ObjectId(9))
+            .expect_err("nothing published");
+        assert_eq!(err, LocateError::UnknownObject { obj: ObjectId(9) });
+        assert!(err.to_string().contains("not published"));
+        let err = LocateError::BrokenChain {
+            obj: ObjectId(1),
+            at: Node::new(2),
+            level: 3,
+        };
+        assert!(err.to_string().contains("level 3"));
+        let err = LocateError::NotFound {
+            obj: ObjectId(1),
+            origin: Node::new(0),
+        };
+        assert!(err.to_string().contains("climb"));
+        let err = LocateError::OriginDown {
+            origin: Node::new(4),
+        };
+        assert!(err.to_string().contains("dead"));
+    }
+}

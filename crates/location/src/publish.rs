@@ -1,0 +1,183 @@
+//! Publishing objects into the directory overlay.
+//!
+//! `publish(obj, home)` installs, at every ladder level `j`, an entry for
+//! `obj` on each member of the ring `B_home(c r_j) ∩ G_j`. The entry at
+//! level `j > 0` forwards to `chain[j-1]`, the next point of the home's
+//! zooming sequence ([`ron_core::zoom::ZoomSequence`]); level-0 entries
+//! forward to the home itself. Lookups therefore descend the home's zoom
+//! chain exactly as routing descends a target's chain in Theorem 2.1.
+
+use ron_core::zoom::ZoomSequence;
+use ron_metric::{Metric, Node, Space};
+
+use crate::directory::{DirectoryOverlay, ObjectId, Placement};
+
+impl DirectoryOverlay {
+    /// Publishes `obj` with home node `home`, installing directory
+    /// pointers up the net ladder. Returns the number of pointer entries
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is dead or `obj` is already published.
+    pub fn publish<M: Metric>(&mut self, space: &Space<M>, obj: ObjectId, home: Node) -> usize {
+        assert!(self.is_alive(home), "cannot publish {obj} on dead {home}");
+        assert!(!self.homes.contains_key(&obj), "{obj} is already published");
+        let chain = self.desired_chain(space, home);
+        let mut placement = Placement {
+            chain: chain.clone(),
+            entries: Vec::new(),
+        };
+        let mut writes = 0usize;
+        for j in 0..self.levels() {
+            let target = if j == 0 { home } else { chain[j - 1] };
+            for w in self.ring_members(space, home, j) {
+                self.tables[w.index()][j].insert(obj, target);
+                placement.entries.push((j, w));
+                writes += 1;
+            }
+        }
+        self.objects.push(obj);
+        self.homes.insert(obj, home);
+        self.placements.insert(obj, placement);
+        writes
+    }
+
+    /// Removes `obj` from the directory, deleting every installed entry.
+    /// Returns the number of entries deleted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is not published.
+    pub fn unpublish(&mut self, obj: ObjectId) -> usize {
+        assert!(self.homes.contains_key(&obj), "{obj} is not published");
+        let placement = self.placements.remove(&obj).unwrap_or_default();
+        let mut deletes = 0usize;
+        for (level, w) in placement.entries {
+            if self.alive[w.index()] && self.tables[w.index()][level].remove(&obj).is_some() {
+                deletes += 1;
+            }
+        }
+        self.homes.remove(&obj);
+        self.objects.retain(|&o| o != obj);
+        deletes
+    }
+
+    /// The home's zooming chain against the *current* net membership:
+    /// `chain[j]` is the nearest alive level-`j` member to `home`.
+    ///
+    /// On a pristine overlay this is computed via
+    /// [`ZoomSequence::towards`] over the static ladder (the net radii are
+    /// exactly the ladder's scales); once any level diverged it falls back
+    /// to dynamic fingers. A level emptied by churn (possible between a
+    /// `leave` and the next repair) contributes the home itself, so
+    /// entries above it forward straight to the home instead of into a
+    /// void — the descent recognises arrival at the home (see
+    /// `locate_with`) and such a publish still serves.
+    pub(crate) fn desired_chain<M: Metric>(&self, space: &Space<M>, home: Node) -> Vec<Node> {
+        if self.level_dirty.iter().any(|&d| d) {
+            (0..self.levels())
+                .map(|j| self.finger(space, home, j).map_or(home, |(_, f)| f))
+                .collect()
+        } else {
+            ZoomSequence::towards(space, &self.nets, home, &self.radii)
+                .points()
+                .to_vec()
+        }
+    }
+
+    /// The publish-ring members of `home` at `level`, from the static
+    /// `RingFamily` while the level is pristine, dynamically otherwise.
+    pub(crate) fn ring_members<M: Metric>(
+        &self,
+        space: &Space<M>,
+        home: Node,
+        level: usize,
+    ) -> Vec<Node> {
+        if self.level_dirty[level] {
+            self.dynamic_ring(space, home, level)
+        } else {
+            self.rings
+                .ring(home, level)
+                .expect("overlay builds every level")
+                .members()
+                .to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::LineMetric;
+
+    fn published() -> (Space<LineMetric>, DirectoryOverlay) {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(7), Node::new(5));
+        (space, ov)
+    }
+
+    #[test]
+    fn publish_installs_ring_entries_at_every_level() {
+        let (_space, ov) = published();
+        let home = Node::new(5);
+        for j in 0..ov.levels() {
+            let ring = ov.rings().ring(home, j).unwrap();
+            assert!(!ring.is_empty());
+            for &w in ring.members() {
+                // Every ring member holds the level-j entry (Ring::contains
+                // is the membership test the satellite asks for).
+                assert!(ring.contains(w));
+                assert!(ov.entry(w, j, ObjectId(7)).is_some(), "level {j} at {w}");
+            }
+        }
+        assert_eq!(
+            ov.total_entries(),
+            ov.placements[&ObjectId(7)].entries.len()
+        );
+        assert_eq!(ov.home_of(ObjectId(7)), Some(home));
+        assert_eq!(ov.objects(), &[ObjectId(7)]);
+    }
+
+    #[test]
+    fn chain_descends_toward_home() {
+        let (space, ov) = published();
+        let home = Node::new(5);
+        let chain = &ov.placements[&ObjectId(7)].chain;
+        assert_eq!(chain[0], home, "G_0 contains every node");
+        for (j, &c) in chain.iter().enumerate() {
+            assert!(space.dist(c, home) <= ov.nets().radius(j) + 1e-12);
+            assert!(ov.is_net_member(j, c));
+        }
+    }
+
+    #[test]
+    fn level_entries_point_down_the_chain() {
+        let (_, ov) = published();
+        let chain = ov.placements[&ObjectId(7)].chain.clone();
+        for j in 1..ov.levels() {
+            for &w in ov.rings().ring(Node::new(5), j).unwrap().members() {
+                assert_eq!(ov.entry(w, j, ObjectId(7)), Some(chain[j - 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn unpublish_removes_everything() {
+        let (_, mut ov) = published();
+        let installed = ov.total_entries();
+        let deleted = ov.unpublish(ObjectId(7));
+        assert_eq!(deleted, installed);
+        assert_eq!(ov.total_entries(), 0);
+        assert_eq!(ov.home_of(ObjectId(7)), None);
+        assert!(ov.objects().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already published")]
+    fn double_publish_rejected() {
+        let (space, mut ov) = published();
+        ov.publish(&space, ObjectId(7), Node::new(6));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the object-location subsystem: static
+//! delivery, bounded stretch across the paper's instance families, and
+//! recovery after arbitrary join/leave sequences.
+
+use proptest::prelude::*;
+use ron_location::{ChurnConfig, ChurnSchedule, DirectoryOverlay, ObjectId};
+use ron_metric::{gen, LineMetric, Metric, Node, Space};
+
+/// Static worst-case stretch bound of the factor-2 overlay (documented in
+/// `lookup.rs`: climb <= 4 r*, chain hop <= 3 r*, descent <= 2 r*, with
+/// r* <= 2 d).
+const STRETCH_BOUND: f64 = 18.0;
+
+fn publish_some<M: Metric>(
+    space: &Space<M>,
+    overlay: &mut DirectoryOverlay,
+    objects: usize,
+    stride: usize,
+) {
+    let n = space.len();
+    for i in 0..objects {
+        overlay.publish(space, ObjectId(i as u64), Node::new((i * stride + 1) % n));
+    }
+}
+
+/// Every lookup succeeds and stays within the stretch bound; returns the
+/// worst stretch observed.
+fn check_all_pairs<M: Metric>(space: &Space<M>, overlay: &DirectoryOverlay) -> f64 {
+    let mut worst = 1.0f64;
+    for s in space.nodes().filter(|&s| overlay.is_alive(s)) {
+        for &obj in overlay.objects() {
+            let out = overlay
+                .lookup(space, s, obj)
+                .unwrap_or_else(|e| panic!("lookup {obj} from {s}: {e}"));
+            let home = overlay.home_of(obj).expect("published");
+            assert_eq!(out.home, home, "wrong home for {obj} from {s}");
+            worst = worst.max(out.stretch(space.dist(s, home)));
+        }
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (a) Static delivery: every published object is found from every
+    /// origin, on uniform cubes.
+    #[test]
+    fn static_delivery_on_cubes(n in 24usize..64, objects in 1usize..8, seed in 0u64..200) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, objects, 13);
+        let worst = check_all_pairs(&space, &overlay);
+        prop_assert!(worst <= STRETCH_BOUND, "stretch {worst}");
+    }
+
+    /// (b) Stretch is bounded on perturbed grids (UL-constrained growth).
+    #[test]
+    fn bounded_stretch_on_grids(side in 4usize..7, jitter in 0.0f64..0.4, seed in 0u64..100) {
+        let space = Space::new(gen::perturbed_grid(side, 2, jitter, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, 4, 7);
+        let worst = check_all_pairs(&space, &overlay);
+        prop_assert!(worst <= STRETCH_BOUND, "stretch {worst}");
+    }
+
+    /// (b) ... and on clustered Internet-latency-like metrics.
+    #[test]
+    fn bounded_stretch_on_clusters(n in 24usize..56, clusters in 2usize..6, seed in 0u64..100) {
+        let space = Space::new(gen::clustered(n, 2, clusters, 0.01, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, 4, 11);
+        let worst = check_all_pairs(&space, &overlay);
+        prop_assert!(worst <= STRETCH_BOUND, "stretch {worst}");
+    }
+
+    /// (b) ... and on the exponential line (super-polynomial aspect
+    /// ratio: many ladder levels, the regime where geometric sums must
+    /// save the climb).
+    #[test]
+    fn bounded_stretch_on_exponential_line(n in 8usize..20, objects in 1usize..5) {
+        let space = Space::new(gen::exponential_line(n));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, objects, 3);
+        let worst = check_all_pairs(&space, &overlay);
+        prop_assert!(worst <= STRETCH_BOUND, "stretch {worst}");
+    }
+
+    /// (c) After any leave sequence followed by repair, every lookup
+    /// succeeds again (homes may have migrated).
+    #[test]
+    fn repair_recovers_from_leaves(
+        n in 24usize..48,
+        seed in 0u64..200,
+        kills in prop::collection::btree_set(0usize..48, 1..10),
+    ) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, 5, 9);
+        for k in kills {
+            let v = Node::new(k % n);
+            if overlay.is_alive(v) && overlay.alive_count() > 1 {
+                overlay.leave(v);
+            }
+        }
+        overlay.repair(&space);
+        let worst = check_all_pairs(&space, &overlay);
+        prop_assert!(worst <= STRETCH_BOUND, "post-repair stretch {worst}");
+    }
+
+    /// (c) Interleaved joins and leaves followed by repair likewise
+    /// recover, and repairing twice is idempotent.
+    #[test]
+    fn repair_recovers_from_interleaved_churn(
+        n in 24usize..40,
+        seed in 0u64..200,
+        moves in prop::collection::btree_set(0usize..200, 4..16),
+    ) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, 4, 5);
+        for m in moves {
+            let v = Node::new(m % n);
+            if overlay.is_alive(v) {
+                if overlay.alive_count() > 2 {
+                    overlay.leave(v);
+                }
+            } else {
+                overlay.join(&space, v);
+            }
+        }
+        overlay.repair(&space);
+        check_all_pairs(&space, &overlay);
+        // A second repair finds nothing left to do.
+        let idle = overlay.repair(&space);
+        prop_assert_eq!(idle.pointer_writes, 0);
+        prop_assert_eq!(idle.promotions, 0);
+        prop_assert_eq!(idle.rehomed, 0);
+    }
+
+    /// The churn driver restores full success under both schedules.
+    #[test]
+    fn driver_restores_success(n in 32usize..56, seed in 0u64..100, flavor in 0u64..2) {
+        let space = Space::new(gen::uniform_cube(n, 2, seed));
+        let mut overlay = DirectoryOverlay::build(&space);
+        publish_some(&space, &mut overlay, 6, 7);
+        let schedule = if flavor == 1 {
+            ChurnSchedule::Targeted { fraction: 0.2 }
+        } else {
+            ChurnSchedule::Random { fraction: 0.2, seed }
+        };
+        let report = ron_location::drive_churn(
+            &space,
+            &mut overlay,
+            schedule,
+            &ChurnConfig { steps: 2, queries_per_step: 64, seed },
+        );
+        prop_assert_eq!(report.final_success_rate(), 1.0);
+        check_all_pairs(&space, &overlay);
+    }
+}
+
+/// Non-proptest: the line metric exercises exact distance ties.
+#[test]
+fn static_delivery_on_uniform_line() {
+    let space = Space::new(LineMetric::uniform(48).unwrap());
+    let mut overlay = DirectoryOverlay::build(&space);
+    publish_some(&space, &mut overlay, 6, 11);
+    let worst = check_all_pairs(&space, &overlay);
+    assert!(worst <= STRETCH_BOUND);
+}

@@ -52,8 +52,10 @@ pub fn doubling_measure<M: Metric>(space: &Space<M>, nets: &NestedNets) -> NodeM
         let mut next = vec![0.0f64; n];
         for &p in parents.members() {
             let kids = &children_of[p.index()];
+            // `kids` is sorted (children are pushed in net-member order), so
+            // membership is a binary search, matching `Ring::contains`.
             debug_assert!(
-                kids.contains(&p),
+                kids.binary_search(&p).is_ok(),
                 "nested ladder: parent {p} must be its own child"
             );
             let share = mass[p.index()] / kids.len() as f64;

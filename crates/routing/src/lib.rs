@@ -35,6 +35,6 @@ mod twomode;
 
 pub use baseline::FullTableBaseline;
 pub use basic::{BasicLabel, BasicScheme};
-pub use scheme::{RouteError, RouteTrace, StretchStats};
+pub use scheme::{PathStats, RouteError, RouteTrace, StretchStats};
 pub use simple::SimpleScheme;
 pub use twomode::{TwoModeScheme, TwoModeStats};

@@ -1,0 +1,191 @@
+//! Object location at serving scale: publish 1000 objects on a
+//! 4096-node instance, serve 10k batched lookups through the concurrent
+//! query engine, then survive a 20% targeted (hub-first) churn attack.
+//!
+//! Run with: `cargo run --release --example object_location`
+//!
+//! Everything is seeded, so the printed numbers reproduce exactly.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rings_of_neighbors::location::{
+    drive_churn, ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, ObjectId, QueryEngine,
+    Snapshot,
+};
+use rings_of_neighbors::metric::{gen, Node, Space};
+
+const N: usize = 4096;
+const OBJECTS: usize = 1000;
+const LOOKUPS: usize = 10_000;
+const SEED: u64 = 1105;
+
+fn main() {
+    // 1. A 4096-point doubling metric and the directory overlay: nested
+    //    nets, factor-2 publish rings, empty pointer tables.
+    let t0 = Instant::now();
+    let space = Space::new(gen::uniform_cube(N, 2, SEED));
+    let mut overlay = DirectoryOverlay::build(&space);
+    println!(
+        "built overlay: n = {}, levels = {}, ring factor = {} ({:.1?})",
+        overlay.len(),
+        overlay.levels(),
+        overlay.ring_factor(),
+        t0.elapsed()
+    );
+    let hist = overlay.rings().neighbor_count_histogram();
+    let max_degree = hist.len() - 1;
+    println!(
+        "overlay degrees: max = {max_degree}, median = {}",
+        median_of_histogram(&hist)
+    );
+
+    // 2. Publish: every object installs pointers up the net ladder along
+    //    its home's zooming sequence.
+    let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut writes = 0usize;
+    for i in 0..OBJECTS {
+        let home = Node::new(rng.random_range(0..N));
+        writes += overlay.publish(&space, ObjectId(i as u64), home);
+    }
+    println!(
+        "published {OBJECTS} objects: {writes} pointer entries ({:.1?})",
+        t0.elapsed()
+    );
+
+    // 3. Serve a 10k batch through the worker pool. Half the traffic is
+    //    hot — 128 gateway origins asking for 32 popular objects — so the
+    //    LRU result cache earns its keep; the rest is uniform.
+    let queries: Vec<(Node, ObjectId)> = (0..LOOKUPS)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                let origin = Node::new((rng.random_range(0..128usize) * 31) % N);
+                let obj = ObjectId(rng.random_range(0..32u64));
+                (origin, obj)
+            } else {
+                let origin = Node::new(rng.random_range(0..N));
+                let obj = ObjectId(rng.random_range(0..OBJECTS as u64));
+                (origin, obj)
+            }
+        })
+        .collect();
+    let snapshot = Snapshot::capture(&space, &overlay);
+    let engine = QueryEngine::new(&space, &snapshot);
+    let config = EngineConfig {
+        workers: 4,
+        cache_capacity: 4096,
+    };
+    let report = engine.serve(&queries, &config);
+    println!(
+        "served {} lookups on {} workers: {:.0} lookups/s, p50 = {:.1} us, p99 = {:.1} us, \
+         cache hits = {}",
+        report.served,
+        config.workers,
+        report.throughput(),
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.cache_hits,
+    );
+    println!(
+        "success = {:.1}%, mean stretch = {:.3}, max stretch = {:.3}, max hops = {}",
+        report.success_rate() * 100.0,
+        report.paths.mean_stretch(),
+        report.paths.max_stretch,
+        report.paths.max_hops,
+    );
+    assert_eq!(
+        report.successes, LOOKUPS,
+        "static snapshot must serve every lookup"
+    );
+    // 4. Adversarial churn: remove the 20% highest-degree nodes (coarse
+    //    net hubs first), in 4 steps, repairing after each. The driver
+    //    samples lookups before and after every repair.
+    println!("\ntargeted churn (hub-first, 20% of {N} nodes, 4 steps):");
+    let t0 = Instant::now();
+    let churn = drive_churn(
+        &space,
+        &mut overlay,
+        ChurnSchedule::Targeted { fraction: 0.2 },
+        &ChurnConfig {
+            steps: 4,
+            queries_per_step: 500,
+            seed: SEED,
+        },
+    );
+    for (i, step) in churn.steps.iter().enumerate() {
+        println!(
+            "  step {}: -{} nodes ({} alive) | success {:>5.1}% -> repair \
+             ({} writes, {} promotions, {} rehomed) -> {:>5.1}%",
+            i + 1,
+            step.removed,
+            step.alive_after,
+            step.before_repair.success_rate() * 100.0,
+            step.repair.pointer_writes,
+            step.repair.promotions,
+            step.repair.rehomed,
+            step.after_repair.success_rate() * 100.0,
+        );
+    }
+    let totals = churn.total_repair();
+    println!(
+        "churn done ({:.1?}): removed {} nodes, repair bill = {} writes + {} deletes, \
+         {} promotions, {} objects rehomed",
+        t0.elapsed(),
+        churn.total_removed(),
+        totals.pointer_writes,
+        totals.pointer_deletes,
+        totals.promotions,
+        totals.rehomed,
+    );
+    assert_eq!(
+        churn.final_success_rate(),
+        1.0,
+        "repair must restore 100% lookup success"
+    );
+
+    // 5. Re-verify through a fresh snapshot: the repaired overlay serves
+    //    the full batch again (dead origins remapped to a survivor).
+    let alive_origin = (0..N)
+        .map(Node::new)
+        .find(|&v| overlay.is_alive(v))
+        .expect("survivors exist");
+    let survivors: Vec<(Node, ObjectId)> = queries
+        .iter()
+        .map(|&(origin, obj)| {
+            if overlay.is_alive(origin) {
+                (origin, obj)
+            } else {
+                (alive_origin, obj)
+            }
+        })
+        .collect();
+    let snapshot = Snapshot::capture(&space, &overlay);
+    let engine = QueryEngine::new(&space, &snapshot);
+    let report = engine.serve(&survivors, &config);
+    println!(
+        "\npost-repair serve: success = {:.1}%, {:.0} lookups/s, p50 = {:.1} us, p99 = {:.1} us",
+        report.success_rate() * 100.0,
+        report.throughput(),
+        report.latency.p50_us,
+        report.latency.p99_us,
+    );
+    assert_eq!(
+        report.successes, report.served,
+        "repaired overlay must serve every lookup"
+    );
+}
+
+/// Median out-degree from a degree histogram.
+fn median_of_histogram(hist: &[usize]) -> usize {
+    let total: usize = hist.iter().sum();
+    let mut seen = 0usize;
+    for (degree, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen * 2 >= total {
+            return degree;
+        }
+    }
+    0
+}

@@ -17,6 +17,7 @@
 pub use ron_core as core;
 pub use ron_graph as graph;
 pub use ron_labels as labels;
+pub use ron_location as location;
 pub use ron_measure as measure;
 pub use ron_metric as metric;
 pub use ron_nets as nets;
