@@ -1,0 +1,50 @@
+//! E-BS: construction scaling under the sparse ball-query backend.
+//!
+//! Builds nets + rings + directory (+ a batched publish) at
+//! `RON_SCALING_N` nodes (default 65 536 — a size whose dense `O(n^2)`
+//! index cannot be held, which is the point), once single-threaded and
+//! once on every available core, asserts the outputs are bit-identical,
+//! and prints the per-stage wall times. `RON_THREADS` overrides the
+//! parallel worker count.
+//!
+//! The table is also written to `BENCH_report.json` so CI can archive the
+//! perf trajectory; a smaller timed probe (nets + rings at n = 4096)
+//! gives the criterion-style sample loop something quick to repeat.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_core::RingFamily;
+use ron_metric::{gen, Space};
+use ron_nets::NestedNets;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::scaling_n();
+    let start = Instant::now();
+    let table = ron_bench::fig_build_scaling(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let path = ron_bench::report_json_path();
+    if let Err(e) = ron_bench::write_report_json(&path, &[(table, table_ms)]) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    let probe = Space::new_sparse(gen::uniform_cube(4096, 2, 42));
+    c.bench_function("fig_build_scaling/nets+rings_sparse_4096", |b| {
+        b.iter(|| {
+            let nets = NestedNets::build(&probe);
+            let rings = RingFamily::from_nets(&probe, &nets, |_, r| Some(2.0 * r));
+            black_box((nets.levels(), rings.total_pointers()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

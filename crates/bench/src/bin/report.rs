@@ -1,22 +1,44 @@
-//! Prints every table and figure of the reproduction in one run.
+//! Prints every table and figure of the reproduction in one run, and
+//! writes the same tables (plus per-table build wall time) to
+//! `BENCH_report.json` at the workspace root so the perf trajectory is
+//! tracked across PRs.
 //!
 //! `cargo run --release -p ron-bench --bin report`
 //!
-//! EXPERIMENTS.md records a snapshot of this output next to the paper's
-//! stated bounds.
+//! EXPERIMENTS.md records a snapshot of the text output next to the
+//! paper's stated bounds. The construction-scaling table runs at
+//! `RON_SCALING_N` nodes when set, else a CI-friendly 4096 here (the
+//! `fig_build_scaling` bench target defaults to the full 65 536).
+//! `RON_THREADS` overrides the worker count of the parallel build loops.
+
+use std::time::Instant;
 
 fn main() {
     let delta = 0.25;
-    println!(
-        "{}",
-        ron_bench::table1(&["grid-8x8", "exp-path-24"], delta).render()
-    );
-    println!("{}", ron_bench::table2(delta).render());
-    println!("{}", ron_bench::table3(delta).render());
-    println!("{}", ron_bench::fig_scaling().render());
-    println!("{}", ron_bench::fig_triangulation(0.2).render());
-    println!("{}", ron_bench::fig_labels(0.25).render());
-    println!("{}", ron_bench::fig_smallworld().render());
-    println!("{}", ron_bench::fig_structures().render());
-    println!("{}", ron_bench::table_location().render());
+    let scaling_n = ron_bench::scaling_n_or(4096);
+    let mut tables: Vec<(ron_bench::Table, f64)> = Vec::new();
+    let mut run = |build: &mut dyn FnMut() -> ron_bench::Table| {
+        let start = Instant::now();
+        let table = build();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!("{}", table.render());
+        tables.push((table, ms));
+    };
+
+    run(&mut || ron_bench::table1(&["grid-8x8", "exp-path-24"], delta));
+    run(&mut || ron_bench::table2(delta));
+    run(&mut || ron_bench::table3(delta));
+    run(&mut ron_bench::fig_scaling);
+    run(&mut || ron_bench::fig_triangulation(0.2));
+    run(&mut || ron_bench::fig_labels(0.25));
+    run(&mut ron_bench::fig_smallworld);
+    run(&mut ron_bench::fig_structures);
+    run(&mut ron_bench::table_location);
+    run(&mut || ron_bench::fig_build_scaling(scaling_n));
+
+    let path = ron_bench::report_json_path();
+    match ron_bench::write_report_json(&path, &tables) {
+        Ok(()) => println!("wrote {path} ({} tables)", tables.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

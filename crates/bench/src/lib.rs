@@ -7,16 +7,20 @@
 //! `report` binary prints everything at once (EXPERIMENTS.md is generated
 //! from its output).
 //!
-//! Asymptotic competitor columns (Talwar [52], Chan et al. [14], Abraham
-//! et al. [7]) are *formulas evaluated with unit constants* — exactly how
+//! Asymptotic competitor columns (Talwar \[52], Chan et al. \[14], Abraham
+//! et al. \[7]) are *formulas evaluated with unit constants* — exactly how
 //! the paper's tables cite them — marked with `~` in the output.
 
+use std::time::Instant;
+
+use ron_core::{par, RingFamily};
 use ron_graph::{gen as ggen, Apsp, Graph};
 use ron_labels::{CompactScheme, GlobalIdDls, SharedBeaconTriangulation, Triangulation};
 use ron_location::{
     ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot,
 };
-use ron_metric::{gen, LineMetric, Metric, Node, Space};
+use ron_metric::{gen, BallOracle, LineMetric, Metric, Node, Space};
+use ron_nets::NestedNets;
 use ron_routing::{BasicScheme, FullTableBaseline, SimpleScheme, StretchStats, TwoModeScheme};
 use ron_smallworld::{
     GreedyModel, KleinbergGrid, PrunedModel, QueryStats, SingleLinkModel, Structures,
@@ -66,6 +70,97 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as one JSON object `{title, header, rows}` (cells
+    /// stay strings, exactly as printed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"header\":");
+        out.push_str(&json_string_array(&self.header));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes tables (with the wall-clock milliseconds each took to
+/// build) into the machine-readable `BENCH_report.json` document that the
+/// `report` binary and the `fig_build_scaling` bench emit, so the perf
+/// trajectory of every table — n, build ms, query p50/p99, stretch — is
+/// tracked across PRs by CI artifacts instead of eyeballs.
+#[must_use]
+pub fn report_json(tables: &[(Table, f64)]) -> String {
+    let mut out = String::from("{\"schema\":\"ron-bench/1\",\"threads\":");
+    out.push_str(&par::num_threads().to_string());
+    out.push_str(",\"tables\":[");
+    for (i, (table, ms)) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let body = table.to_json();
+        out.push_str("{\"build_ms\":");
+        out.push_str(&format!("{ms:.3}"));
+        out.push(',');
+        // Splice the table object's fields into this one.
+        out.push_str(body.strip_prefix('{').unwrap_or(&body));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`report_json`] to `path` (`BENCH_report.json` by convention).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_report_json(path: &str, tables: &[(Table, f64)]) -> std::io::Result<()> {
+    std::fs::write(path, report_json(tables) + "\n")
+}
+
+/// Workspace-root path for `BENCH_report.json`, independent of the
+/// working directory (`cargo bench` runs benches from the crate dir, the
+/// `report` binary usually runs from the root — CI uploads one path).
+#[must_use]
+pub fn report_json_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json").to_string()
 }
 
 fn f(x: f64) -> String {
@@ -727,6 +822,237 @@ pub fn fig_scaling() -> Table {
             f(ss.max_stretch),
             f(st.max_stretch),
             f(1.0 + 8.0 * delta),
+        ]);
+    }
+    t
+}
+
+/// Largest `n` the dense backend is allowed in the scaling experiment:
+/// past this the `O(n^2)` sorted index is pointless to time (and at the
+/// target `n = 65_536` it would need ~69 GB), so the dense row *refuses*
+/// and says so instead of thrashing.
+pub const DENSE_NODE_CAP: usize = 8192;
+
+/// The instance size for [`fig_build_scaling`]: `RON_SCALING_N` when set,
+/// else the acceptance target of 65 536 nodes.
+#[must_use]
+pub fn scaling_n() -> usize {
+    scaling_n_or(65_536)
+}
+
+/// [`scaling_n`] with a caller-chosen fallback (the `report` binary uses
+/// a CI-friendly default).
+#[must_use]
+pub fn scaling_n_or(default: usize) -> usize {
+    std::env::var("RON_SCALING_N")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(default)
+}
+
+/// One timed construction pass over a 2-d uniform cube of `n` points:
+/// ball index, net ladder, publish rings, directory assembly, and a
+/// batched publish of `n / 16` objects.
+struct BuildTimings {
+    index_ms: f64,
+    nets_ms: f64,
+    rings_ms: f64,
+    directory_ms: f64,
+    publish_ms: f64,
+    fingerprint: u64,
+}
+
+impl BuildTimings {
+    fn total_ms(&self) -> f64 {
+        self.index_ms + self.nets_ms + self.rings_ms + self.directory_ms + self.publish_ms
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn fnv(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Order-sensitive digest of the built structures: ring contents, pointer
+/// tables and homes. Two builds with the same digest placed every pointer
+/// identically — the bit-identity check between thread counts.
+fn fingerprint_overlay(rings: &RingFamily, overlay: &DirectoryOverlay) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..rings.len() {
+        let u = Node::new(i);
+        for ring in rings.rings_of(u) {
+            fnv(&mut hash, ring.level as u64);
+            fnv(&mut hash, ring.radius.to_bits());
+            for &m in ring.members() {
+                fnv(&mut hash, m.index() as u64);
+            }
+        }
+        fnv(&mut hash, overlay.entries_at(u) as u64);
+    }
+    fnv(&mut hash, overlay.total_entries() as u64);
+    for &obj in overlay.objects() {
+        fnv(&mut hash, obj.0);
+        fnv(
+            &mut hash,
+            overlay.home_of(obj).map_or(u64::MAX, |h| h.index() as u64),
+        );
+    }
+    hash
+}
+
+fn timed_build<M, I>(space: &Space<M, I>, index_ms: f64) -> BuildTimings
+where
+    M: Metric,
+    I: BallOracle,
+{
+    let n = space.len();
+    let start = Instant::now();
+    let nets = NestedNets::build(space);
+    let nets_ms = ms(start);
+
+    let start = Instant::now();
+    let rings = RingFamily::from_nets(space, &nets, |_, r| {
+        Some(ron_location::DEFAULT_RING_FACTOR * r)
+    });
+    let rings_ms = ms(start);
+
+    let start = Instant::now();
+    let mut overlay = DirectoryOverlay::from_structures(
+        n,
+        nets,
+        rings.clone(),
+        ron_location::DEFAULT_RING_FACTOR,
+    );
+    let directory_ms = ms(start);
+
+    // Cap the batch: each publish walks one zoom chain whose coarse
+    // levels cost ~|B| probes, so the object count — not n — sets this
+    // stage's wall time.
+    let objects: Vec<(ObjectId, Node)> = (0..(n / 16).clamp(4, 256))
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % n)))
+        .collect();
+    let start = Instant::now();
+    overlay.publish_batch(space, &objects);
+    let publish_ms = ms(start);
+
+    BuildTimings {
+        index_ms,
+        nets_ms,
+        rings_ms,
+        directory_ms,
+        publish_ms,
+        fingerprint: fingerprint_overlay(&rings, &overlay),
+    }
+}
+
+/// E-BS: construction scaling under the pluggable ball-query backends.
+///
+/// Builds nets + rings + directory (+ a batched publish) over a 2-d
+/// uniform cube of `n` points, on the sparse [`NetTreeIndex`] backend at
+/// one thread and at every available thread, and on the dense
+/// [`MetricIndex`] backend while `n <= DENSE_NODE_CAP` (above the cap the
+/// dense row refuses — that is the point of the sparse backend). The two
+/// sparse passes must produce bit-identical structures; the row prints
+/// both fingerprints and the function asserts they agree.
+///
+/// [`NetTreeIndex`]: ron_metric::NetTreeIndex
+/// [`MetricIndex`]: ron_metric::MetricIndex
+#[must_use]
+pub fn fig_build_scaling(n: usize) -> Table {
+    let mut t = Table {
+        title: format!("E-BS: construction scaling, nets+rings+directory (n = {n})"),
+        header: [
+            "backend",
+            "n",
+            "threads",
+            "index ms",
+            "nets ms",
+            "rings ms",
+            "directory ms",
+            "publish ms",
+            "total ms",
+            "fingerprint",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
+        rows: Vec::new(),
+    };
+    let push = |t: &mut Table, backend: &str, threads: usize, b: &BuildTimings| {
+        t.rows.push(vec![
+            backend.to_string(),
+            n.to_string(),
+            threads.to_string(),
+            f(b.index_ms),
+            f(b.nets_ms),
+            f(b.rings_ms),
+            f(b.directory_ms),
+            f(b.publish_ms),
+            f(b.total_ms()),
+            format!("{:016x}", b.fingerprint),
+        ]);
+    };
+
+    let threads = par::num_threads();
+    let serial = par::with_threads(1, || {
+        let start = Instant::now();
+        let space = Space::new_sparse(gen::uniform_cube(n, 2, 42));
+        let index_ms = ms(start);
+        let timings = timed_build(&space, index_ms);
+        push(&mut t, "sparse net-tree", 1, &timings);
+        timings
+    });
+    if threads > 1 {
+        let parallel = par::with_threads(threads, || {
+            let start = Instant::now();
+            let space = Space::new_sparse(gen::uniform_cube(n, 2, 42));
+            let index_ms = ms(start);
+            timed_build(&space, index_ms)
+        });
+        assert_eq!(
+            parallel.fingerprint, serial.fingerprint,
+            "parallel construction must be bit-identical to single-threaded"
+        );
+        push(&mut t, "sparse net-tree", threads, &parallel);
+        t.rows.push(vec![
+            "speedup (1 -> all)".into(),
+            n.to_string(),
+            threads.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.2}x", serial.total_ms() / parallel.total_ms().max(1e-9)),
+            "bit-identical".into(),
+        ]);
+    }
+
+    if n <= DENSE_NODE_CAP {
+        let start = Instant::now();
+        let space = Space::new(gen::uniform_cube(n, 2, 42));
+        let index_ms = ms(start);
+        let dense = timed_build(&space, index_ms);
+        push(&mut t, "dense index", threads, &dense);
+    } else {
+        t.rows.push(vec![
+            "dense index".into(),
+            n.to_string(),
+            "-".into(),
+            format!("refused: n > {DENSE_NODE_CAP} needs O(n^2) memory"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
         ]);
     }
     t

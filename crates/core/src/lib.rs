@@ -25,7 +25,11 @@
 //! * [`sample`]: deterministic weighted/uniform ball sampling used by the
 //!   small-world models;
 //! * [`bits`]: bit-size accounting for tables, labels and headers, so the
-//!   benchmarks report the storage the paper's encodings would use.
+//!   benchmarks report the storage the paper's encodings would use;
+//! * [`par`]: the scoped-thread executor behind every parallel
+//!   construction loop (re-exported from `ron-metric`, where it lives so
+//!   the index builds can use it too; `RON_THREADS` overrides the worker
+//!   count).
 
 pub mod bits;
 mod enumeration;
@@ -35,3 +39,4 @@ pub mod zoom;
 
 pub use enumeration::{Enumeration, TranslationFn};
 pub use rings::{Ring, RingFamily};
+pub use ron_metric::par;

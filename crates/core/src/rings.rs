@@ -5,7 +5,7 @@
 //! The structure is an overlay network; [`RingFamily::out_degree`] and
 //! friends report the quantities the paper's theorem statements bound.
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{par, BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 /// One ring of a node: the neighbors at one scale.
@@ -83,7 +83,7 @@ impl Ring {
 /// }
 /// # Ok::<(), ron_metric::MetricError>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RingFamily {
     per_node: Vec<Vec<Ring>>,
 }
@@ -91,27 +91,51 @@ pub struct RingFamily {
 impl RingFamily {
     /// Builds net rings: for each node `u` and each net level `j`, the ring
     /// `B_u(r) ∩ G_j` where `r = ring_radius(j, net_radius_j)`; levels
-    /// mapped to `None` are skipped.
+    /// mapped to `None` are skipped (`ring_radius` is called once per
+    /// level).
     ///
     /// This is the construction of Theorem 2.1 (`r_j = 4 Delta / (delta
     /// 2^j)` after re-indexing) and of the Y-neighbors in Theorems 3.2/4.1.
+    ///
+    /// The loop is *inverted* relative to the definition: instead of one
+    /// ball query per `(node, level)` pair, each net member `m` answers a
+    /// single query `B_m(r)` and is scattered into the rings of every node
+    /// it reaches — `O(sum over members of |B_m(r)|)` work per level,
+    /// which the packing bound keeps near-linear, and the only orientation
+    /// that scales on the sparse backend. The member queries run in
+    /// parallel on [`par`]; the scatter is sequential in member order, so
+    /// the result is bit-identical for every thread count.
     #[must_use]
-    pub fn from_nets<M: Metric>(
-        space: &Space<M>,
+    pub fn from_nets<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
         nets: &NestedNets,
-        mut ring_radius: impl FnMut(usize, f64) -> Option<f64>,
+        ring_radius: impl Fn(usize, f64) -> Option<f64> + Sync,
     ) -> Self {
-        let per_node = space
-            .nodes()
-            .map(|u| {
-                nets.iter()
-                    .filter_map(|(j, net)| {
-                        let r = ring_radius(j, net.radius())?;
-                        Some(Ring::new(j, r, net.members_in_ball(space, u, r)))
-                    })
-                    .collect()
-            })
-            .collect();
+        let n = space.len();
+        let oracle = space.index();
+        let mut per_node: Vec<Vec<Ring>> = (0..n).map(|_| Vec::new()).collect();
+        for (j, net) in nets.iter() {
+            let Some(r) = ring_radius(j, net.radius()) else {
+                continue;
+            };
+            let members = net.members();
+            let reached: Vec<Vec<Node>> = par::map(members.len(), |i| {
+                let mut hit = Vec::new();
+                oracle.for_each_in_ball(members[i], r, &mut |_, v| hit.push(v));
+                hit
+            });
+            let mut ring_members: Vec<Vec<Node>> = (0..n).map(|_| Vec::new()).collect();
+            for (i, hit) in reached.into_iter().enumerate() {
+                for v in hit {
+                    // Members are scanned in ascending id order, so each
+                    // node's ring arrives already sorted.
+                    ring_members[v.index()].push(members[i]);
+                }
+            }
+            for (v, members_of_v) in ring_members.into_iter().enumerate() {
+                per_node[v].push(Ring::new(j, r, members_of_v));
+            }
+        }
         RingFamily { per_node }
     }
 
@@ -233,7 +257,10 @@ impl RingFamily {
     ///
     /// Returns the first violation as `(node, level, member)`.
     #[must_use]
-    pub fn check_containment<M: Metric>(&self, space: &Space<M>) -> Option<(Node, usize, Node)> {
+    pub fn check_containment<M: Metric, I>(
+        &self,
+        space: &Space<M, I>,
+    ) -> Option<(Node, usize, Node)> {
         for u in space.nodes() {
             for ring in self.rings_of(u) {
                 for &v in ring.members() {

@@ -7,7 +7,7 @@
 //! each net covers the space at its radius: `f_tj` is simply the net point
 //! nearest to `t` at the level matching scale `s_j`.
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 /// A target's zooming sequence: `points[j]` is the paper's `f_tj`.
@@ -43,8 +43,8 @@ impl ZoomSequence {
     /// (clamped at the ladder bottom, where the net is all of `V` and
     /// `f_tj = t`).
     #[must_use]
-    pub fn towards<M: Metric>(
-        space: &Space<M>,
+    pub fn towards<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
         nets: &NestedNets,
         target: Node,
         scales: &[f64],
@@ -97,7 +97,7 @@ impl ZoomSequence {
     /// Largest ratio `d(f_tj, t) / s_j` over the sequence — at most 1 when
     /// the scales match the ladder (tests pin this).
     #[must_use]
-    pub fn max_scale_ratio<M: Metric>(&self, space: &Space<M>, scales: &[f64]) -> f64 {
+    pub fn max_scale_ratio<M: Metric, I>(&self, space: &Space<M, I>, scales: &[f64]) -> f64 {
         self.points
             .iter()
             .zip(scales)

@@ -34,8 +34,8 @@
 use std::collections::BTreeSet;
 
 use ron_core::bits::{index_bits, SizeReport};
-use ron_core::{Enumeration, TranslationFn};
-use ron_metric::{Metric, Node, Space};
+use ron_core::{par, Enumeration, TranslationFn};
+use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::{DistanceCodec, EncodedDistance, NeighborSystem};
 
@@ -114,14 +114,21 @@ impl CompactScheme {
     ///
     /// Panics if `delta` is not in `(0, 1)`.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, delta: f64) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>, delta: f64) -> Self {
         let system = NeighborSystem::build(space, delta);
         Self::from_system(space, &system)
     }
 
     /// Builds the scheme from an existing neighbor system.
+    ///
+    /// The per-node stages (zoom chains, `Z`-sets, virtual unions, label
+    /// assembly) each fan out on [`par`] and merge in node order, so the
+    /// labels are identical for every thread count.
     #[must_use]
-    pub fn from_system<M: Metric>(space: &Space<M>, system: &NeighborSystem) -> Self {
+    pub fn from_system<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        system: &NeighborSystem,
+    ) -> Self {
         let _n = space.len();
         let levels = system.levels();
         let delta = system.delta();
@@ -132,51 +139,45 @@ impl CompactScheme {
 
         // --- Zooming chains: f[u][i], the nearest net point at scale
         // r_ui / 4 (level 0 canonicalized to the diameter).
-        let zoom: Vec<Vec<Node>> = space
-            .nodes()
-            .map(|u| {
-                (0..levels)
-                    .map(|i| {
-                        let scale = system.radius(u, i) / 4.0;
-                        let scale = if i == 0 { diameter / 4.0 } else { scale };
-                        let level = nets.level_for_scale(scale);
-                        nets.net(level).nearest_member(space, u).1
-                    })
-                    .collect()
-            })
-            .collect();
+        let zoom: Vec<Vec<Node>> = par::map(space.len(), |ui| {
+            let u = Node::new(ui);
+            (0..levels)
+                .map(|i| {
+                    let scale = system.radius(u, i) / 4.0;
+                    let scale = if i == 0 { diameter / 4.0 } else { scale };
+                    let level = nets.level_for_scale(scale);
+                    nets.net(level).nearest_member(space, u).1
+                })
+                .collect()
+        });
 
         // --- Z-sets: Z_w = union over j of B_w(2^j) ∩ G_(z-level(j)).
         let ladder_top = nets.levels() - 1 + Z_EXTRA_LEVELS;
-        let z_sets: Vec<BTreeSet<Node>> = space
-            .nodes()
-            .map(|w| {
-                let mut set = BTreeSet::new();
-                for j in 1..=ladder_top {
-                    let radius = min_dist * (2.0f64).powi(j as i32);
-                    let level = nets.level_for_scale(radius * delta / Z_SCALE_DIVISOR);
-                    for m in nets.net(level).members_in_ball(space, w, radius) {
-                        set.insert(m);
-                    }
+        let z_sets: Vec<BTreeSet<Node>> = par::map(space.len(), |wi| {
+            let w = Node::new(wi);
+            let mut set = BTreeSet::new();
+            for j in 1..=ladder_top {
+                let radius = min_dist * (2.0f64).powi(j as i32);
+                let level = nets.level_for_scale(radius * delta / Z_SCALE_DIVISOR);
+                for m in nets.net(level).members_in_ball(space, w, radius) {
+                    set.insert(m);
                 }
-                set
-            })
-            .collect();
+            }
+            set
+        });
 
         // --- Virtual neighbor sets T_u = X_u ∪ Z_u ∪ (∪_{v in X_u} Z_v).
-        let mut t_sets: Vec<BTreeSet<Node>> = space
-            .nodes()
-            .map(|u| {
-                let mut t = z_sets[u.index()].clone();
-                for i in 0..levels {
-                    for h in system.x_neighbors(u, i) {
-                        t.insert(h);
-                        t.extend(z_sets[h.index()].iter().copied());
-                    }
+        let mut t_sets: Vec<BTreeSet<Node>> = par::map(space.len(), |ui| {
+            let u = Node::new(ui);
+            let mut t = z_sets[ui].clone();
+            for i in 0..levels {
+                for h in system.x_neighbors(u, i) {
+                    t.insert(h);
+                    t.extend(z_sets[h.index()].iter().copied());
                 }
-                t
-            })
-            .collect();
+            }
+            t
+        });
 
         // --- Enforce Claim 3.5(c): f_(u,i) ∈ T_(f_(u,i-1)).
         let mut forced_insertions = 0usize;
@@ -200,85 +201,80 @@ impl CompactScheme {
         let block = system.level0_block();
         let level0_len = block.len() as u32;
         let block_set: BTreeSet<Node> = block.iter().copied().collect();
-        let phi: Vec<Enumeration> = space
-            .nodes()
-            .map(|u| {
-                let mut order = block.clone();
-                order.extend(
-                    system
-                        .neighbors_of(u)
-                        .into_iter()
-                        .filter(|v| !block_set.contains(v)),
-                );
-                Enumeration::from_ordered(order)
-            })
-            .collect();
+        let phi: Vec<Enumeration> = par::map(space.len(), |ui| {
+            let mut order = block.clone();
+            order.extend(
+                system
+                    .neighbors_of(Node::new(ui))
+                    .into_iter()
+                    .filter(|v| !block_set.contains(v)),
+            );
+            Enumeration::from_ordered(order)
+        });
 
         // --- Per-node labels.
-        let labels: Vec<CompactLabel> = space
-            .nodes()
-            .map(|u| {
-                let phi_u = &phi[u.index()];
-                let host_dists: Vec<EncodedDistance> = phi_u
-                    .nodes()
-                    .iter()
-                    .map(|&v| codec.encode(space.dist(u, v)))
-                    .collect();
+        let labels: Vec<CompactLabel> = par::map(space.len(), |ui| {
+            let u = Node::new(ui);
+            let phi_u = &phi[u.index()];
+            let host_dists: Vec<EncodedDistance> = phi_u
+                .nodes()
+                .iter()
+                .map(|&v| codec.encode(space.dist(u, v)))
+                .collect();
 
-                // Translation maps zeta_ui, i in 0..levels-1.
-                let zeta: Vec<TranslationFn> = (0..levels.saturating_sub(1))
-                    .map(|i| {
-                        let mut triples = Vec::new();
-                        let mut level_i: Vec<Node> = system
-                            .x_neighbors(u, i)
-                            .chain(system.y_neighbors(u, i).iter().copied())
-                            .collect();
-                        level_i.sort_unstable();
-                        level_i.dedup();
-                        let mut level_next: Vec<Node> = system
-                            .x_neighbors(u, i + 1)
-                            .chain(system.y_neighbors(u, i + 1).iter().copied())
-                            .collect();
-                        level_next.sort_unstable();
-                        level_next.dedup();
-                        for &v in &level_i {
-                            let x = phi_u.index_of(v).expect("level set is in host enum");
-                            let psi_v = &psi[v.index()];
-                            for &w in &level_next {
-                                if let Some(y) = psi_v.index_of(w) {
-                                    let z = phi_u.index_of(w).expect("level set is in host enum");
-                                    triples.push((x, y, z));
-                                }
+            // Translation maps zeta_ui, i in 0..levels-1.
+            let zeta: Vec<TranslationFn> = (0..levels.saturating_sub(1))
+                .map(|i| {
+                    let mut triples = Vec::new();
+                    let mut level_i: Vec<Node> = system
+                        .x_neighbors(u, i)
+                        .chain(system.y_neighbors(u, i).iter().copied())
+                        .collect();
+                    level_i.sort_unstable();
+                    level_i.dedup();
+                    let mut level_next: Vec<Node> = system
+                        .x_neighbors(u, i + 1)
+                        .chain(system.y_neighbors(u, i + 1).iter().copied())
+                        .collect();
+                    level_next.sort_unstable();
+                    level_next.dedup();
+                    for &v in &level_i {
+                        let x = phi_u.index_of(v).expect("level set is in host enum");
+                        let psi_v = &psi[v.index()];
+                        for &w in &level_next {
+                            if let Some(y) = psi_v.index_of(w) {
+                                let z = phi_u.index_of(w).expect("level set is in host enum");
+                                triples.push((x, y, z));
                             }
                         }
-                        TranslationFn::from_triples(triples)
-                    })
-                    .collect();
+                    }
+                    TranslationFn::from_triples(triples)
+                })
+                .collect();
 
-                // Zooming sequence encoding.
-                let f0 = zoom[u.index()][0];
-                let zoom_first = phi_u
-                    .index_of(f0)
-                    .expect("f_u0 lies in the canonical level-0 block");
-                debug_assert!(zoom_first < level0_len, "f_u0 outside the level-0 block");
-                let zoom_virtual: Vec<u32> = (1..levels)
-                    .map(|i| {
-                        let prev = zoom[u.index()][i - 1];
-                        let cur = zoom[u.index()][i];
-                        psi[prev.index()]
-                            .index_of(cur)
-                            .expect("zoom membership was enforced")
-                    })
-                    .collect();
+            // Zooming sequence encoding.
+            let f0 = zoom[u.index()][0];
+            let zoom_first = phi_u
+                .index_of(f0)
+                .expect("f_u0 lies in the canonical level-0 block");
+            debug_assert!(zoom_first < level0_len, "f_u0 outside the level-0 block");
+            let zoom_virtual: Vec<u32> = (1..levels)
+                .map(|i| {
+                    let prev = zoom[u.index()][i - 1];
+                    let cur = zoom[u.index()][i];
+                    psi[prev.index()]
+                        .index_of(cur)
+                        .expect("zoom membership was enforced")
+                })
+                .collect();
 
-                CompactLabel {
-                    host_dists,
-                    zeta,
-                    zoom_first,
-                    zoom_virtual,
-                }
-            })
-            .collect();
+            CompactLabel {
+                host_dists,
+                zeta,
+                zoom_first,
+                zoom_virtual,
+            }
+        });
 
         CompactScheme {
             codec,

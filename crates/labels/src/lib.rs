@@ -19,7 +19,7 @@
 //! Also here: [`DistanceCodec`] (the mantissa/exponent distance encoding
 //! both labeling schemes charge for) and [`SharedBeaconTriangulation`]
 //! (the `(eps, delta)`-triangulation baseline of Kleinberg–Slivkins–Wexler
-//! [33], which leaves an `eps`-fraction of pairs unguaranteed — the flaw
+//! \[33], which leaves an `eps`-fraction of pairs unguaranteed — the flaw
 //! Theorem 3.2 repairs).
 
 mod baseline;

@@ -16,8 +16,9 @@
 //! (and hence their enumerations) coincide across nodes, as the paper
 //! requires for the decoding base case.
 
+use ron_core::par;
 use ron_measure::{NodeMeasure, Packing};
-use ron_metric::{cardinality_levels, Metric, Node, Space};
+use ron_metric::{cardinality_levels, BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 /// The per-node, per-level X/Y-neighbor structure shared by the labeling
@@ -52,14 +53,16 @@ pub struct NeighborSystem {
 }
 
 impl NeighborSystem {
-    /// Builds the system. `O(n^2 log n)`-ish: one `(2^-i, mu)`-packing and
-    /// one ball scan per level.
+    /// Builds the system. `O(n^2 log n)`-ish work: one `(2^-i, mu)`-packing
+    /// and one ball scan per level, with the per-node loops (radii and X/Y
+    /// sets) fanned out on [`par`] and merged in node order, so the result
+    /// is identical for every thread count.
     ///
     /// # Panics
     ///
     /// Panics if `delta` is not in `(0, 1)`.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, delta: f64) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>, delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
         let n = space.len();
         let levels = cardinality_levels(n);
@@ -67,37 +70,33 @@ impl NeighborSystem {
         let counting = NodeMeasure::counting(n);
         let nets = NestedNets::build(space);
 
-        let r: Vec<Vec<f64>> = space
-            .nodes()
-            .map(|u| {
-                (0..levels)
-                    .map(|i| {
-                        if i == 0 {
-                            diameter
-                        } else {
-                            space.index().r_fraction(u, (0.5f64).powi(i as i32))
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let r: Vec<Vec<f64>> = par::map(n, |ui| {
+            let u = Node::new(ui);
+            (0..levels)
+                .map(|i| {
+                    if i == 0 {
+                        diameter
+                    } else {
+                        space.index().r_fraction(u, (0.5f64).powi(i as i32))
+                    }
+                })
+                .collect()
+        });
 
         let packings: Vec<Packing> = (0..levels)
             .map(|i| Packing::build(space, &counting, (0.5f64).powi(i as i32)))
             .collect();
 
-        let mut x: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(levels); n];
-        let mut y: Vec<Vec<Vec<Node>>> = vec![Vec::with_capacity(levels); n];
-        let mut y_level: Vec<Vec<usize>> = vec![Vec::with_capacity(levels); n];
-        for u in space.nodes() {
+        type NodeLevels = (Vec<Vec<u32>>, Vec<Vec<Node>>, Vec<usize>);
+        let per_node: Vec<NodeLevels> = par::map(n, |ui| {
+            let u = Node::new(ui);
+            let mut xs_all = Vec::with_capacity(levels);
+            let mut ys_all = Vec::with_capacity(levels);
+            let mut y_levels = Vec::with_capacity(levels);
             for i in 0..levels {
                 // X_ui: packing balls with d(u, h_B) + r_B below the
                 // previous-level radius (infinite for i = 0).
-                let limit = if i == 0 {
-                    f64::INFINITY
-                } else {
-                    r[u.index()][i - 1]
-                };
+                let limit = if i == 0 { f64::INFINITY } else { r[ui][i - 1] };
                 let mut xs: Vec<u32> = packings[i]
                     .balls()
                     .iter()
@@ -106,19 +105,27 @@ impl NeighborSystem {
                     .map(|(k, _)| k as u32)
                     .collect();
                 xs.sort_by_key(|&k| packings[i].balls()[k as usize].rep);
-                x[u.index()].push(xs);
+                xs_all.push(xs);
 
                 // Y_ui: net points at scale delta*r_ui/4 within 12 r_ui/delta.
-                let rui = r[u.index()][i];
+                let rui = r[ui][i];
                 let level = nets.level_for_scale(delta * rui / 4.0);
-                let members = nets
+                let mut members = nets
                     .net(level)
                     .members_in_ball(space, u, 12.0 * rui / delta);
-                let mut members = members;
                 members.sort_unstable();
-                y[u.index()].push(members);
-                y_level[u.index()].push(level);
+                ys_all.push(members);
+                y_levels.push(level);
             }
+            (xs_all, ys_all, y_levels)
+        });
+        let mut x: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n);
+        let mut y: Vec<Vec<Vec<Node>>> = Vec::with_capacity(n);
+        let mut y_level: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (xs_all, ys_all, y_levels) in per_node {
+            x.push(xs_all);
+            y.push(ys_all);
+            y_level.push(y_levels);
         }
         NeighborSystem {
             delta,
@@ -202,7 +209,7 @@ impl NeighborSystem {
     /// The nearest X-neighbor `x_ui` of `u` at level `i` (by distance, ties
     /// by node id), if any.
     #[must_use]
-    pub fn nearest_x<M: Metric>(&self, space: &Space<M>, u: Node, i: usize) -> Option<Node> {
+    pub fn nearest_x<M: Metric, I>(&self, space: &Space<M, I>, u: Node, i: usize) -> Option<Node> {
         self.x_neighbors(u, i)
             .map(|h| (space.dist(u, h), h))
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))

@@ -2,7 +2,8 @@
 //! labeling scheme derived from it.
 
 use ron_core::bits::{id_bits, SizeReport};
-use ron_metric::{Metric, Node, Space};
+use ron_core::par;
+use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::{DistanceCodec, NeighborSystem};
 
@@ -68,24 +69,27 @@ impl Triangulation {
     ///
     /// Panics if `delta` is not in `(0, 1)`.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, delta: f64) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>, delta: f64) -> Self {
         let system = NeighborSystem::build(space, delta);
         Self::from_system(space, &system)
     }
 
-    /// Builds the triangulation from an existing neighbor system.
+    /// Builds the triangulation from an existing neighbor system (one
+    /// label per node, computed in parallel on [`par`] and merged in node
+    /// order).
     #[must_use]
-    pub fn from_system<M: Metric>(space: &Space<M>, system: &NeighborSystem) -> Self {
-        let labels = space
-            .nodes()
-            .map(|u| {
-                system
-                    .neighbors_of(u)
-                    .into_iter()
-                    .map(|b| (b, space.dist(u, b)))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+    pub fn from_system<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        system: &NeighborSystem,
+    ) -> Self {
+        let labels = par::map(space.len(), |ui| {
+            let u = Node::new(ui);
+            system
+                .neighbors_of(u)
+                .into_iter()
+                .map(|b| (b, space.dist(u, b)))
+                .collect::<Vec<_>>()
+        });
         Triangulation {
             delta: system.delta(),
             labels,
@@ -202,17 +206,17 @@ impl GlobalIdDls {
     /// Builds the DLS from a triangulation, quantizing distances at the
     /// triangulation's `delta`.
     #[must_use]
-    pub fn from_triangulation<M: Metric>(space: &Space<M>, tri: &Triangulation) -> Self {
+    pub fn from_triangulation<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        tri: &Triangulation,
+    ) -> Self {
         let codec = DistanceCodec::for_delta(tri.delta());
-        let labels = space
-            .nodes()
-            .map(|u| {
-                tri.label(u)
-                    .iter()
-                    .map(|&(b, d)| (b, codec.decode(codec.encode(d))))
-                    .collect()
-            })
-            .collect();
+        let labels = par::map(space.len(), |ui| {
+            tri.label(Node::new(ui))
+                .iter()
+                .map(|&(b, d)| (b, codec.decode(codec.encode(d))))
+                .collect()
+        });
         GlobalIdDls {
             codec,
             aspect_ratio: space.index().aspect_ratio(),

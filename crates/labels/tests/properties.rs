@@ -85,3 +85,68 @@ proptest! {
         }
     }
 }
+
+/// Parallel label construction is byte-identical to single-threaded: the
+/// per-node loops of the neighbor system, triangulation and compact
+/// scheme all merge in node order.
+#[test]
+fn parallel_label_builds_are_identical() {
+    use ron_core::par;
+    use ron_labels::NeighborSystem;
+    let space = Space::new(gen::uniform_cube(40, 2, 17));
+    let delta = 0.25;
+    let (sys1, tri1, cmp1) = par::with_threads(1, || {
+        let sys = NeighborSystem::build(&space, delta);
+        let tri = Triangulation::from_system(&space, &sys);
+        let cmp = CompactScheme::from_system(&space, &sys);
+        (sys, tri, cmp)
+    });
+    let (sys4, tri4, cmp4) = par::with_threads(4, || {
+        let sys = NeighborSystem::build(&space, delta);
+        let tri = Triangulation::from_system(&space, &sys);
+        let cmp = CompactScheme::from_system(&space, &sys);
+        (sys, tri, cmp)
+    });
+    assert_eq!(sys1.order(), sys4.order());
+    assert_eq!(cmp1.max_label_bits(), cmp4.max_label_bits());
+    assert_eq!(
+        cmp1.forced_virtual_insertions(),
+        cmp4.forced_virtual_insertions()
+    );
+    for u in space.nodes() {
+        assert_eq!(tri1.label(u), tri4.label(u), "triangulation label of {u}");
+        for i in 0..sys1.levels() {
+            assert_eq!(sys1.y_neighbors(u, i), sys4.y_neighbors(u, i));
+            assert_eq!(sys1.x_ball_indices(u, i), sys4.x_ball_indices(u, i));
+        }
+        assert_eq!(
+            cmp1.label_bits(u).total_bits(),
+            cmp4.label_bits(u).total_bits()
+        );
+        for v in space.nodes() {
+            assert_eq!(cmp1.estimate(u, v), cmp4.estimate(u, v));
+        }
+    }
+}
+
+/// Labels built on the sparse backend still satisfy Theorem 3.2's
+/// bracket (the ladder may differ by one level from the dense backend,
+/// so the comparison is against the guarantee, not the dense artifact).
+#[test]
+fn triangulation_on_sparse_backend_brackets_distances() {
+    let space = Space::new_sparse(gen::uniform_cube(32, 2, 23));
+    let delta = 0.25;
+    let tri = Triangulation::build(&space, delta);
+    let bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
+    for u in space.nodes() {
+        for v in space.nodes() {
+            if u >= v {
+                continue;
+            }
+            let d = space.dist(u, v);
+            let est = tri.estimate(u, v);
+            assert!(est.lower <= d * (1.0 + 1e-9) && d <= est.upper * (1.0 + 1e-9));
+            assert!(est.ratio() <= bound * (1.0 + 1e-9));
+        }
+    }
+}

@@ -24,7 +24,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_routing::PathStats;
 
 use crate::directory::{DirectoryOverlay, Placement};
@@ -66,7 +66,7 @@ impl DirectoryOverlay {
     /// Panics if `v` is already alive.
     ///
     /// [`repair`]: DirectoryOverlay::repair
-    pub fn join<M: Metric>(&mut self, space: &Space<M>, v: Node) {
+    pub fn join<M: Metric, I: BallOracle>(&mut self, space: &Space<M, I>, v: Node) {
         assert!(!self.alive[v.index()], "{v} is already alive");
         self.alive[v.index()] = true;
         self.alive_count += 1;
@@ -119,7 +119,7 @@ impl DirectoryOverlay {
     /// Restores the covering and publish invariants after any sequence of
     /// joins and leaves; afterwards every lookup from an alive origin
     /// succeeds again. Returns the work performed.
-    pub fn repair<M: Metric>(&mut self, space: &Space<M>) -> RepairReport {
+    pub fn repair<M: Metric, I: BallOracle>(&mut self, space: &Space<M, I>) -> RepairReport {
         let mut report = RepairReport::default();
         self.repair_covering(space, &mut report);
         self.repair_homes(space, &mut report);
@@ -134,7 +134,11 @@ impl DirectoryOverlay {
     /// (a node promoted to level `j` joins every finer level too, keeping
     /// the ladder nested). Separation may degrade — covering is the
     /// serving invariant; degree growth is the measured price.
-    fn repair_covering<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+    fn repair_covering<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        report: &mut RepairReport,
+    ) {
         let n = self.len();
         for j in 1..self.levels() {
             for i in 0..n {
@@ -160,7 +164,11 @@ impl DirectoryOverlay {
     }
 
     /// Re-homes objects whose home died to the nearest alive node.
-    fn repair_homes<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+    fn repair_homes<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        report: &mut RepairReport,
+    ) {
         for idx in 0..self.objects.len() {
             let obj = self.objects[idx];
             let home = self.homes[&obj];
@@ -169,7 +177,7 @@ impl DirectoryOverlay {
             }
             let (_, new_home) = space
                 .index()
-                .nearest_where(home, |v| self.alive[v.index()])
+                .nearest_where(home, &mut |v| self.alive[v.index()])
                 .expect("at least one node stays alive");
             self.homes.insert(obj, new_home);
             report.rehomed += 1;
@@ -188,7 +196,11 @@ impl DirectoryOverlay {
     /// publish radius and an unmoved home therefore mean both rings and
     /// chain are intact, and the object costs only `sum_j |touched[j]|`
     /// distance probes.
-    fn repair_pointers<M: Metric>(&mut self, space: &Space<M>, report: &mut RepairReport) {
+    fn repair_pointers<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        report: &mut RepairReport,
+    ) {
         let levels = self.levels();
         for idx in 0..self.objects.len() {
             let obj = self.objects[idx];
@@ -382,8 +394,8 @@ impl ChurnReport {
 ///
 /// Panics if the schedule fraction is not in `(0, 1)`, or if nothing is
 /// published (there would be nothing to measure).
-pub fn drive_churn<M: Metric>(
-    space: &Space<M>,
+pub fn drive_churn<M: Metric, I: BallOracle>(
+    space: &Space<M, I>,
     overlay: &mut DirectoryOverlay,
     schedule: ChurnSchedule,
     config: &ChurnConfig,
@@ -461,8 +473,8 @@ fn pick_victims(
 }
 
 /// Samples `count` lookups of published objects from alive origins.
-fn sample_queries<M: Metric>(
-    space: &Space<M>,
+fn sample_queries<M: Metric, I: BallOracle>(
+    space: &Space<M, I>,
     overlay: &DirectoryOverlay,
     rng: &mut StdRng,
     count: usize,

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use ron_core::RingFamily;
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 /// Identifier of a published object.
@@ -104,7 +104,7 @@ pub struct DirectoryOverlay {
 impl DirectoryOverlay {
     /// Builds the overlay over `space` with the default ring factor.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>) -> Self {
         Self::build_with_factor(space, DEFAULT_RING_FACTOR)
     }
 
@@ -115,18 +115,40 @@ impl DirectoryOverlay {
     /// Panics if `ring_factor < 2.0` (the smallest factor with a static
     /// delivery guarantee; see [`DEFAULT_RING_FACTOR`]).
     #[must_use]
-    pub fn build_with_factor<M: Metric>(space: &Space<M>, ring_factor: f64) -> Self {
+    pub fn build_with_factor<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        ring_factor: f64,
+    ) -> Self {
+        let nets = NestedNets::build(space);
+        // The publish rings are exactly the net rings of Theorem 2.1 shape
+        // with radius `ring_factor * r_j`.
+        let rings = RingFamily::from_nets(space, &nets, |_, r| Some(ring_factor * r));
+        Self::from_structures(space.len(), nets, rings, ring_factor)
+    }
+
+    /// Assembles the overlay from an already-built ladder and ring family
+    /// (the rings must be the per-level rings at radius
+    /// `ring_factor * r_j`), so callers that built those structures for
+    /// other purposes — or benchmarks timing each stage — don't pay for
+    /// them twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_factor < 2.0` or if the arities disagree.
+    #[must_use]
+    pub fn from_structures(
+        n: usize,
+        nets: NestedNets,
+        rings: RingFamily,
+        ring_factor: f64,
+    ) -> Self {
         assert!(
             ring_factor >= 2.0,
             "ring factor {ring_factor} loses the delivery guarantee (needs >= 2)"
         );
-        let n = space.len();
-        let nets = NestedNets::build(space);
+        assert_eq!(rings.len(), n, "ring family arity must match the space");
         let levels = nets.levels();
         let radii: Vec<f64> = (0..levels).map(|j| nets.radius(j)).collect();
-        // The publish rings are exactly the net rings of Theorem 2.1 shape
-        // with radius `ring_factor * r_j`.
-        let rings = RingFamily::from_nets(space, &nets, |_, r| Some(ring_factor * r));
         let member = (0..levels)
             .map(|j| {
                 let net = nets.net(j);
@@ -208,15 +230,15 @@ impl DirectoryOverlay {
     /// dynamic level-`j` net (with its distance), or `None` if the level
     /// has no members left.
     #[must_use]
-    pub fn finger<M: Metric>(
+    pub fn finger<M: Metric, I: BallOracle>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         s: Node,
         level: usize,
     ) -> Option<(f64, Node)> {
         space
             .index()
-            .nearest_where(s, |v| self.member[level][v.index()])
+            .nearest_where(s, &mut |v| self.member[level][v.index()])
     }
 
     /// Published objects, in publish order.
@@ -263,20 +285,20 @@ impl DirectoryOverlay {
     /// The dynamic publish ring of `home` at `level`: alive members of the
     /// dynamic net within `ring_factor * r_level` of `home`, nearest first.
     #[must_use]
-    pub(crate) fn dynamic_ring<M: Metric>(
+    pub(crate) fn dynamic_ring<M: Metric, I: BallOracle>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         home: Node,
         level: usize,
     ) -> Vec<Node> {
         let r = self.ring_factor * self.radii[level];
-        space
-            .index()
-            .ball(home, r)
-            .iter()
-            .filter(|&&(_, v)| self.member[level][v.index()])
-            .map(|&(_, v)| v)
-            .collect()
+        let mut ring = Vec::new();
+        space.index().for_each_in_ball(home, r, &mut |_, v| {
+            if self.member[level][v.index()] {
+                ring.push(v);
+            }
+        });
+        ring
     }
 
     /// Looks up the level-`level` entry for `obj` at node `v`.

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_routing::PathStats;
 
 use crate::directory::{DirectoryOverlay, ObjectId};
@@ -37,7 +37,10 @@ pub struct Snapshot<'a> {
 impl<'a> Snapshot<'a> {
     /// Freezes the overlay's current fingers.
     #[must_use]
-    pub fn capture<M: Metric>(space: &Space<M>, overlay: &'a DirectoryOverlay) -> Self {
+    pub fn capture<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        overlay: &'a DirectoryOverlay,
+    ) -> Self {
         let n = overlay.len();
         let levels = overlay.levels();
         let mut fingers = Vec::with_capacity(n * levels);
@@ -65,9 +68,9 @@ impl<'a> Snapshot<'a> {
     /// # Errors
     ///
     /// Same failure modes as [`DirectoryOverlay::lookup`].
-    pub fn lookup<M: Metric>(
+    pub fn lookup<M: Metric, I>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         origin: Node,
         obj: ObjectId,
     ) -> Result<crate::lookup::LookupOutcome, crate::lookup::LocateError> {

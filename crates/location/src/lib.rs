@@ -14,7 +14,8 @@
 //!   and descends the chain, with constant worst-case stretch on static
 //!   instances (tests pin 18);
 //! * **dynamics** ([`churn`]): `join` / `leave` with incremental
-//!   net-membership and directory-pointer [`repair`], plus a churn driver
+//!   net-membership and directory-pointer [`DirectoryOverlay::repair`],
+//!   plus a churn driver
 //!   replaying random and targeted (hub-first) removal schedules and
 //!   reporting success/stretch degradation and repair cost — the DRFE-R
 //!   evaluation shape;

@@ -12,7 +12,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::directory::{DirectoryOverlay, ObjectId};
 
@@ -108,9 +108,9 @@ impl DirectoryOverlay {
     ///
     /// See [`LocateError`]; errors other than `UnknownObject` and
     /// `OriginDown` only occur between churn and the next repair.
-    pub fn lookup<M: Metric>(
+    pub fn lookup<M: Metric, I: BallOracle>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         origin: Node,
         obj: ObjectId,
     ) -> Result<LookupOutcome, LocateError> {
@@ -121,9 +121,9 @@ impl DirectoryOverlay {
 
     /// Shared lookup walk over any finger provider (the dynamic overlay
     /// scans the metric index; engine snapshots use a precomputed table).
-    pub(crate) fn locate_with<M: Metric>(
+    pub(crate) fn locate_with<M: Metric, I>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         origin: Node,
         obj: ObjectId,
         fingers: impl Fn(Node, usize) -> Option<Node>,

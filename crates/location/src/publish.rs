@@ -7,8 +7,9 @@
 //! forward to the home itself. Lookups therefore descend the home's zoom
 //! chain exactly as routing descends a target's chain in Theorem 2.1.
 
+use ron_core::par;
 use ron_core::zoom::ZoomSequence;
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::directory::{DirectoryOverlay, ObjectId, Placement};
 
@@ -20,18 +21,71 @@ impl DirectoryOverlay {
     /// # Panics
     ///
     /// Panics if `home` is dead or `obj` is already published.
-    pub fn publish<M: Metric>(&mut self, space: &Space<M>, obj: ObjectId, home: Node) -> usize {
+    pub fn publish<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        obj: ObjectId,
+        home: Node,
+    ) -> usize {
+        let plan = self.plan_publish(space, home);
+        self.install(obj, home, plan)
+    }
+
+    /// Publishes a batch of `(object, home)` pairs, computing every
+    /// placement (zoom chain + per-level ring membership) in parallel on
+    /// [`par`] and then installing the pointer entries sequentially in
+    /// batch order. Returns the total pointer entries written.
+    ///
+    /// Placements depend only on net membership — never on previously
+    /// published objects — so the result is byte-identical to calling
+    /// [`publish`](DirectoryOverlay::publish) once per pair, in order
+    /// (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any home is dead or any object is already published
+    /// (including duplicates inside the batch).
+    pub fn publish_batch<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        items: &[(ObjectId, Node)],
+    ) -> usize {
+        let plans = par::map(items.len(), |k| self.plan_publish(space, items[k].1));
+        let mut writes = 0usize;
+        for ((obj, home), plan) in items.iter().zip(plans) {
+            writes += self.install(*obj, *home, plan);
+        }
+        writes
+    }
+
+    /// Read-only half of a publish: the home's zoom chain and the publish
+    /// ring of every ladder level.
+    fn plan_publish<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+        home: Node,
+    ) -> (Vec<Node>, Vec<Vec<Node>>) {
+        let chain = self.desired_chain(space, home);
+        let rings = (0..self.levels())
+            .map(|j| self.ring_members(space, home, j))
+            .collect();
+        (chain, rings)
+    }
+
+    /// Mutating half of a publish: registers the object and writes the
+    /// planned entries.
+    fn install(&mut self, obj: ObjectId, home: Node, plan: (Vec<Node>, Vec<Vec<Node>>)) -> usize {
         assert!(self.is_alive(home), "cannot publish {obj} on dead {home}");
         assert!(!self.homes.contains_key(&obj), "{obj} is already published");
-        let chain = self.desired_chain(space, home);
+        let (chain, rings) = plan;
         let mut placement = Placement {
             chain: chain.clone(),
             entries: Vec::new(),
         };
         let mut writes = 0usize;
-        for j in 0..self.levels() {
+        for (j, ring) in rings.into_iter().enumerate() {
             let target = if j == 0 { home } else { chain[j - 1] };
-            for w in self.ring_members(space, home, j) {
+            for w in ring {
                 self.tables[w.index()][j].insert(obj, target);
                 placement.entries.push((j, w));
                 writes += 1;
@@ -74,7 +128,11 @@ impl DirectoryOverlay {
     /// entries above it forward straight to the home instead of into a
     /// void — the descent recognises arrival at the home (see
     /// `locate_with`) and such a publish still serves.
-    pub(crate) fn desired_chain<M: Metric>(&self, space: &Space<M>, home: Node) -> Vec<Node> {
+    pub(crate) fn desired_chain<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+        home: Node,
+    ) -> Vec<Node> {
         if self.level_dirty.iter().any(|&d| d) {
             (0..self.levels())
                 .map(|j| self.finger(space, home, j).map_or(home, |(_, f)| f))
@@ -88,9 +146,9 @@ impl DirectoryOverlay {
 
     /// The publish-ring members of `home` at `level`, from the static
     /// `RingFamily` while the level is pristine, dynamically otherwise.
-    pub(crate) fn ring_members<M: Metric>(
+    pub(crate) fn ring_members<M: Metric, I: BallOracle>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         home: Node,
         level: usize,
     ) -> Vec<Node> {

@@ -169,3 +169,77 @@ fn static_delivery_on_uniform_line() {
     let worst = check_all_pairs(&space, &overlay);
     assert!(worst <= STRETCH_BOUND);
 }
+
+/// `publish_batch` (parallel planning, ordered install) is byte-identical
+/// to publishing the same pairs one at a time, and parallel overlay
+/// construction matches single-threaded construction entry for entry.
+#[test]
+fn batched_and_parallel_publish_match_sequential() {
+    use ron_core::par;
+    let space = Space::new(gen::uniform_cube(96, 2, 31));
+    let items: Vec<(ObjectId, Node)> = (0..24)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 13 + 5) % 96)))
+        .collect();
+
+    let mut sequential = DirectoryOverlay::build(&space);
+    let mut seq_writes = 0usize;
+    for &(obj, home) in &items {
+        seq_writes += sequential.publish(&space, obj, home);
+    }
+    let mut batched = par::with_threads(1, || DirectoryOverlay::build(&space));
+    let batch_writes = par::with_threads(4, || batched.publish_batch(&space, &items));
+
+    assert_eq!(batch_writes, seq_writes);
+    assert_eq!(batched.objects(), sequential.objects());
+    assert_eq!(batched.total_entries(), sequential.total_entries());
+    assert_eq!(batched.rings(), sequential.rings());
+    for v in space.nodes() {
+        assert_eq!(
+            batched.entries_at(v),
+            sequential.entries_at(v),
+            "load at {v}"
+        );
+    }
+    for &(obj, _) in &items {
+        assert_eq!(batched.home_of(obj), sequential.home_of(obj));
+        for s in space.nodes() {
+            let a = batched.lookup(&space, s, obj).expect("batched lookup");
+            let b = sequential
+                .lookup(&space, s, obj)
+                .expect("sequential lookup");
+            assert_eq!(a, b, "lookup({s}, {obj})");
+        }
+    }
+}
+
+/// The full serving pipeline works end to end on the sparse backend:
+/// build, publish, look up everything, churn, repair, recover.
+#[test]
+fn directory_on_sparse_backend_serves_and_recovers() {
+    let space = Space::new_sparse(gen::uniform_cube(64, 2, 41));
+    let mut overlay = DirectoryOverlay::build(&space);
+    let items: Vec<(ObjectId, Node)> = (0..12)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 11 + 2) % 64)))
+        .collect();
+    overlay.publish_batch(&space, &items);
+    let mut worst = 1.0f64;
+    for s in space.nodes() {
+        for &(obj, home) in &items {
+            let out = overlay.lookup(&space, s, obj).expect("static lookup");
+            assert_eq!(out.home, home);
+            worst = worst.max(out.stretch(space.dist(s, home)));
+        }
+    }
+    assert!(worst <= STRETCH_BOUND, "sparse-backend stretch {worst}");
+    let report = ron_location::drive_churn(
+        &space,
+        &mut overlay,
+        ChurnSchedule::Targeted { fraction: 0.2 },
+        &ChurnConfig {
+            steps: 2,
+            queries_per_step: 128,
+            seed: 7,
+        },
+    );
+    assert_eq!(report.final_success_rate(), 1.0);
+}

@@ -1,4 +1,4 @@
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{par, BallOracle, Metric, Node, Space};
 
 use crate::NodeMeasure;
 
@@ -30,29 +30,26 @@ pub struct BallMassIndex {
 }
 
 impl BallMassIndex {
-    /// Builds the index for a measure over the given space.
+    /// Builds the index for a measure over the given space (rows in
+    /// parallel on [`par`], merged in node order).
     ///
     /// # Panics
     ///
     /// Panics if the measure arity differs from the space.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, measure: &NodeMeasure) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>, measure: &NodeMeasure) -> Self {
         assert_eq!(space.len(), measure.len(), "measure arity mismatch");
-        let rows = space
-            .nodes()
-            .map(|u| {
-                let mut cum = 0.0;
-                space
-                    .index()
-                    .sorted_from(u)
-                    .iter()
-                    .map(|&(d, v)| {
-                        cum += measure.mass(v);
-                        (d, cum)
-                    })
-                    .collect()
-            })
-            .collect();
+        let rows = par::map(space.len(), |i| {
+            let mut cum = 0.0;
+            let mut row = Vec::with_capacity(space.len());
+            space
+                .index()
+                .for_each_in_ball(Node::new(i), f64::INFINITY, &mut |d, v| {
+                    cum += measure.mass(v);
+                    row.push((d, cum));
+                });
+            row
+        });
         BallMassIndex { rows }
     }
 

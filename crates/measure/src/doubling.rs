@@ -16,7 +16,7 @@
 //! and the tests pin it on the experiment families (grid, cube, exponential
 //! line).
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 use crate::{BallMassIndex, NodeMeasure};
@@ -29,7 +29,10 @@ use crate::{BallMassIndex, NodeMeasure};
 ///
 /// `O(n^2 log Delta)` time, dominated by the net ladder.
 #[must_use]
-pub fn doubling_measure<M: Metric>(space: &Space<M>, nets: &NestedNets) -> NodeMeasure {
+pub fn doubling_measure<M: Metric, I: BallOracle>(
+    space: &Space<M, I>,
+    nets: &NestedNets,
+) -> NodeMeasure {
     let n = space.len();
     let top = nets.levels() - 1;
     // mass[v] holds the mass currently assigned to net point v at the level

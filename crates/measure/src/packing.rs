@@ -22,7 +22,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ron_metric::{cover::greedy_cover, Metric, Node, Space};
+use ron_metric::{cover::greedy_cover, BallOracle, Metric, Node, Space};
 
 use crate::{BallMassIndex, NodeMeasure};
 
@@ -156,28 +156,29 @@ impl Packing {
     ///
     /// Panics if `eps` is not in `(0, 1]` or the arities mismatch.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, measure: &NodeMeasure, eps: f64) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        measure: &NodeMeasure,
+        eps: f64,
+    ) -> Self {
         assert!(eps > 0.0 && eps <= 1.0, "eps {eps} out of range (0, 1]");
         assert_eq!(space.len(), measure.len(), "measure arity mismatch");
         let mass_idx = BallMassIndex::build(space, measure);
         let n = space.len();
 
         // Step 1: per-node candidate balls.
-        let candidates: Vec<(Node, f64)> = space
-            .nodes()
-            .map(|u| candidate_ball(space, measure, &mass_idx, u, eps))
-            .collect();
+        let candidates: Vec<(Node, f64)> = ron_metric::par::map(n, |i| {
+            candidate_ball(space, measure, &mass_idx, Node::new(i), eps)
+        });
 
         // Step 2: maximal disjoint subfamily, greedily in node order.
         let mut taken = vec![false; n];
         let mut balls: Vec<PackedBall> = Vec::new();
         for &(center, radius) in &candidates {
-            let members: Vec<Node> = space
+            let mut members: Vec<Node> = Vec::new();
+            space
                 .index()
-                .ball(center, radius)
-                .iter()
-                .map(|&(_, v)| v)
-                .collect();
+                .for_each_in_ball(center, radius, &mut |_, v| members.push(v));
             if members.iter().any(|&v| taken[v.index()]) {
                 continue;
             }
@@ -261,9 +262,9 @@ impl Packing {
     /// # Errors
     ///
     /// Returns the first violated property.
-    pub fn verify<M: Metric>(
+    pub fn verify<M: Metric, I: BallOracle>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         measure: &NodeMeasure,
     ) -> Result<(), PackingError> {
         // Disjointness.
@@ -313,8 +314,8 @@ impl Packing {
 /// Finds the per-node candidate ball `(center, radius)` of Lemma A.1's
 /// proof: a heavy singleton in `B_u(2 r_u)` if one exists, else the
 /// iterated-descent zooming ball.
-fn candidate_ball<M: Metric>(
-    space: &Space<M>,
+fn candidate_ball<M: Metric, I: BallOracle>(
+    space: &Space<M, I>,
     measure: &NodeMeasure,
     mass_idx: &BallMassIndex,
     u: Node,
@@ -322,10 +323,14 @@ fn candidate_ball<M: Metric>(
 ) -> (Node, f64) {
     let r_u = mass_idx.radius_for_mass(u, eps);
     // Heavy single node inside B_u(2 r_u)?
-    for &(_, v) in space.index().ball(u, 2.0 * r_u) {
-        if measure.mass(v) >= eps {
-            return (v, 0.0);
+    let mut heavy = None;
+    space.index().for_each_in_ball(u, 2.0 * r_u, &mut |_, v| {
+        if heavy.is_none() && measure.mass(v) >= eps {
+            heavy = Some(v);
         }
+    });
+    if let Some(v) = heavy {
+        return (v, 0.0);
     }
     // Iterated descent. Invariant: mu(B_v(r)) >= eps.
     let (mut v, mut r) = (u, r_u);
@@ -336,7 +341,10 @@ fn candidate_ball<M: Metric>(
             // enough on its own.
             return (v, 0.0);
         }
-        let members: Vec<Node> = space.index().ball(v, r).iter().map(|&(_, x)| x).collect();
+        let mut members: Vec<Node> = Vec::new();
+        space
+            .index()
+            .for_each_in_ball(v, r, &mut |_, x| members.push(x));
         let centers = greedy_cover(space.metric(), &members, r / 8.0);
         let w = centers
             .iter()

@@ -38,7 +38,7 @@ pub struct GridMetric {
 }
 
 impl GridMetric {
-    /// Creates a `side^dim` grid under the default [`GridNorm::L1`] norm.
+    /// Creates a `side^dim` grid under the default `GridNorm::L1` norm.
     ///
     /// # Errors
     ///

@@ -33,7 +33,10 @@ pub struct MetricIndex {
 }
 
 impl MetricIndex {
-    /// Builds the index for `metric` in `O(n^2 log n)` time.
+    /// Builds the index for `metric` in `O(n^2 log n)` work, with the rows
+    /// computed in parallel on the [`par`](crate::par) executor (the
+    /// output is identical for every thread count: rows are independent
+    /// and merged in node order).
     ///
     /// # Panics
     ///
@@ -42,22 +45,23 @@ impl MetricIndex {
     pub fn build<M: Metric + ?Sized>(metric: &M) -> Self {
         let n = metric.len();
         assert!(n > 0, "cannot index an empty metric");
-        let mut by_dist = Vec::with_capacity(n);
-        let mut diameter = 0.0f64;
-        let mut min_dist = f64::INFINITY;
-        for i in 0..n {
+        let by_dist: Vec<Vec<(f64, Node)>> = crate::par::map(n, |i| {
             let u = Node::new(i);
             let mut row: Vec<(f64, Node)> = (0..n)
                 .map(|j| (metric.dist(u, Node::new(j)), Node::new(j)))
                 .collect();
             row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            row
+        });
+        let mut diameter = 0.0f64;
+        let mut min_dist = f64::INFINITY;
+        for row in &by_dist {
             let far = row.last().expect("nonempty row").0;
             diameter = diameter.max(far);
             if n > 1 {
                 // row[0] is u itself at distance 0; row[1] is the closest other node.
                 min_dist = min_dist.min(row[1].0);
             }
-            by_dist.push(row);
         }
         if n == 1 {
             min_dist = 1.0;

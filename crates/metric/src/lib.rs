@@ -9,8 +9,15 @@
 //!   queries the paper uses throughout (`B_u(r)`, ball cardinalities, and the
 //!   radii `r_u(eps)` of the smallest ball around `u` holding an
 //!   `eps`-fraction of the nodes);
-//! * [`Space`]: a metric bundled with its index, the common input type of
-//!   the higher-level crates;
+//! * [`BallOracle`]: the pluggable ball-query backend those queries go
+//!   through, with two implementations — the dense [`MetricIndex`] and the
+//!   memory-sparse [`NetTreeIndex`] (`O(n log Delta)` memory, the backend
+//!   that scales past ~10^4 nodes);
+//! * [`Space`]: a metric bundled with a backend (`Space<M, I>`, dense by
+//!   default), the common input type of the higher-level crates;
+//! * [`par`]: the scoped-thread executor the construction pipeline uses
+//!   for its embarrassingly-parallel loops (re-exported as
+//!   `ron_core::par`; thread count overridable via `RON_THREADS`);
 //! * greedy ball covers (Lemma 1.1) in [`cover`], and estimators for the
 //!   doubling and grid dimensions in [`doubling`];
 //! * random instance generators in [`gen`] covering both regimes the paper
@@ -41,7 +48,10 @@ pub mod gen;
 mod grid;
 mod index;
 mod line;
+mod nettree;
 mod node;
+mod oracle;
+pub mod par;
 mod space;
 mod traits;
 
@@ -51,7 +61,9 @@ pub use explicit::ExplicitMetric;
 pub use grid::GridMetric;
 pub use index::MetricIndex;
 pub use line::LineMetric;
+pub use nettree::NetTreeIndex;
 pub use node::Node;
+pub use oracle::BallOracle;
 pub use space::Space;
 pub use traits::{Metric, MetricExt};
 

@@ -1,0 +1,557 @@
+//! Memory-sparse ball-query backend: a hierarchy of coarse nets.
+//!
+//! [`NetTreeIndex`] answers the [`BallOracle`](crate::BallOracle) queries
+//! by descending a ladder of greedy nets at geometrically shrinking radii
+//! (cover-tree / navigating-nets style, after Lemma 1.4's net-ball
+//! cardinality bound): level 0 is a net at the eccentricity of node 0
+//! (a handful of members), each level halves the radius, and the last
+//! level contains every node. Each member of level `k+1` is linked to a
+//! level-`k` parent within the level-`k` radius, so the nodes reachable
+//! below a level-`k` member all lie within `2 r_k` of it — the pruning
+//! bound of every query.
+//!
+//! Costs on a doubling metric of aspect ratio `Delta`:
+//!
+//! * build: `O(n log Delta)` distance evaluations (each level is built by
+//!   *marking* the open ball of every accepted member, with candidate
+//!   nodes located through the already-built coarser levels — no
+//!   all-pairs pass anywhere);
+//! * memory: `O(n log Delta)` words — no `n^2` anything;
+//! * queries: `O(|B_u(r)| + log Delta)`-ish, by descent with the `2 r_k`
+//!   slack.
+//!
+//! The answers are **exact** and match the dense
+//! [`MetricIndex`](crate::MetricIndex) bit for bit (property-tested on
+//! every generator family): the hierarchy only steers the search, every
+//! reported distance is a fresh `metric.dist` evaluation, and ties are
+//! broken by node id exactly like the dense index. The one deliberate
+//! approximation is [`diameter`](crate::BallOracle::diameter), reported
+//! as the upper bound `2 * ecc(v0)` (computing the exact diameter needs
+//! `Omega(n^2)` in general); every consumer only needs a covering radius.
+
+use crate::{BallOracle, Metric, Node};
+
+/// One net of the hierarchy.
+#[derive(Clone, Debug)]
+struct TreeLevel {
+    /// Net radius at this level (halves per level).
+    radius: f64,
+    /// Net members, in the order the greedy construction accepted them.
+    members: Vec<Node>,
+    /// CSR offsets into `children`; empty for the last (all-nodes) level.
+    child_start: Vec<u32>,
+    /// Positions into the **next** level's `members`: the members assigned
+    /// to each member of this level (each within this level's radius).
+    children: Vec<u32>,
+}
+
+/// The sparse ball-query backend (see the module-level docs above for
+/// the hierarchy and its cost model).
+///
+/// Owns a copy of the metric (distances are evaluated on demand instead of
+/// stored), so the usual entry point is
+/// [`Space::new_sparse`](crate::Space::new_sparse), which clones the
+/// metric into the index.
+///
+/// # Example
+///
+/// ```
+/// use ron_metric::{BallOracle, LineMetric, NetTreeIndex, Node};
+///
+/// let tree = NetTreeIndex::build(LineMetric::uniform(64)?);
+/// let u = Node::new(0);
+/// assert_eq!(tree.ball_size(u, 2.0), 3); // {0, 1, 2}
+/// assert_eq!(tree.radius_for_count(u, 4), 3.0);
+/// assert_eq!(tree.min_distance(), 1.0);
+/// # Ok::<(), ron_metric::MetricError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetTreeIndex<M> {
+    metric: M,
+    n: usize,
+    diameter_ub: f64,
+    min_dist: f64,
+    levels: Vec<TreeLevel>,
+}
+
+impl<M: Metric> NetTreeIndex<M> {
+    /// Builds the hierarchy for `metric` without ever materializing a
+    /// distance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is empty.
+    #[must_use]
+    pub fn build(metric: M) -> Self {
+        let n = metric.len();
+        assert!(n > 0, "cannot index an empty metric");
+        let v0 = Node::new(0);
+        let mut ecc0 = 0.0f64;
+        for j in 1..n {
+            ecc0 = ecc0.max(metric.dist(v0, Node::new(j)));
+        }
+
+        // Top level: greedy net at radius ecc(v0) over all nodes, brute
+        // force — its cardinality is bounded by the doubling constant.
+        let top_radius = ecc0;
+        let mut members: Vec<Node> = Vec::new();
+        for j in 0..n {
+            let u = Node::new(j);
+            if members.iter().all(|&m| metric.dist(m, u) >= top_radius) {
+                members.push(u);
+            }
+        }
+        // First accepted member within the radius, per node.
+        let mut assign: Vec<u32> = (0..n)
+            .map(|j| {
+                let u = Node::new(j);
+                members
+                    .iter()
+                    .position(|&m| metric.dist(m, u) <= top_radius)
+                    .expect("greedy net covers the space") as u32
+            })
+            .collect();
+        let mut levels = vec![TreeLevel {
+            radius: top_radius,
+            members,
+            child_start: Vec::new(),
+            children: Vec::new(),
+        }];
+
+        // Halve the radius until every node is a member.
+        while levels.last().expect("nonempty").members.len() < n {
+            assert!(
+                levels.len() < 4096,
+                "net-tree ladder failed to terminate (radius underflow?)"
+            );
+            let (next_members, next_assign) = build_level(&metric, n, &levels, &assign);
+            link_children(&metric, &mut levels, &next_members, &assign);
+            let radius = levels.last().expect("nonempty").radius / 2.0;
+            assign = next_assign;
+            levels.push(TreeLevel {
+                radius,
+                members: next_members,
+                child_start: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+
+        let mut tree = NetTreeIndex {
+            metric,
+            n,
+            diameter_ub: 2.0 * ecc0,
+            min_dist: 1.0,
+            levels,
+        };
+        if n >= 2 {
+            let nearest = crate::par::map(n, |i| {
+                let u = Node::new(i);
+                tree.nearest_where(u, &mut |v| v != u)
+                    .expect("n >= 2 has a nearest other node")
+                    .0
+            });
+            tree.min_dist = nearest.into_iter().fold(f64::INFINITY, f64::min);
+        }
+        tree
+    }
+
+    /// The metric the index answers queries about.
+    #[must_use]
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Number of net levels in the hierarchy (`O(log Delta)`).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total stored member slots across all levels — the index's memory
+    /// footprint in words, `O(n log Delta)` (versus the dense backend's
+    /// `n^2`).
+    #[must_use]
+    pub fn stored_entries(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.members.len() + l.children.len())
+            .sum()
+    }
+
+    /// Descends the hierarchy and emits `(d, v)` for every node of the
+    /// closed ball `B_q(r)`, in **unsorted** order.
+    fn descend(&self, q: Node, r: f64, emit: &mut impl FnMut(f64, Node)) {
+        let last = self.levels.len() - 1;
+        let top = &self.levels[0];
+        let mut cands: Vec<u32> = Vec::new();
+        for (pos, &m) in top.members.iter().enumerate() {
+            let d = self.metric.dist(q, m);
+            if last == 0 {
+                if d <= r {
+                    emit(d, m);
+                }
+            } else if d <= r + 2.0 * top.radius {
+                cands.push(pos as u32);
+            }
+        }
+        for k in 0..last {
+            let level = &self.levels[k];
+            let next = &self.levels[k + 1];
+            let at_leaf = k + 1 == last;
+            let slack = 2.0 * next.radius;
+            let mut next_cands = Vec::new();
+            for &pos in &cands {
+                let lo = level.child_start[pos as usize] as usize;
+                let hi = level.child_start[pos as usize + 1] as usize;
+                for &cpos in &level.children[lo..hi] {
+                    let m = next.members[cpos as usize];
+                    let d = self.metric.dist(q, m);
+                    if at_leaf {
+                        if d <= r {
+                            emit(d, m);
+                        }
+                    } else if d <= r + slack {
+                        next_cands.push(cpos);
+                    }
+                }
+            }
+            cands = next_cands;
+        }
+    }
+
+    /// The closed ball `B_q(r)` sorted by `(distance, id)` — the exact
+    /// dense-index order.
+    fn sorted_ball(&self, q: Node, r: f64) -> Vec<(f64, Node)> {
+        let mut out = Vec::new();
+        self.descend(q, r, &mut |d, v| out.push((d, v)));
+        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+}
+
+/// Builds the next (half-radius) net level by greedy marking: members of
+/// the previous level seed the net (nesting), then nodes join in id order
+/// unless an accepted member has already marked them as strictly within
+/// the new radius. Candidate nodes near a new member are located through
+/// the previous level's coverage buckets, found by descending the
+/// completed levels.
+fn build_level<M: Metric>(
+    metric: &M,
+    n: usize,
+    levels: &[TreeLevel],
+    assign: &[u32],
+) -> (Vec<Node>, Vec<u32>) {
+    let prev = levels.last().expect("at least the top level exists");
+    let radius = prev.radius / 2.0;
+    // Coverage buckets of the previous level: the nodes each previous
+    // member is responsible for (every node, exactly once).
+    let mut buckets: Vec<Vec<Node>> = vec![Vec::new(); prev.members.len()];
+    for (j, &p) in assign.iter().enumerate() {
+        buckets[p as usize].push(Node::new(j));
+    }
+
+    let mut members: Vec<Node> = Vec::new();
+    let mut is_member = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut next_assign: Vec<u32> = vec![u32::MAX; n];
+    let reach = radius + prev.radius;
+    let add = |m: Node,
+               members: &mut Vec<Node>,
+               is_member: &mut Vec<bool>,
+               covered: &mut Vec<bool>,
+               next_assign: &mut Vec<u32>| {
+        let pos = members.len() as u32;
+        is_member[m.index()] = true;
+        members.push(m);
+        for p in coarse_members_within(metric, levels, m, reach) {
+            for &v in &buckets[p as usize] {
+                let d = metric.dist(m, v);
+                if d <= radius {
+                    if d < radius {
+                        covered[v.index()] = true;
+                    }
+                    if next_assign[v.index()] == u32::MAX {
+                        next_assign[v.index()] = pos;
+                    }
+                }
+            }
+        }
+    };
+    // Seeds: the previous level's members are pairwise >= 2 * radius
+    // apart, so they all belong to the finer net (nesting).
+    for &s in &prev.members {
+        add(
+            s,
+            &mut members,
+            &mut is_member,
+            &mut covered,
+            &mut next_assign,
+        );
+    }
+    for j in 0..n {
+        let u = Node::new(j);
+        if !is_member[j] && !covered[j] {
+            add(
+                u,
+                &mut members,
+                &mut is_member,
+                &mut covered,
+                &mut next_assign,
+            );
+        }
+    }
+    debug_assert!(
+        next_assign.iter().all(|&p| p != u32::MAX),
+        "greedy marking must cover every node"
+    );
+    (members, next_assign)
+}
+
+/// Positions of the finest *completed* level's members within `x` of `q`,
+/// by descent over the completed levels.
+fn coarse_members_within<M: Metric>(metric: &M, levels: &[TreeLevel], q: Node, x: f64) -> Vec<u32> {
+    let last = levels.len() - 1;
+    let top = &levels[0];
+    let mut cands: Vec<u32> = Vec::new();
+    let mut out: Vec<u32> = Vec::new();
+    for (pos, &m) in top.members.iter().enumerate() {
+        let d = metric.dist(q, m);
+        if last == 0 {
+            if d <= x {
+                out.push(pos as u32);
+            }
+        } else if d <= x + 2.0 * top.radius {
+            cands.push(pos as u32);
+        }
+    }
+    for k in 0..last {
+        let level = &levels[k];
+        let next = &levels[k + 1];
+        let at_leaf = k + 1 == last;
+        let slack = 2.0 * next.radius;
+        let mut next_cands = Vec::new();
+        for &pos in &cands {
+            let lo = level.child_start[pos as usize] as usize;
+            let hi = level.child_start[pos as usize + 1] as usize;
+            for &cpos in &level.children[lo..hi] {
+                let d = metric.dist(q, next.members[cpos as usize]);
+                if at_leaf {
+                    if d <= x {
+                        out.push(cpos);
+                    }
+                } else if d <= x + slack {
+                    next_cands.push(cpos);
+                }
+            }
+        }
+        cands = next_cands;
+    }
+    out
+}
+
+/// Fills the previous level's child CSR: each new member is attached to
+/// the previous-level member that covers it (within the previous radius).
+fn link_children<M: Metric>(
+    metric: &M,
+    levels: &mut [TreeLevel],
+    next_members: &[Node],
+    assign: &[u32],
+) {
+    let prev = levels.last_mut().expect("at least the top level exists");
+    let mut counts = vec![0u32; prev.members.len() + 1];
+    for &m in next_members {
+        counts[assign[m.index()] as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let child_start = counts.clone();
+    let mut cursor = counts;
+    let mut children = vec![0u32; next_members.len()];
+    for (pos, &m) in next_members.iter().enumerate() {
+        let p = assign[m.index()] as usize;
+        children[cursor[p] as usize] = pos as u32;
+        cursor[p] += 1;
+    }
+    debug_assert!(next_members.iter().enumerate().all(|(pos, &m)| {
+        let p = assign[m.index()] as usize;
+        let _ = pos;
+        metric.dist(prev.members[p], m) <= prev.radius * (1.0 + 1e-12)
+    }));
+    prev.child_start = child_start;
+    prev.children = children;
+}
+
+impl<M: Metric> BallOracle for NetTreeIndex<M> {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn diameter(&self) -> f64 {
+        self.diameter_ub
+    }
+
+    fn min_distance(&self) -> f64 {
+        self.min_dist
+    }
+
+    fn for_each_in_ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(f64, Node)) {
+        for (d, v) in self.sorted_ball(u, r) {
+            visit(d, v);
+        }
+    }
+
+    fn ball(&self, u: Node, r: f64) -> Vec<(f64, Node)> {
+        self.sorted_ball(u, r)
+    }
+
+    fn ball_size(&self, u: Node, r: f64) -> usize {
+        let mut count = 0usize;
+        self.descend(u, r, &mut |_, _| count += 1);
+        count
+    }
+
+    fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
+        let leaf_radius = self.levels.last().expect("nonempty").radius;
+        let mut r = leaf_radius;
+        let mut prev_r = -1.0f64;
+        loop {
+            let ball = self.sorted_ball(u, r);
+            for &(d, v) in &ball {
+                // Nodes at d <= prev_r were already offered to the
+                // predicate in an earlier (smaller) ring.
+                if d > prev_r && pred(v) {
+                    return Some((d, v));
+                }
+            }
+            if ball.len() == self.n {
+                return None;
+            }
+            prev_r = r;
+            r *= 2.0;
+        }
+    }
+
+    fn radius_for_count(&self, u: Node, k: usize) -> f64 {
+        assert!(
+            k >= 1 && k <= self.n,
+            "count {k} out of range 1..={}",
+            self.n
+        );
+        let mut r = self.levels.last().expect("nonempty").radius;
+        while self.ball_size(u, r) < k {
+            r *= 2.0;
+        }
+        self.sorted_ball(u, r)[k - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, LineMetric, MetricIndex};
+
+    fn both(n: usize) -> (MetricIndex, NetTreeIndex<LineMetric>) {
+        let line = LineMetric::uniform(n).unwrap();
+        (MetricIndex::build(&line), NetTreeIndex::build(line))
+    }
+
+    #[test]
+    fn ball_matches_dense_on_the_line() {
+        let (dense, tree) = both(32);
+        for i in 0..32 {
+            let u = Node::new(i);
+            for r in [0.0, 1.0, 2.5, 7.0, 100.0] {
+                assert_eq!(
+                    BallOracle::ball(&tree, u, r),
+                    BallOracle::ball(&dense, u, r),
+                    "ball({u}, {r})"
+                );
+                assert_eq!(tree.ball_size(u, r), dense.ball_size(u, r));
+            }
+        }
+    }
+
+    #[test]
+    fn radius_for_count_matches_dense() {
+        let (dense, tree) = both(17);
+        for i in 0..17 {
+            let u = Node::new(i);
+            for k in 1..=17 {
+                assert_eq!(
+                    tree.radius_for_count(u, k),
+                    MetricIndex::radius_for_count(&dense, u, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_where_matches_dense() {
+        let (dense, tree) = both(24);
+        for i in 0..24 {
+            let u = Node::new(i);
+            let t = BallOracle::nearest_where(&tree, u, &mut |v| v.index() % 5 == 3);
+            let d = MetricIndex::nearest_where(&dense, u, |v| v.index() % 5 == 3);
+            assert_eq!(t, d);
+            assert_eq!(BallOracle::nearest_where(&tree, u, &mut |_| false), None);
+        }
+    }
+
+    #[test]
+    fn extremes_match_dense_conventions() {
+        let (dense, tree) = both(40);
+        assert_eq!(tree.min_distance(), dense.min_distance());
+        assert!(BallOracle::diameter(&tree) >= MetricIndex::diameter(&dense));
+        assert!(BallOracle::diameter(&tree) <= 2.0 * MetricIndex::diameter(&dense));
+        assert!(!BallOracle::is_empty(&tree));
+        assert_eq!(BallOracle::len(&tree), 40);
+    }
+
+    #[test]
+    fn singleton_space() {
+        let tree = NetTreeIndex::build(LineMetric::new(vec![5.0]).unwrap());
+        assert_eq!(BallOracle::len(&tree), 1);
+        assert_eq!(tree.min_distance(), 1.0);
+        assert_eq!(tree.aspect_ratio(), 1.0);
+        assert_eq!(tree.ball_size(Node::new(0), 0.0), 1);
+        assert_eq!(tree.radius_for_count(Node::new(0), 1), 0.0);
+    }
+
+    #[test]
+    fn exponential_line_deep_ladder() {
+        let line = LineMetric::exponential(20).unwrap();
+        let dense = MetricIndex::build(&line);
+        let tree = NetTreeIndex::build(line);
+        assert!(tree.depth() >= 18, "depth {} too shallow", tree.depth());
+        for i in 0..20 {
+            let u = Node::new(i);
+            for k in 1..=20 {
+                assert_eq!(
+                    tree.radius_for_count(u, k),
+                    MetricIndex::radius_for_count(&dense, u, k)
+                );
+            }
+        }
+        assert_eq!(tree.min_distance(), dense.min_distance());
+    }
+
+    #[test]
+    fn memory_is_subquadratic_on_a_cube() {
+        let cube = gen::uniform_cube(512, 2, 7);
+        let tree = NetTreeIndex::build(cube);
+        // The dense index stores n^2 = 262144 entries; the tree must stay
+        // an order of magnitude below that.
+        assert!(
+            tree.stored_entries() < 512 * 512 / 10,
+            "stored {} entries",
+            tree.stored_entries()
+        );
+    }
+
+    #[test]
+    fn metric_accessor_returns_the_metric() {
+        let tree = NetTreeIndex::build(LineMetric::uniform(4).unwrap());
+        assert_eq!(tree.metric().len(), 4);
+    }
+}

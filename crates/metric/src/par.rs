@@ -1,0 +1,127 @@
+//! Scoped-thread executor for the construction pipeline.
+//!
+//! Every embarrassingly-parallel build loop in the workspace (index rows,
+//! ring construction, label construction, batched publishes) funnels
+//! through [`map`]: the index range is split into contiguous chunks, one
+//! `std::thread::scope` worker per chunk, and the per-chunk outputs are
+//! concatenated **in index order** — so the result is bit-identical to the
+//! sequential loop regardless of the thread count (property tests across
+//! the workspace pin this).
+//!
+//! The worker count comes from [`num_threads`]: the `RON_THREADS`
+//! environment variable when set (clamped to `1..=1024`), otherwise
+//! [`std::thread::available_parallelism`]. Tests and benchmarks force an
+//! explicit count with [`with_threads`], which overrides both for the
+//! duration of a closure on the current thread.
+//!
+//! No external dependencies: plain `std::thread::scope`, per the vendored
+//! shim discipline of this workspace. Re-exported as `ron_core::par` (the
+//! construction crates sit above `ron-core`, but the executor lives here so
+//! `ron-metric` itself can parallelize its index builds without a
+//! dependency cycle).
+
+use std::cell::Cell;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count [`map`] will use on this thread: the innermost
+/// [`with_threads`] override, else `RON_THREADS`, else the machine's
+/// available parallelism (at least 1).
+#[must_use]
+pub fn num_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("RON_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.clamp(1, 1024);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `body` with [`num_threads`] pinned to `threads` on the current
+/// thread (nested overrides restore the previous value on exit).
+///
+/// This is how tests compare single-threaded and multi-threaded builds for
+/// bit-identical output, and how benchmarks measure parallel speedup
+/// without touching the process environment.
+pub fn with_threads<R>(threads: usize, body: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|o| o.replace(Some(threads.max(1))));
+    let result = body();
+    OVERRIDE.with(|o| o.set(prev));
+    result
+}
+
+/// Computes `f(0), f(1), ..., f(n - 1)` across [`num_threads`] scoped
+/// workers and returns the results in index order.
+///
+/// Deterministic by construction: each worker owns a contiguous index
+/// chunk and the chunks are concatenated in order, so the output is the
+/// same `Vec` the sequential loop `(0..n).map(f).collect()` produces.
+pub fn map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    map_with(num_threads(), n, f)
+}
+
+/// [`map`] with an explicit worker count.
+pub fn map_with<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(map_with(threads, 97, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        assert_eq!(map_with(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_with(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = num_threads();
+        let inside = with_threads(3, || {
+            let three = num_threads();
+            let nested = with_threads(2, num_threads);
+            (three, nested, num_threads())
+        });
+        assert_eq!(inside, (3, 2, 3));
+        assert_eq!(num_threads(), outside);
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+        assert_eq!(with_threads(0, num_threads), 1);
+    }
+}

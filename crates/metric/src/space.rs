@@ -1,31 +1,42 @@
-use crate::{Metric, MetricIndex, Node};
+use crate::{BallOracle, Metric, MetricIndex, NetTreeIndex, Node};
 
-/// A metric bundled with its [`MetricIndex`].
+/// A metric bundled with a ball-query backend.
 ///
 /// Nearly every construction in the paper needs both raw distances and
-/// ball/radius queries, so the higher-level crates take `&Space<M>` as
-/// input. The built artifacts (rings, labels, routing tables) own their
-/// data and do not borrow from the space.
+/// ball/radius queries, so the higher-level crates take `&Space<M, I>` as
+/// input, generic over the [`BallOracle`] backend `I`:
+///
+/// * `Space<M>` (the default, [`Space::new`]) carries the dense
+///   [`MetricIndex`] — exact `O(log n)` queries, `O(n^2)` memory;
+/// * [`Space::new_sparse`] carries a [`NetTreeIndex`] — the same answers
+///   from `O(n log Delta)` memory, the only backend that scales past
+///   ~10^4 nodes.
+///
+/// The built artifacts (rings, labels, routing tables) own their data and
+/// do not borrow from the space.
 ///
 /// # Example
 ///
 /// ```
-/// use ron_metric::{LineMetric, Node, Space};
+/// use ron_metric::{BallOracle, LineMetric, Node, Space};
 ///
 /// let space = Space::new(LineMetric::uniform(16)?);
 /// assert_eq!(space.len(), 16);
 /// assert_eq!(space.dist(Node::new(2), Node::new(5)), 3.0);
 /// assert_eq!(space.index().ball_size(Node::new(0), 1.0), 2);
+///
+/// let sparse = Space::new_sparse(LineMetric::uniform(16)?);
+/// assert_eq!(sparse.index().ball_size(Node::new(0), 1.0), 2);
 /// # Ok::<(), ron_metric::MetricError>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct Space<M> {
+pub struct Space<M, I = MetricIndex> {
     metric: M,
-    index: MetricIndex,
+    index: I,
 }
 
 impl<M: Metric> Space<M> {
-    /// Builds the index and bundles it with the metric.
+    /// Builds the dense index and bundles it with the metric.
     ///
     /// # Panics
     ///
@@ -35,6 +46,40 @@ impl<M: Metric> Space<M> {
         let index = MetricIndex::build(&metric);
         Space { metric, index }
     }
+}
+
+impl<M: Metric + Clone> Space<M, NetTreeIndex<M>> {
+    /// Builds the memory-sparse [`NetTreeIndex`] backend (which owns its
+    /// own clone of the metric) and bundles it with the metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is empty.
+    #[must_use]
+    pub fn new_sparse(metric: M) -> Self {
+        let index = NetTreeIndex::build(metric.clone());
+        Space { metric, index }
+    }
+}
+
+impl<M: Metric, I> Space<M, I> {
+    /// Bundles a metric with an already-built backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's node count differs from the metric's.
+    #[must_use]
+    pub fn from_parts(metric: M, index: I) -> Self
+    where
+        I: BallOracle,
+    {
+        assert_eq!(
+            metric.len(),
+            index.len(),
+            "index arity must match the metric"
+        );
+        Space { metric, index }
+    }
 
     /// The underlying metric.
     #[must_use]
@@ -42,9 +87,9 @@ impl<M: Metric> Space<M> {
         &self.metric
     }
 
-    /// The precomputed index.
+    /// The ball-query backend.
     #[must_use]
-    pub fn index(&self) -> &MetricIndex {
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -78,7 +123,7 @@ impl<M: Metric> Space<M> {
     }
 }
 
-impl<M: Metric> Metric for Space<M> {
+impl<M: Metric, I: Sync> Metric for Space<M, I> {
     fn len(&self) -> usize {
         self.metric.len()
     }
@@ -118,5 +163,33 @@ mod tests {
         }
         let space = Space::new(LineMetric::uniform(4).unwrap());
         assert_eq!(diameter_of(&space), 3.0);
+    }
+
+    #[test]
+    fn sparse_space_answers_like_dense() {
+        let dense = Space::new(LineMetric::uniform(12).unwrap());
+        let sparse = Space::new_sparse(LineMetric::uniform(12).unwrap());
+        for u in dense.nodes() {
+            assert_eq!(
+                BallOracle::ball(sparse.index(), u, 3.0),
+                BallOracle::ball(dense.index(), u, 3.0)
+            );
+        }
+        assert_eq!(sparse.dist(Node::new(1), Node::new(4)), 3.0);
+    }
+
+    #[test]
+    fn from_parts_accepts_matching_backend() {
+        let line = LineMetric::uniform(6).unwrap();
+        let index = MetricIndex::build(&line);
+        let space = Space::from_parts(line, index);
+        assert_eq!(space.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn from_parts_rejects_mismatch() {
+        let index = MetricIndex::build(&LineMetric::uniform(5).unwrap());
+        let _ = Space::from_parts(LineMetric::uniform(6).unwrap(), index);
     }
 }

@@ -12,6 +12,10 @@ use crate::{MetricError, Node};
 /// uphold the axioms by construction; [`MetricExt::validate`] checks them
 /// exhaustively in `O(n^3)` for test use.
 ///
+/// `Sync` is a supertrait so the construction pipeline can evaluate
+/// distances from the scoped worker threads of [`par`](crate::par);
+/// every metric in this workspace is plain immutable data.
+///
 /// # Example
 ///
 /// ```
@@ -21,7 +25,7 @@ use crate::{MetricError, Node};
 /// assert_eq!(line.len(), 3);
 /// assert_eq!(line.dist(Node::new(0), Node::new(2)), 3.0);
 /// ```
-pub trait Metric {
+pub trait Metric: Sync {
     /// Number of nodes in the space.
     fn len(&self) -> usize;
 

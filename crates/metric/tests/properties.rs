@@ -117,3 +117,137 @@ fn euclidean_triangle_inequality_dense_check() {
     .unwrap();
     assert!(m.validate().is_ok());
 }
+
+/// The sparse backend must answer every oracle query exactly like the
+/// dense index: same balls (order included), same cardinalities, same
+/// nearest-where results and call sequences, same radius-for-count, same
+/// exact minimum distance — on every generator family the experiments
+/// use. The diameter is allowed its documented factor-2 upper bound.
+fn assert_oracle_equivalence<M: Metric + Clone>(metric: M) {
+    use ron_metric::{BallOracle, NetTreeIndex};
+    let n = metric.len();
+    let dense = MetricIndex::build(&metric);
+    let tree = NetTreeIndex::build(metric);
+    assert_eq!(BallOracle::len(&tree), n);
+    assert_eq!(tree.min_distance(), dense.min_distance(), "min distance");
+    assert!(BallOracle::diameter(&tree) >= dense.diameter());
+    assert!(BallOracle::diameter(&tree) <= 2.0 * dense.diameter() + 1e-12);
+    for i in 0..n {
+        let u = Node::new(i);
+        for k in 1..=n {
+            assert_eq!(
+                tree.radius_for_count(u, k),
+                dense.radius_for_count(u, k),
+                "radius_for_count({u}, {k})"
+            );
+        }
+        let radii = [
+            0.0,
+            dense.min_distance(),
+            dense.min_distance() * 1.5,
+            dense.diameter() / 3.0,
+            dense.diameter() / 2.0,
+            dense.diameter(),
+            dense.diameter() * 2.0,
+        ];
+        for r in radii {
+            assert_eq!(
+                BallOracle::ball(&tree, u, r),
+                BallOracle::ball(&dense, u, r),
+                "ball({u}, {r})"
+            );
+            assert_eq!(
+                BallOracle::ball_size(&tree, u, r),
+                dense.ball_size(u, r),
+                "ball_size({u}, {r})"
+            );
+        }
+        for eps in [0.1, 0.5, 1.0] {
+            assert_eq!(
+                BallOracle::r_fraction(&tree, u, eps),
+                dense.r_fraction(u, eps)
+            );
+        }
+        // nearest_where: same answer AND the same predicate call sequence
+        // (each candidate offered once, in (distance, id) order).
+        let mut dense_calls = Vec::new();
+        let dense_hit = dense.nearest_where(u, |v| {
+            dense_calls.push(v);
+            v.index() % 7 == 3
+        });
+        let mut tree_calls = Vec::new();
+        let tree_hit = BallOracle::nearest_where(&tree, u, &mut |v| {
+            tree_calls.push(v);
+            v.index() % 7 == 3
+        });
+        assert_eq!(tree_hit, dense_hit, "nearest_where({u})");
+        assert_eq!(tree_calls, dense_calls, "predicate call order at {u}");
+        assert_eq!(BallOracle::nearest_where(&tree, u, &mut |_| false), None);
+    }
+}
+
+#[test]
+fn net_tree_matches_dense_on_uniform_cube() {
+    for (n, seed) in [(2usize, 9u64), (37, 1), (64, 5)] {
+        assert_oracle_equivalence(gen::uniform_cube(n, 2, seed));
+    }
+    assert_oracle_equivalence(gen::uniform_cube(48, 3, 11));
+}
+
+#[test]
+fn net_tree_matches_dense_on_clusters() {
+    for (n, clusters, seed) in [(40usize, 4usize, 3u64), (56, 7, 8)] {
+        assert_oracle_equivalence(gen::clustered(n, 2, clusters, 0.02, seed));
+    }
+}
+
+#[test]
+fn net_tree_matches_dense_on_perturbed_grid() {
+    assert_oracle_equivalence(gen::perturbed_grid(7, 2, 0.2, 6));
+    assert_oracle_equivalence(gen::perturbed_grid(4, 3, 0.3, 2));
+}
+
+#[test]
+fn net_tree_matches_dense_on_exponential_line() {
+    // The super-polynomial aspect-ratio regime: a deep, skinny ladder.
+    for n in [2usize, 3, 17, 32] {
+        assert_oracle_equivalence(LineMetric::exponential(n).unwrap());
+    }
+    assert_oracle_equivalence(LineMetric::uniform(33).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized cross-check of the two backends on random cubes.
+    #[test]
+    fn net_tree_matches_dense_randomized(n in 2usize..28, seed in 0u64..400) {
+        use ron_metric::{BallOracle, NetTreeIndex};
+        let metric = gen::uniform_cube(n, 2, seed);
+        let dense = MetricIndex::build(&metric);
+        let tree = NetTreeIndex::build(metric);
+        prop_assert_eq!(tree.min_distance(), dense.min_distance());
+        for i in 0..n {
+            let u = Node::new(i);
+            for k in 1..=n {
+                prop_assert_eq!(tree.radius_for_count(u, k), dense.radius_for_count(u, k));
+            }
+            let r = dense.diameter() * 0.4;
+            prop_assert_eq!(BallOracle::ball(&tree, u, r), BallOracle::ball(&dense, u, r));
+        }
+    }
+
+    /// The dense index build is bit-identical for every worker count.
+    #[test]
+    fn parallel_index_build_is_deterministic(n in 2usize..40, seed in 0u64..300) {
+        use ron_metric::par;
+        let metric = gen::uniform_cube(n, 2, seed);
+        let one = par::with_threads(1, || MetricIndex::build(&metric));
+        let many = par::with_threads(5, || MetricIndex::build(&metric));
+        prop_assert_eq!(one.diameter(), many.diameter());
+        prop_assert_eq!(one.min_distance(), many.min_distance());
+        for i in 0..n {
+            prop_assert_eq!(one.sorted_from(Node::new(i)), many.sorted_from(Node::new(i)));
+        }
+    }
+}

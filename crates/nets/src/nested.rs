@@ -1,4 +1,4 @@
-use ron_metric::{distance_levels, Metric, Node, Space};
+use ron_metric::{distance_levels, BallOracle, Metric, Node, Space};
 
 use crate::Net;
 
@@ -38,9 +38,16 @@ pub struct NestedNets {
 
 impl NestedNets {
     /// Builds the full ladder: levels `0..=L` with
-    /// `L = ceil(log2(aspect_ratio))`, in `O(n^2 log Delta)` time.
+    /// `L = ceil(log2(aspect_ratio))` — `O(n^2 log Delta)` on the dense
+    /// backend, `O(n log^2 Delta)`-ish on the sparse one (each level is
+    /// one marking pass of [`Net::build`]).
+    ///
+    /// Note the sparse backend reports an upper-bound
+    /// [`diameter`](BallOracle::diameter), so its ladder may carry one
+    /// extra (coarser) level than the dense ladder over the same metric;
+    /// both satisfy every net invariant.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>) -> Self {
         let min_dist = space.index().min_distance();
         let top = distance_levels(space.index().aspect_ratio());
         let mut nets_rev: Vec<Net> = Vec::with_capacity(top + 1);

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ron_metric::{Metric, Node, Space};
+use ron_metric::{BallOracle, Metric, Node, Space};
 
 /// Errors raised when validating an [`Net`].
 #[derive(Debug, Clone, PartialEq)]
@@ -80,43 +80,60 @@ impl Net {
     /// Passing the members of a coarser net as `seeds` yields the *nested*
     /// nets of Theorem 3.2 — see [`NestedNets`](crate::NestedNets).
     ///
+    /// The construction is the *marking* formulation of the greedy scan:
+    /// each accepted member marks the open ball `B_m(r)` through one
+    /// oracle ball query, and a node joins exactly when no earlier member
+    /// has marked it — the same net as the nearest-member scan, in
+    /// `O(sum over members of |B_m(r)|)` work, which the packing bound
+    /// keeps near-linear per level on doubling metrics. It runs unchanged
+    /// on the dense and the sparse backend.
+    ///
     /// # Panics
     ///
     /// Panics if `radius` is negative or not finite.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, radius: f64, seeds: &[Node]) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        radius: f64,
+        seeds: &[Node],
+    ) -> Self {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "net radius must be nonnegative"
         );
         let n = space.len();
+        let oracle = space.index();
         let mut is_member = vec![false; n];
+        let mut covered = vec![false; n];
         let mut members = Vec::new();
+        let add = |m: Node, is_member: &mut Vec<bool>, covered: &mut Vec<bool>| {
+            is_member[m.index()] = true;
+            oracle.for_each_in_ball(m, radius, &mut |d, v| {
+                if d < radius {
+                    covered[v.index()] = true;
+                }
+            });
+        };
         for &s in seeds {
+            // A seed already covered by an earlier seed's open ball means
+            // the seed set is not r-separated: an O(1) check per seed
+            // derived from the oracle's ball marks (previously an
+            // O(|seeds|^2) pairwise-distance pass).
             debug_assert!(
-                members
-                    .iter()
-                    .all(|&m| m == s || space.dist(m, s) >= radius),
+                is_member[s.index()] || !covered[s.index()],
                 "seed set is not {radius}-separated"
             );
             if !is_member[s.index()] {
-                is_member[s.index()] = true;
                 members.push(s);
+                add(s, &mut is_member, &mut covered);
             }
         }
         for u in space.nodes() {
-            if is_member[u.index()] {
-                continue;
-            }
-            // `u` joins unless an existing member is strictly within radius.
-            // Membership test via the sorted index: the nearest member.
-            let near = space
-                .index()
-                .nearest_where(u, |v| is_member[v.index()])
-                .map_or(f64::INFINITY, |(d, _)| d);
-            if near >= radius {
-                is_member[u.index()] = true;
+            // `u` joins unless an existing member is strictly within
+            // radius, i.e. unless some earlier member marked it.
+            if !is_member[u.index()] && !covered[u.index()] {
                 members.push(u);
+                add(u, &mut is_member, &mut covered);
             }
         }
         members.sort_unstable();
@@ -163,10 +180,14 @@ impl Net {
     ///
     /// Panics if the net is empty.
     #[must_use]
-    pub fn nearest_member<M: Metric>(&self, space: &Space<M>, u: Node) -> (f64, Node) {
+    pub fn nearest_member<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+        u: Node,
+    ) -> (f64, Node) {
         space
             .index()
-            .nearest_where(u, |v| self.contains(v))
+            .nearest_where(u, &mut |v| self.contains(v))
             .expect("net is nonempty and covers the space")
     }
 
@@ -174,14 +195,19 @@ impl Net {
     ///
     /// This is the ring `B_u(r) ∩ G` the paper builds everywhere.
     #[must_use]
-    pub fn members_in_ball<M: Metric>(&self, space: &Space<M>, u: Node, r: f64) -> Vec<Node> {
-        space
-            .index()
-            .ball(u, r)
-            .iter()
-            .filter(|&&(_, v)| self.contains(v))
-            .map(|&(_, v)| v)
-            .collect()
+    pub fn members_in_ball<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+        u: Node,
+        r: f64,
+    ) -> Vec<Node> {
+        let mut members = Vec::new();
+        space.index().for_each_in_ball(u, r, &mut |_, v| {
+            if self.contains(v) {
+                members.push(v);
+            }
+        });
+        members
     }
 
     /// Checks the separation and covering properties exhaustively.
@@ -189,7 +215,7 @@ impl Net {
     /// # Errors
     ///
     /// Returns the first violated property.
-    pub fn verify<M: Metric>(&self, space: &Space<M>) -> Result<(), NetError> {
+    pub fn verify<M: Metric, I: BallOracle>(&self, space: &Space<M, I>) -> Result<(), NetError> {
         for (i, &a) in self.members.iter().enumerate() {
             for &b in &self.members[i + 1..] {
                 let d = space.dist(a, b);

@@ -15,7 +15,7 @@
 use ron_core::bits::{id_bits, index_bits, SizeReport};
 use ron_graph::{Apsp, Graph};
 use ron_labels::{CompactScheme, NeighborSystem};
-use ron_metric::{distance_levels, Metric, Node, Space};
+use ron_metric::{distance_levels, BallOracle, Metric, Node, Space};
 use ron_nets::NestedNets;
 
 use crate::scheme::{RouteError, RouteTrace};
@@ -64,7 +64,12 @@ impl SimpleScheme {
     ///
     /// Panics if `delta` is not in `(0, 1)` or arities mismatch.
     #[must_use]
-    pub fn build<M: Metric>(space: &Space<M>, graph: &Graph, apsp: &Apsp, delta: f64) -> Self {
+    pub fn build<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        graph: &Graph,
+        apsp: &Apsp,
+        delta: f64,
+    ) -> Self {
         Self::build_inner(space, Some((graph, apsp)), delta)
     }
 
@@ -75,12 +80,12 @@ impl SimpleScheme {
     ///
     /// Panics if `delta` is not in `(0, 1)`.
     #[must_use]
-    pub fn build_overlay<M: Metric>(space: &Space<M>, delta: f64) -> Self {
+    pub fn build_overlay<M: Metric, I: BallOracle>(space: &Space<M, I>, delta: f64) -> Self {
         Self::build_inner(space, None, delta)
     }
 
-    fn build_inner<M: Metric>(
-        space: &Space<M>,
+    fn build_inner<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
         graph: Option<(&Graph, &Apsp)>,
         delta: f64,
     ) -> Self {
@@ -230,9 +235,9 @@ impl SimpleScheme {
     /// # Errors
     ///
     /// Returns an error if the packet loops (construction broken).
-    pub fn route_overlay<M: Metric>(
+    pub fn route_overlay<M: Metric, I>(
         &self,
-        space: &Space<M>,
+        space: &Space<M, I>,
         src: Node,
         tgt: Node,
     ) -> Result<RouteTrace, RouteError> {

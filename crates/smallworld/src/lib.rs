@@ -22,9 +22,9 @@
 //! * [`SingleLinkModel`] (**Theorem 5.5**): a local-contact graph plus
 //!   exactly one long-range contact per node; greedy completes in
 //!   `2^O(alpha) log^2 Delta` hops;
-//! * [`KleinbergGrid`]: Kleinberg's original 2-D grid model [30] (inverse
+//! * [`KleinbergGrid`]: Kleinberg's original 2-D grid model \[30] (inverse
 //!   square long-range distribution), the baseline Section 5 generalizes;
-//! * [`Structures`]: Kleinberg's group-structure model [32] instantiated
+//! * [`Structures`]: Kleinberg's group-structure model \[32] instantiated
 //!   on metric balls (`pi_u(v) ~ 1/x_uv`), which Theorem 5.4 shows our
 //!   models match on UL-constrained metrics.
 //!

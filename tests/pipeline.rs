@@ -176,3 +176,62 @@ fn scale_invariance_of_basic_scheme() {
         }
     }
 }
+
+/// The same stack runs end to end on the memory-sparse ball-query
+/// backend: nets, rings, labels and the location directory built over
+/// `Space::new_sparse` answer exactly like their dense counterparts.
+#[test]
+fn sparse_backend_pipeline_matches_dense() {
+    use rings_of_neighbors::location::{DirectoryOverlay, ObjectId};
+    use rings_of_neighbors::metric::BallOracle;
+    use rings_of_neighbors::nets::Net;
+
+    let dense = Space::new(gen::uniform_cube(56, 2, 91));
+    let sparse = Space::new_sparse(gen::uniform_cube(56, 2, 91));
+
+    // Oracle answers agree.
+    assert_eq!(dense.index().min_distance(), sparse.index().min_distance());
+    for u in dense.nodes() {
+        for k in [1usize, 5, 28, 56] {
+            assert_eq!(
+                BallOracle::radius_for_count(sparse.index(), u, k),
+                dense.index().radius_for_count(u, k)
+            );
+        }
+    }
+
+    // Nets at matching radii are identical.
+    let r = dense.index().min_distance() * 4.0;
+    assert_eq!(
+        Net::build(&dense, r, &[]).members(),
+        Net::build(&sparse, r, &[]).members()
+    );
+
+    // Labels built on the sparse backend bracket true distances.
+    let tri = Triangulation::build(&sparse, 0.25);
+    for u in sparse.nodes() {
+        for v in sparse.nodes() {
+            if u >= v {
+                continue;
+            }
+            let est = tri.estimate(u, v);
+            let d = sparse.dist(u, v);
+            assert!(est.lower <= d * (1.0 + 1e-9) && d <= est.upper * (1.0 + 1e-9));
+        }
+    }
+
+    // The directory serves every lookup over the sparse backend.
+    let mut overlay = DirectoryOverlay::build(&sparse);
+    let items: Vec<(ObjectId, Node)> = (0..8)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 9 + 3) % 56)))
+        .collect();
+    overlay.publish_batch(&sparse, &items);
+    for s in sparse.nodes() {
+        for &(obj, home) in &items {
+            assert_eq!(
+                overlay.lookup(&sparse, s, obj).expect("delivers").home,
+                home
+            );
+        }
+    }
+}
