@@ -1,0 +1,68 @@
+//! E-SIM: the protocols as message-passing systems.
+//!
+//! Runs `ron_bench::fig_sim` at `RON_SIM_N` nodes (default 4096): the
+//! directory and greedy drivers of `ron-sim` over a clustered
+//! Internet-latency metric, failure-free and under a crash burst, with
+//! the per-node message-load histogram in the table. The table is
+//! written to `BENCH_report.json` so CI archives the load-balance claim
+//! next to the perf numbers; a smaller timed probe gives the
+//! criterion-style sample loop something quick to repeat.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_location::{DirectoryOverlay, ObjectId};
+use ron_metric::{gen, Node, Space};
+use ron_sim::directory::{DirectoryMsg, DirectoryNode};
+use ron_sim::{ConstantLatency, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::sim_n_or(4096);
+    let start = Instant::now();
+    let table = ron_bench::fig_sim(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let path = ron_bench::report_json_path();
+    if let Err(e) = ron_bench::write_report_json(&path, &[(table, table_ms)]) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // Timed probe: 512 zero-latency lookups over a 256-node overlay.
+    let space = Space::new(gen::uniform_cube(256, 2, 9));
+    let mut overlay = DirectoryOverlay::build(&space);
+    for i in 0..32u64 {
+        overlay.publish(&space, ObjectId(i), Node::new((i as usize * 31 + 1) % 256));
+    }
+    let fleet = DirectoryNode::fleet(&space, &overlay);
+    c.bench_function("fig_sim/directory_lookups_256x512", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                fleet.clone(),
+                |u, v| space.dist(u, v),
+                ConstantLatency(0.0),
+                SimConfig::default(),
+            );
+            for q in 0..512usize {
+                sim.inject(
+                    0.0,
+                    Node::new((q * 53 + 7) % 256),
+                    DirectoryMsg::Lookup {
+                        obj: ObjectId((q % 32) as u64),
+                    },
+                );
+            }
+            let report = sim.run();
+            black_box((report.completed, report.trace_fingerprint))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

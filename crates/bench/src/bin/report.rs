@@ -8,14 +8,17 @@
 //! EXPERIMENTS.md records a snapshot of the text output next to the
 //! paper's stated bounds. The construction-scaling table runs at
 //! `RON_SCALING_N` nodes when set, else a CI-friendly 4096 here (the
-//! `fig_build_scaling` bench target defaults to the full 65 536).
-//! `RON_THREADS` overrides the worker count of the parallel build loops.
+//! `fig_build_scaling` bench target defaults to the full 65 536); the
+//! message-passing simulation table runs at `RON_SIM_N` nodes, else 1024
+//! (the `fig_sim` bench target defaults to 4096). `RON_THREADS`
+//! overrides the worker count of the parallel build loops.
 
 use std::time::Instant;
 
 fn main() {
     let delta = 0.25;
     let scaling_n = ron_bench::scaling_n_or(4096);
+    let sim_n = ron_bench::sim_n_or(1024);
     let mut tables: Vec<(ron_bench::Table, f64)> = Vec::new();
     let mut run = |build: &mut dyn FnMut() -> ron_bench::Table| {
         let start = Instant::now();
@@ -34,6 +37,7 @@ fn main() {
     run(&mut ron_bench::fig_smallworld);
     run(&mut ron_bench::fig_structures);
     run(&mut ron_bench::table_location);
+    run(&mut || ron_bench::fig_sim(sim_n));
     run(&mut || ron_bench::fig_build_scaling(scaling_n));
 
     let path = ron_bench::report_json_path();

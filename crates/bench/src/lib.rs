@@ -31,6 +31,11 @@ use ron_smallworld::{
 pub struct Table {
     /// Table title (paper artifact id).
     pub title: String,
+    /// Which ball-query backend produced the rows (`"dense"`,
+    /// `"sparse"`, or `"per-row"` when a backend column in the rows
+    /// carries it). Recorded in `BENCH_report.json` so perf trajectories
+    /// compare like with like.
+    pub backend: String,
     /// Column headers.
     pub header: Vec<String>,
     /// Data rows.
@@ -71,12 +76,20 @@ impl Table {
         out
     }
 
-    /// Renders the table as one JSON object `{title, header, rows}` (cells
-    /// stay strings, exactly as printed).
+    /// Renders the table as one JSON object
+    /// `{title, backend, header, rows}` (cells stay strings, exactly as
+    /// printed; an unset backend is recorded as `"dense"`, the default
+    /// `Space::new` path).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"title\":");
         out.push_str(&json_string(&self.title));
+        out.push_str(",\"backend\":");
+        out.push_str(&json_string(if self.backend.is_empty() {
+            "dense"
+        } else {
+            &self.backend
+        }));
         out.push_str(",\"header\":");
         out.push_str(&json_string_array(&self.header));
         out.push_str(",\"rows\":[");
@@ -250,6 +263,7 @@ pub fn table1(instances: &[&str], delta: f64) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     for name in instances {
         let inst = graph_instance(name);
@@ -362,6 +376,7 @@ pub fn table2(delta: f64) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     for name in ["cube-128", "exp-line-32"] {
         let space = metric_instance(name);
@@ -430,6 +445,7 @@ pub fn table3(delta: f64) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     for name in ["grid-8x8", "exp-path-24"] {
         let inst = graph_instance(name);
@@ -484,6 +500,7 @@ pub fn fig_triangulation(delta: f64) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     let bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
     for name in [
@@ -526,6 +543,7 @@ pub fn fig_labels(delta: f64) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     for name in ["cube-64", "cube-128", "exp-line-24", "exp-line-48"] {
         let space = metric_instance(name);
@@ -573,6 +591,7 @@ pub fn fig_smallworld() -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut push = |model: &str, instance: &str, n: usize, deg: usize, q: &QueryStats| {
@@ -643,6 +662,7 @@ pub fn fig_structures() -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     let space = metric_instance("pgrid-10");
     let n = space.len();
@@ -701,6 +721,7 @@ pub fn table_location() -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     location_rows(&mut t, "cube-256", Space::new(gen::uniform_cube(256, 2, 1)));
     location_rows(
@@ -797,6 +818,7 @@ pub fn fig_scaling() -> Table {
             .map(ToString::to_string)
             .collect(),
         rows: Vec::new(),
+        backend: "dense".into(),
     };
     let inst = graph_instance("grid-8x8");
     for delta in [0.5, 0.25, 0.125] {
@@ -984,6 +1006,7 @@ pub fn fig_build_scaling(n: usize) -> Table {
         .map(ToString::to_string)
         .collect(),
         rows: Vec::new(),
+        backend: "per-row".into(),
     };
     let push = |t: &mut Table, backend: &str, threads: usize, b: &BuildTimings| {
         t.rows.push(vec![
@@ -1058,6 +1081,163 @@ pub fn fig_build_scaling(n: usize) -> Table {
     t
 }
 
+/// The instance size for [`fig_sim`]: `RON_SIM_N` when set, else the
+/// caller's default (the `report` binary uses a CI-friendly 1024, the
+/// `fig_sim` bench 4096).
+#[must_use]
+pub fn sim_n_or(default: usize) -> usize {
+    std::env::var("RON_SIM_N")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 16)
+        .unwrap_or(default)
+}
+
+/// E-SIM: the protocols as message-passing systems (`ron-sim`) over a
+/// clustered Internet-latency metric — message counts, per-query message
+/// chains, simulated latency percentiles and the **per-node
+/// message-load histogram** (the §5 STRUCTURES uniform-load claim,
+/// measured at message level).
+///
+/// Three phases: directory lookups on a failure-free network, greedy
+/// small-world routes (Theorem 5.2 hops as message chains), and the same
+/// directory workload with a mid-run crash burst plus per-query
+/// timeouts, showing the degradation the repair machinery exists for.
+/// Everything is seeded; `n` is clamped to [`DENSE_NODE_CAP`].
+#[must_use]
+pub fn fig_sim(n: usize) -> Table {
+    use ron_sim::directory::{DirectoryMsg, DirectoryNode};
+    use ron_sim::greedy::{GreedyNode, GreedyPacket};
+    use ron_sim::{MetricLatency, SimConfig, SimReport, Simulator};
+
+    let n = n.clamp(16, DENSE_NODE_CAP);
+    let mut t = Table {
+        title: format!("E-SIM: message-passing simulation (clustered metric, n = {n})"),
+        backend: "dense".into(),
+        header: [
+            "driver",
+            "queries",
+            "success %",
+            "msgs sent",
+            "msgs dropped+lost",
+            "hops mean",
+            "hops max",
+            "lat p50",
+            "lat p99",
+            "load p99",
+            "load max",
+            "load histogram (per-node msgs received)",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
+        rows: Vec::new(),
+    };
+    let push = |t: &mut Table, driver: &str, queries: usize, r: &SimReport| {
+        let load = r.load_percentiles();
+        t.rows.push(vec![
+            driver.to_string(),
+            queries.to_string(),
+            format!("{:.1}", r.success_rate() * 100.0),
+            r.messages.sent.to_string(),
+            (r.messages.dropped + r.messages.lost_to_crash).to_string(),
+            f(r.hops.mean),
+            f(r.hops.max),
+            f(r.latency.p50),
+            f(r.latency.p99),
+            f(load.p99),
+            f(load.max),
+            r.load_histogram_rendered(),
+        ]);
+    };
+
+    let space = Space::new(gen::clustered(n, 2, (n / 64).max(4), 0.01, 42));
+    let objects = (n / 8).clamp(8, 512);
+    let mut overlay = DirectoryOverlay::build(&space);
+    let items: Vec<(ObjectId, Node)> = (0..objects)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % n)))
+        .collect();
+    overlay.publish_batch(&space, &items);
+    let lookups = (4 * n).min(8192);
+    let latency = MetricLatency {
+        scale: 1.0,
+        floor: 0.01,
+    };
+    let inject_lookups = |sim: &mut Simulator<'_, DirectoryNode>| {
+        for q in 0..lookups {
+            let origin = Node::new((q * 53 + 7) % n);
+            let obj = ObjectId((q * 97 + 13) as u64 % objects as u64);
+            sim.inject(q as f64 * 0.05, origin, DirectoryMsg::Lookup { obj });
+        }
+    };
+
+    // Phase 1: failure-free directory lookups.
+    let mut sim = Simulator::new(
+        DirectoryNode::fleet(&space, &overlay),
+        |u, v| space.dist(u, v),
+        latency,
+        SimConfig::default(),
+    );
+    inject_lookups(&mut sim);
+    let clean = sim.run();
+    assert_eq!(
+        clean.completed, lookups,
+        "failure-free lookups must all complete"
+    );
+    push(&mut t, "directory lookup", lookups, &clean);
+
+    // Phase 2: greedy small-world routes.
+    let model = GreedyModel::sample(&space, 2.0, 21);
+    let budget = model.hop_budget() as u32;
+    let mut sim = Simulator::new(
+        GreedyNode::fleet(model.contacts()),
+        |u, v| space.dist(u, v),
+        latency,
+        SimConfig::default(),
+    );
+    let routes = n.min(2048);
+    for q in 0..routes {
+        let src = Node::new((q * 131 + 7) % n);
+        let tgt = Node::new((q * 197 + 89) % n);
+        sim.inject(
+            q as f64 * 0.05,
+            src,
+            GreedyPacket {
+                target: tgt,
+                hops_left: budget,
+            },
+        );
+    }
+    push(&mut t, "greedy route (Thm 5.2)", routes, &sim.run());
+
+    // Phase 3: the directory workload again, with 2% of the nodes
+    // crashing mid-run and a per-query deadline.
+    let mut sim = Simulator::new(
+        DirectoryNode::fleet(&space, &overlay),
+        |u, v| space.dist(u, v),
+        latency,
+        SimConfig {
+            seed: 7,
+            drop_prob: 0.0,
+            timeout: Some(64.0),
+        },
+    );
+    let burst = (n / 50).max(1);
+    let mid = lookups as f64 * 0.05 / 2.0;
+    for k in 0..burst {
+        sim.crash_at(mid + k as f64 * 0.01, Node::new((k * 101 + 3) % n));
+    }
+    inject_lookups(&mut sim);
+    let churned = sim.run();
+    push(
+        &mut t,
+        &format!("directory lookup (crash burst -{burst})"),
+        lookups,
+        &churned,
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1068,6 +1248,7 @@ mod tests {
             title: "test".into(),
             header: vec!["a".into(), "b".into()],
             rows: vec![vec!["1".into(), "22".into()]],
+            backend: "dense".into(),
         };
         let s = t.render();
         assert!(s.contains("test"));
@@ -1085,5 +1266,28 @@ mod tests {
     fn metric_instances_build() {
         assert_eq!(metric_instance("cube-64").len(), 64);
         assert_eq!(metric_instance("exp-line-24").len(), 24);
+    }
+
+    #[test]
+    fn json_records_the_backend() {
+        let mut t = Table {
+            title: "b".into(),
+            header: vec!["h".into()],
+            rows: Vec::new(),
+            backend: String::new(),
+        };
+        assert!(t.to_json().contains("\"backend\":\"dense\""));
+        t.backend = "per-row".into();
+        assert!(t.to_json().contains("\"backend\":\"per-row\""));
+    }
+
+    #[test]
+    fn fig_sim_smoke() {
+        let t = fig_sim(64);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.backend, "dense");
+        // Failure-free phases serve everything.
+        assert_eq!(t.rows[0][2], "100.0");
+        assert_eq!(t.rows[1][2], "100.0");
     }
 }

@@ -38,5 +38,5 @@ pub mod sample;
 pub mod zoom;
 
 pub use enumeration::{Enumeration, TranslationFn};
-pub use rings::{Ring, RingFamily};
+pub use rings::{NodeRings, Ring, RingFamily};
 pub use ron_metric::par;

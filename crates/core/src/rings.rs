@@ -253,6 +253,25 @@ impl RingFamily {
             .unwrap_or(0)
     }
 
+    /// Splits the family into per-node slices: `partition()[u]` owns the
+    /// rings of node `u` and nothing else.
+    ///
+    /// This is the state-distribution step of the paper read literally —
+    /// "every node keeps pointers to its ring neighbors" — and the input
+    /// format of the message-passing simulator (`ron-sim`), where each
+    /// simulated node may touch only its own [`NodeRings`].
+    #[must_use]
+    pub fn partition(&self) -> Vec<NodeRings> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, rings)| NodeRings {
+                node: Node::new(i),
+                rings: rings.clone(),
+            })
+            .collect()
+    }
+
     /// Checks that every ring member lies inside the ring's ball.
     ///
     /// Returns the first violation as `(node, level, member)`.
@@ -271,6 +290,43 @@ impl RingFamily {
             }
         }
         None
+    }
+}
+
+/// One node's slice of a [`RingFamily`]: its rings and nothing else.
+///
+/// Produced by [`RingFamily::partition`]; the local state a distributed
+/// node actually holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeRings {
+    node: Node,
+    rings: Vec<Ring>,
+}
+
+impl NodeRings {
+    /// The node this slice belongs to.
+    #[must_use]
+    pub fn node(&self) -> Node {
+        self.node
+    }
+
+    /// The rings of this node, one per built level.
+    #[must_use]
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// The ring with the given scale index, if present.
+    #[must_use]
+    pub fn ring(&self, level: usize) -> Option<&Ring> {
+        self.rings.iter().find(|r| r.level == level)
+    }
+
+    /// Total pointer entries resident in this slice (with ring
+    /// multiplicity) — the node's share of the structure's memory.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.rings.iter().map(Ring::len).sum()
     }
 }
 
@@ -354,6 +410,27 @@ mod tests {
             RingFamily::from_nets(&space, &nets, |j, r| if j == 0 { None } else { Some(r) });
         assert!(rings.ring(Node::new(0), 0).is_none());
         assert!(rings.ring(Node::new(0), 1).is_some());
+    }
+
+    #[test]
+    fn partition_slices_match_family() {
+        let (_, rings) = family();
+        let slices = rings.partition();
+        assert_eq!(slices.len(), rings.len());
+        for (i, slice) in slices.iter().enumerate() {
+            let u = Node::new(i);
+            assert_eq!(slice.node(), u);
+            assert_eq!(slice.rings(), rings.rings_of(u));
+            assert_eq!(
+                slice.entries(),
+                rings.rings_of(u).iter().map(Ring::len).sum::<usize>()
+            );
+            for ring in slice.rings() {
+                assert_eq!(slice.ring(ring.level), Some(ring));
+            }
+        }
+        let total: usize = slices.iter().map(NodeRings::entries).sum();
+        assert_eq!(total, rings.total_pointers());
     }
 
     #[test]

@@ -331,6 +331,43 @@ impl CompactScheme {
     /// takes the best sum over every identified common beacon.
     #[must_use]
     pub fn estimate_labels(&self, a: &CompactLabel, b: &CompactLabel) -> f64 {
+        self.estimator().estimate(a, b)
+    }
+
+    /// The scheme's decoding constants, detached from the label store.
+    ///
+    /// In a distributed deployment every node carries these few words of
+    /// protocol configuration and the *labels it has learned* — never the
+    /// whole label table — so per-node routing state (e.g.
+    /// `ron_routing::SimpleNodeState`) embeds a [`LabelEstimator`] instead
+    /// of a back-reference to the scheme.
+    #[must_use]
+    pub fn estimator(&self) -> LabelEstimator {
+        LabelEstimator {
+            codec: self.codec,
+            levels: self.levels,
+            level0_len: self.level0_len,
+        }
+    }
+}
+
+/// The label-decoding protocol constants of a [`CompactScheme`]: the
+/// distance codec, the level count and the canonical level-0 block
+/// length. `estimate` is a pure function of two labels given these
+/// constants — no access to the scheme's label table — which is what
+/// makes label-based routing *strongly local*.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelEstimator {
+    codec: DistanceCodec,
+    levels: usize,
+    level0_len: u32,
+}
+
+impl LabelEstimator {
+    /// Decodes a `D+` upper bound from two labels (same arithmetic as
+    /// [`CompactScheme::estimate_labels`]).
+    #[must_use]
+    pub fn estimate(&self, a: &CompactLabel, b: &CompactLabel) -> f64 {
         let mut best = f64::INFINITY;
         // Candidates from the canonical level-0 block (indices coincide).
         for k in 0..self.level0_len as usize {
@@ -390,7 +427,9 @@ impl CompactScheme {
         }
         best
     }
+}
 
+impl CompactScheme {
     /// Bit size of `u`'s label under the paper's encoding.
     #[must_use]
     pub fn label_bits(&self, u: Node) -> SizeReport {

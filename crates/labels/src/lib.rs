@@ -29,7 +29,7 @@ mod system;
 mod triangulation;
 
 pub use baseline::SharedBeaconTriangulation;
-pub use compact::{CompactLabel, CompactScheme};
+pub use compact::{CompactLabel, CompactScheme, LabelEstimator};
 pub use qdist::{DistanceCodec, EncodedDistance};
 pub use system::NeighborSystem;
 pub use triangulation::{Estimate, GlobalIdDls, Triangulation};

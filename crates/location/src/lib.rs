@@ -48,6 +48,7 @@ pub mod churn;
 mod directory;
 pub mod engine;
 mod lookup;
+mod partition;
 mod publish;
 pub mod stats;
 
@@ -57,4 +58,5 @@ pub use churn::{
 pub use directory::{DirectoryOverlay, ObjectId, DEFAULT_RING_FACTOR};
 pub use engine::{EngineConfig, QueryEngine, Snapshot};
 pub use lookup::{LocateError, LookupOutcome};
+pub use partition::DirectoryNodeState;
 pub use stats::{BatchReport, LatencySummary};

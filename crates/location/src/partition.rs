@@ -1,0 +1,205 @@
+//! Per-node slices of a [`DirectoryOverlay`] for distributed execution.
+//!
+//! The overlay object holds every node's pointer tables in one process;
+//! [`DirectoryOverlay::partition`] splits it into [`DirectoryNodeState`]s,
+//! one per node, each owning exactly what that node would hold in a real
+//! deployment: its finger table (nearest net member per ladder level —
+//! the node's own zooming sequence, reversed), its publish rings
+//! (`B_v(c r_j) ∩ G_j`, the members *it* must install pointers on when it
+//! homes an object), its directory pointer tables, and the set of objects
+//! homed at it. The message-passing simulator (`ron-sim`) runs lookups
+//! and publishes against these slices and nothing else.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ron_metric::{BallOracle, Metric, Node, Space};
+
+use crate::directory::{DirectoryOverlay, ObjectId};
+
+/// One node's slice of the directory overlay.
+#[derive(Clone, Debug)]
+pub struct DirectoryNodeState {
+    node: Node,
+    alive: bool,
+    /// `fingers[j]`: nearest alive level-`j` net member to this node.
+    fingers: Vec<Option<Node>>,
+    /// `rings[j]`: members of this node's publish ring at level `j`.
+    rings: Vec<Vec<Node>>,
+    /// `tables[j]`: the level-`j` directory entries stored at this node.
+    tables: Vec<BTreeMap<ObjectId, Node>>,
+    /// Objects homed at this node.
+    homed: BTreeSet<ObjectId>,
+}
+
+impl DirectoryNodeState {
+    /// The node this slice belongs to.
+    #[must_use]
+    pub fn node(&self) -> Node {
+        self.node
+    }
+
+    /// Whether the node was alive at partition time.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Number of ladder levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.fingers.len()
+    }
+
+    /// The finger at `level` (nearest net member), if the level had one.
+    #[must_use]
+    pub fn finger(&self, level: usize) -> Option<Node> {
+        self.fingers[level]
+    }
+
+    /// The climb itinerary a lookup from this node follows: the
+    /// `(level, finger)` pairs in ascending level order, skipping levels
+    /// without a finger — exactly the fingers the in-process
+    /// `DirectoryOverlay::lookup` climbs.
+    #[must_use]
+    pub fn itinerary(&self) -> Vec<(usize, Node)> {
+        self.fingers
+            .iter()
+            .enumerate()
+            .filter_map(|(j, f)| f.map(|f| (j, f)))
+            .collect()
+    }
+
+    /// The members of this node's publish ring at `level`.
+    #[must_use]
+    pub fn ring(&self, level: usize) -> &[Node] {
+        &self.rings[level]
+    }
+
+    /// The level-`level` directory entry for `obj` stored here, if any.
+    #[must_use]
+    pub fn entry(&self, level: usize, obj: ObjectId) -> Option<Node> {
+        self.tables[level].get(&obj).copied()
+    }
+
+    /// Installs a level-`level` entry for `obj` forwarding to `next`
+    /// (what a node does on receiving a publish-install message).
+    pub fn install(&mut self, level: usize, obj: ObjectId, next: Node) {
+        self.tables[level].insert(obj, next);
+    }
+
+    /// Whether `obj` is homed at this node.
+    #[must_use]
+    pub fn homes(&self, obj: ObjectId) -> bool {
+        self.homed.contains(&obj)
+    }
+
+    /// Records that `obj` is now homed here (what a node does when it
+    /// accepts a publish).
+    pub fn adopt(&mut self, obj: ObjectId) {
+        self.homed.insert(obj);
+    }
+
+    /// Directory entries resident in this slice — the node's share of the
+    /// structure's memory.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.tables.iter().map(BTreeMap::len).sum()
+    }
+}
+
+impl DirectoryOverlay {
+    /// Splits the overlay into per-node slices (see the module docs).
+    ///
+    /// The slices reflect the overlay's *current* dynamic state: alive
+    /// flags, dynamic net membership (through the fingers and rings) and
+    /// all installed pointer entries. Capture fresh slices after churn
+    /// plus repair, exactly like [`Snapshot`](crate::engine::Snapshot).
+    #[must_use]
+    pub fn partition<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+    ) -> Vec<DirectoryNodeState> {
+        let levels = self.levels();
+        let mut homed: Vec<BTreeSet<ObjectId>> = vec![BTreeSet::new(); self.len()];
+        for (&obj, &home) in &self.homes {
+            homed[home.index()].insert(obj);
+        }
+        (0..self.len())
+            .map(|i| {
+                let v = Node::new(i);
+                DirectoryNodeState {
+                    node: v,
+                    alive: self.is_alive(v),
+                    fingers: (0..levels)
+                        .map(|j| self.finger(space, v, j).map(|(_, f)| f))
+                        .collect(),
+                    rings: (0..levels)
+                        .map(|j| self.ring_members(space, v, j))
+                        .collect(),
+                    tables: self.tables[i]
+                        .iter()
+                        .map(|t| t.iter().map(|(&o, &n)| (o, n)).collect())
+                        .collect(),
+                    homed: std::mem::take(&mut homed[i]),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::LineMetric;
+
+    #[test]
+    fn slices_mirror_the_overlay() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(5));
+        ov.publish(&space, ObjectId(1), Node::new(30));
+        let slices = ov.partition(&space);
+        assert_eq!(slices.len(), 32);
+        let total: usize = slices.iter().map(DirectoryNodeState::entries).sum();
+        assert_eq!(total, ov.total_entries());
+        for (i, slice) in slices.iter().enumerate() {
+            let v = Node::new(i);
+            assert_eq!(slice.node(), v);
+            assert!(slice.is_alive());
+            assert_eq!(slice.levels(), ov.levels());
+            assert_eq!(slice.entries(), ov.entries_at(v));
+            for j in 0..ov.levels() {
+                assert_eq!(slice.finger(j), ov.finger(&space, v, j).map(|(_, f)| f));
+                assert_eq!(
+                    slice.ring(j),
+                    ov.rings().ring(v, j).unwrap().members(),
+                    "ring of {v} at level {j}"
+                );
+                for obj in [ObjectId(0), ObjectId(1)] {
+                    assert_eq!(slice.entry(j, obj), ov.entry(v, j, obj));
+                }
+            }
+            for obj in [ObjectId(0), ObjectId(1)] {
+                assert_eq!(slice.homes(obj), ov.home_of(obj) == Some(v));
+            }
+        }
+        // The itinerary climbs every level in order on a static overlay.
+        let it = slices[7].itinerary();
+        assert_eq!(it.len(), ov.levels());
+        assert!(it.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn install_and_adopt_mutate_the_slice() {
+        let space = Space::new(LineMetric::uniform(8).unwrap());
+        let ov = DirectoryOverlay::build(&space);
+        let mut slice = ov.partition(&space).remove(3);
+        assert_eq!(slice.entries(), 0);
+        assert!(!slice.homes(ObjectId(9)));
+        slice.install(1, ObjectId(9), Node::new(2));
+        slice.adopt(ObjectId(9));
+        assert_eq!(slice.entry(1, ObjectId(9)), Some(Node::new(2)));
+        assert!(slice.homes(ObjectId(9)));
+        assert_eq!(slice.entries(), 1);
+    }
+}

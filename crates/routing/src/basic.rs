@@ -29,6 +29,14 @@ pub struct BasicLabel {
     seq: Vec<u32>,
 }
 
+impl BasicLabel {
+    /// The labeled target node (the global id of footnote 9).
+    #[must_use]
+    pub fn node(&self) -> Node {
+        Node::new(self.id as usize)
+    }
+}
+
 /// One ring `Y_uj` with its local data: members in enumeration order,
 /// distances, and first-hop pointers.
 #[derive(Clone, Debug)]
@@ -423,6 +431,98 @@ impl BasicScheme {
         let label = id_bits(self.n) + self.num_scales as u64 * index_bits(self.k_max);
         label + index_bits(self.num_scales + 1)
     }
+
+    /// Splits the scheme into per-node overlay state: `partition()[u]`
+    /// holds node `u`'s rings (members and virtual-link lengths) and its
+    /// translation functions — everything `u` consults when it forwards a
+    /// packet in overlay mode, and nothing belonging to any other node.
+    ///
+    /// The input format of the message-passing simulator (`ron-sim`).
+    /// First-hop pointers are not included: overlay legs jump straight to
+    /// the decoded intermediate target (Section 4.1).
+    #[must_use]
+    pub fn partition(&self) -> Vec<BasicNodeState> {
+        (0..self.n)
+            .map(|i| BasicNodeState {
+                node: Node::new(i),
+                num_scales: self.num_scales,
+                rings: self.rings[i]
+                    .iter()
+                    .map(|r| (r.members.clone(), r.dists.clone()))
+                    .collect(),
+                zetas: self.zetas[i].clone(),
+            })
+            .collect()
+    }
+}
+
+/// One node's slice of a [`BasicScheme`] in overlay mode: its rings
+/// `Y_uj` (members plus virtual-link lengths) and its translation
+/// functions `zeta_uj`. Forwarding decisions are made from this state and
+/// the packet's label alone.
+#[derive(Clone, Debug)]
+pub struct BasicNodeState {
+    node: Node,
+    num_scales: usize,
+    /// `rings[j]` = (members of `Y_uj` in enumeration order, distances).
+    rings: Vec<(Vec<Node>, Vec<f64>)>,
+    zetas: Vec<TranslationFn>,
+}
+
+impl BasicNodeState {
+    /// The node this slice belongs to.
+    #[must_use]
+    pub fn node(&self) -> Node {
+        self.node
+    }
+
+    /// Ring members plus translation triples resident at this node.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        let members: usize = self.rings.iter().map(|(m, _)| m.len()).sum();
+        let triples: usize = self.zetas.iter().map(TranslationFn::len).sum();
+        members + triples
+    }
+
+    /// The overlay hop budget of [`BasicScheme::route_overlay`], local to
+    /// every node (it depends only on the scale count).
+    #[must_use]
+    pub fn hop_budget(&self) -> usize {
+        4 * (self.num_scales + 2)
+    }
+
+    /// Decodes, at this node, the host-enumeration indices of the labeled
+    /// target's zooming sequence, as far as translatable (Claim 2.2) —
+    /// the same walk as the in-process scheme's decoder.
+    fn decode(&self, label: &BasicLabel) -> Vec<u32> {
+        let mut m = vec![label.seq[0]];
+        for i in 0..self.num_scales - 1 {
+            match self.zetas[i].lookup(m[i], label.seq[i + 1]) {
+                Some(z) => m.push(z),
+                None => break,
+            }
+        }
+        m
+    }
+
+    /// The next overlay hop for a packet labeled `label`, with the
+    /// virtual-link length, or `None` when the zooming sequence stalls on
+    /// this node (broken construction; mirrors the in-process
+    /// `NoDecision`). Identical decision to [`BasicScheme::route_overlay`]
+    /// at the same node.
+    #[must_use]
+    pub fn next_overlay_hop(&self, label: &BasicLabel) -> Option<(Node, f64)> {
+        let m = self.decode(label);
+        let j = m.len() - 1;
+        let (members, dists) = &self.rings[j];
+        let idx = m[j] as usize;
+        let next = members[idx];
+        if next == self.node {
+            None
+        } else {
+            Some((next, dists[idx]))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +664,41 @@ mod tests {
         // 16 -> 36 nodes but aspect ratio only 6 -> 10: header grows by a
         // couple of scale slots, far from linearly in n.
         assert!(s_big.header_bits() <= s_small.header_bits() * 2);
+    }
+
+    #[test]
+    fn partitioned_state_reproduces_overlay_routes() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let scheme = BasicScheme::build_overlay(&space, 0.25);
+        let states = scheme.partition();
+        assert_eq!(states.len(), 32);
+        for u in space.nodes() {
+            for v in space.nodes() {
+                if u == v {
+                    continue;
+                }
+                let trace = scheme.route_overlay(u, v).unwrap();
+                // Walk the same packet through the per-node slices.
+                let label = scheme.label(v).clone();
+                let mut cur = u;
+                let mut path = vec![u];
+                let mut length = 0.0f64;
+                while cur != v {
+                    let (next, d) = states[cur.index()]
+                        .next_overlay_hop(&label)
+                        .expect("static construction never stalls");
+                    length += d;
+                    cur = next;
+                    path.push(cur);
+                    assert!(path.len() <= states[u.index()].hop_budget() + 1);
+                }
+                assert_eq!(path, trace.path, "{u} -> {v}");
+                assert!((length - trace.length).abs() < 1e-12);
+            }
+        }
+        assert_eq!(states[0].node(), Node::new(0));
+        assert!(states[0].entries() > 0);
+        assert_eq!(scheme.label(Node::new(7)).node(), Node::new(7));
     }
 
     #[test]

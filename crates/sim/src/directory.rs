@@ -1,0 +1,384 @@
+//! The object-location directory as a message protocol: publishes
+//! install pointer entries by fan-out, lookups climb the origin's
+//! fingers and descend the home's zoom chain as real message rounds.
+//!
+//! Each node holds one [`DirectoryNodeState`]: its finger table, its
+//! publish rings, its pointer-table rows and the objects it homes. The
+//! lookup packet carries the *origin's* climb itinerary in its header —
+//! the origin's own zooming sequence, local knowledge, exactly like the
+//! labels of the routing schemes — and every check happens at the node
+//! holding the entry. The walk replicates the in-process
+//! `DirectoryOverlay::lookup` state machine, including its skipping of
+//! self-hops, so on a failure-free network the simulated answer, hop
+//! count and found level are identical (property-tested on all four
+//! instance families).
+
+use ron_location::{DirectoryNodeState, DirectoryOverlay, ObjectId};
+use ron_metric::{BallOracle, Metric, Node, Space};
+
+use crate::engine::{Ctx, FailKind, SimNode};
+
+/// One node of the directory protocol.
+#[derive(Clone, Debug)]
+pub struct DirectoryNode {
+    state: DirectoryNodeState,
+}
+
+impl DirectoryNode {
+    /// Builds the fleet by partitioning an overlay (published or empty).
+    #[must_use]
+    pub fn fleet<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        overlay: &DirectoryOverlay,
+    ) -> Vec<DirectoryNode> {
+        overlay
+            .partition(space)
+            .into_iter()
+            .map(|state| DirectoryNode { state })
+            .collect()
+    }
+
+    /// The per-node slice (inspect after a run to see installed entries).
+    #[must_use]
+    pub fn state(&self) -> &DirectoryNodeState {
+        &self.state
+    }
+
+    /// Walks as much of the climb as is local to this node, then either
+    /// forwards the packet or switches to the descent.
+    fn climb(
+        &mut self,
+        ctx: &mut Ctx<'_, DirectoryMsg>,
+        obj: ObjectId,
+        mut k: usize,
+        itinerary: Vec<(usize, Node)>,
+    ) {
+        loop {
+            let (level, f) = itinerary[k];
+            if f != self.state.node() {
+                ctx.send(f, DirectoryMsg::Climb { obj, k, itinerary });
+                return;
+            }
+            if let Some(next) = self.state.entry(level, obj) {
+                self.descend(ctx, obj, level, level as u64, next);
+                return;
+            }
+            k += 1;
+            if k == itinerary.len() {
+                ctx.fail(FailKind::NotFound);
+                return;
+            }
+        }
+    }
+
+    /// One descent step: hand the packet to `next` (or keep walking
+    /// locally when the chain stays on this node).
+    fn descend(
+        &mut self,
+        ctx: &mut Ctx<'_, DirectoryMsg>,
+        obj: ObjectId,
+        level: usize,
+        found_level: u64,
+        next: Node,
+    ) {
+        if next == self.state.node() {
+            self.arrive(ctx, obj, level, found_level);
+        } else {
+            ctx.send(
+                next,
+                DirectoryMsg::Descend {
+                    obj,
+                    level,
+                    found_level,
+                },
+            );
+        }
+    }
+
+    /// The packet arrived here during the descent at `level`: recognize
+    /// the home, or follow the next chain entry down.
+    fn arrive(
+        &mut self,
+        ctx: &mut Ctx<'_, DirectoryMsg>,
+        obj: ObjectId,
+        mut level: usize,
+        found_level: u64,
+    ) {
+        loop {
+            if self.state.homes(obj) || level == 0 {
+                ctx.complete(self.state.node(), found_level);
+                return;
+            }
+            level -= 1;
+            match self.state.entry(level, obj) {
+                None => {
+                    ctx.fail(FailKind::BrokenChain);
+                    return;
+                }
+                Some(next) if next == self.state.node() => {}
+                Some(next) => {
+                    ctx.send(
+                        next,
+                        DirectoryMsg::Descend {
+                            obj,
+                            level,
+                            found_level,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Directory protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectoryMsg {
+    /// Start a lookup (inject at the origin; never sent on the wire).
+    Lookup {
+        /// The object to locate.
+        obj: ObjectId,
+    },
+    /// The climb packet, probing `itinerary[k]`.
+    Climb {
+        /// The object to locate.
+        obj: ObjectId,
+        /// Position in the itinerary being probed.
+        k: usize,
+        /// The origin's `(level, finger)` climb itinerary.
+        itinerary: Vec<(usize, Node)>,
+    },
+    /// The descent packet, following the home's zoom chain at `level`.
+    Descend {
+        /// The object to locate.
+        obj: ObjectId,
+        /// Current chain level.
+        level: usize,
+        /// Ladder level the directory entry was found at (reported as
+        /// the completion detail).
+        found_level: u64,
+    },
+    /// Start a publish (inject at the home; never sent on the wire).
+    Publish {
+        /// The object to publish.
+        obj: ObjectId,
+    },
+    /// Install one pointer entry (the publish fan-out).
+    Install {
+        /// The published object.
+        obj: ObjectId,
+        /// Ladder level of the entry.
+        level: usize,
+        /// Chain node the entry forwards to.
+        next: Node,
+    },
+}
+
+impl SimNode for DirectoryNode {
+    type Msg = DirectoryMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DirectoryMsg>, msg: DirectoryMsg) {
+        match msg {
+            DirectoryMsg::Lookup { obj } => {
+                let itinerary = self.state.itinerary();
+                if itinerary.is_empty() {
+                    ctx.fail(FailKind::NotFound);
+                    return;
+                }
+                self.climb(ctx, obj, 0, itinerary);
+            }
+            DirectoryMsg::Climb { obj, k, itinerary } => self.climb(ctx, obj, k, itinerary),
+            DirectoryMsg::Descend {
+                obj,
+                level,
+                found_level,
+            } => self.arrive(ctx, obj, level, found_level),
+            DirectoryMsg::Publish { obj } => {
+                // The home's chain against its own fingers: chain[j] is
+                // the nearest level-j member, the home itself when a
+                // level has none (the in-process fallback).
+                let me = self.state.node();
+                self.state.adopt(obj);
+                let levels = self.state.levels();
+                let chain: Vec<Node> = (0..levels)
+                    .map(|j| self.state.finger(j).unwrap_or(me))
+                    .collect();
+                for j in 0..levels {
+                    let target = if j == 0 { me } else { chain[j - 1] };
+                    let ring: Vec<Node> = self.state.ring(j).to_vec();
+                    for w in ring {
+                        if w == me {
+                            self.state.install(j, obj, target);
+                        } else {
+                            ctx.send(
+                                w,
+                                DirectoryMsg::Install {
+                                    obj,
+                                    level: j,
+                                    next: target,
+                                },
+                            );
+                        }
+                    }
+                }
+                // The publish acknowledges at the home; the installs fan
+                // out asynchronously as messages of the same query.
+                ctx.complete(me, 0);
+            }
+            DirectoryMsg::Install { obj, level, next } => {
+                self.state.install(level, obj, next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Resolution, SimConfig, Simulator};
+    use crate::latency::ConstantLatency;
+    use ron_metric::{gen, LineMetric};
+
+    #[test]
+    fn simulated_lookups_match_in_process_lookups() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut overlay = DirectoryOverlay::build(&space);
+        let homes = [5usize, 18, 31];
+        for (i, &h) in homes.iter().enumerate() {
+            overlay.publish(&space, ObjectId(i as u64), Node::new(h));
+        }
+        let mut sim = Simulator::new(
+            DirectoryNode::fleet(&space, &overlay),
+            |u, v| space.dist(u, v),
+            ConstantLatency(0.0),
+            SimConfig::default(),
+        );
+        let mut expect = Vec::new();
+        for s in space.nodes() {
+            for (i, _) in homes.iter().enumerate() {
+                let obj = ObjectId(i as u64);
+                sim.inject(0.0, s, DirectoryMsg::Lookup { obj });
+                expect.push(overlay.lookup(&space, s, obj).unwrap());
+            }
+        }
+        let report = sim.run();
+        assert_eq!(report.completed, expect.len());
+        for (record, out) in report.records.iter().zip(&expect) {
+            assert_eq!(
+                record.resolution,
+                Resolution::Delivered {
+                    at: out.home,
+                    detail: out.found_level as u64
+                }
+            );
+            assert_eq!(record.hops as usize, out.hops());
+        }
+    }
+
+    #[test]
+    fn simulated_publish_installs_the_same_entries() {
+        let space = Space::new(gen::uniform_cube(48, 2, 17));
+        // In-process reference.
+        let mut reference = DirectoryOverlay::build(&space);
+        let items: Vec<(ObjectId, Node)> = (0..6)
+            .map(|i| (ObjectId(i as u64), Node::new((i * 13 + 2) % 48)))
+            .collect();
+        for &(obj, home) in &items {
+            reference.publish(&space, obj, home);
+        }
+        // Simulated publishes against an empty overlay's slices.
+        let empty = DirectoryOverlay::build(&space);
+        let mut sim = Simulator::new(
+            DirectoryNode::fleet(&space, &empty),
+            |u, v| space.dist(u, v),
+            ConstantLatency(1.0),
+            SimConfig::default(),
+        );
+        for (t, &(obj, home)) in items.iter().enumerate() {
+            sim.inject(t as f64, home, DirectoryMsg::Publish { obj });
+        }
+        let report = sim.run();
+        assert_eq!(report.completed, items.len());
+        // The per-node pointer bill matches the in-process overlay, and
+        // the message bill is exactly the non-local entry count.
+        let mut remote_entries = 0u64;
+        for v in space.nodes() {
+            let node = sim.node(v);
+            assert_eq!(
+                node.state().entries(),
+                reference.entries_at(v),
+                "pointer load at {v}"
+            );
+            for j in 0..reference.levels() {
+                for &(obj, home) in &items {
+                    let in_ring = reference.rings().ring(home, j).unwrap().contains(v);
+                    assert_eq!(node.state().entry(j, obj).is_some(), in_ring);
+                    if in_ring && v != home {
+                        remote_entries += 1;
+                    }
+                }
+            }
+            for &(obj, home) in &items {
+                assert_eq!(node.state().homes(obj), v == home);
+            }
+        }
+        assert_eq!(report.messages.sent, remote_entries);
+        assert_eq!(report.messages.delivered, remote_entries);
+        // Behavioral equivalence: lookups over the simulated tables give
+        // the same homes, hops and found levels as the in-process
+        // overlay.
+        let mut lookups = Simulator::new(
+            sim.into_nodes(),
+            |u, v| space.dist(u, v),
+            ConstantLatency(0.0),
+            SimConfig::default(),
+        );
+        let mut expect = Vec::new();
+        for s in space.nodes() {
+            for &(obj, _) in &items {
+                lookups.inject(0.0, s, DirectoryMsg::Lookup { obj });
+                expect.push(reference.lookup(&space, s, obj).unwrap());
+            }
+        }
+        let report = lookups.run();
+        assert_eq!(report.completed, expect.len());
+        for (record, out) in report.records.iter().zip(&expect) {
+            assert_eq!(
+                record.resolution,
+                Resolution::Delivered {
+                    at: out.home,
+                    detail: out.found_level as u64
+                }
+            );
+            assert_eq!(record.hops as usize, out.hops());
+        }
+    }
+
+    #[test]
+    fn crashed_holder_breaks_lookups_until_avoided() {
+        let space = Space::new(LineMetric::uniform(16).unwrap());
+        let mut overlay = DirectoryOverlay::build(&space);
+        overlay.publish(&space, ObjectId(0), Node::new(3));
+        let mut sim = Simulator::new(
+            DirectoryNode::fleet(&space, &overlay),
+            |u, v| space.dist(u, v),
+            ConstantLatency(1.0),
+            SimConfig {
+                timeout: Some(64.0),
+                ..SimConfig::default()
+            },
+        );
+        // Crash the home itself before the lookup: the descent can never
+        // terminate there.
+        sim.crash_at(0.0, Node::new(3));
+        sim.inject(
+            1.0,
+            Node::new(12),
+            DirectoryMsg::Lookup { obj: ObjectId(0) },
+        );
+        let report = sim.run();
+        assert_eq!(report.completed, 0);
+        assert!(report.messages.lost_to_crash > 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pluggable message-latency models and the deterministic draw machinery.
+//!
+//! Every message transmission asks the simulator's [`LatencyModel`] for a
+//! delay. The model receives the metric distance between the endpoints
+//! and a 64-bit `word` derived by hashing `(seed, transmission counter)`
+//! — never a stateful RNG — so the latency of the `k`-th transmission is
+//! a pure function of the seed, regardless of delivery order or thread
+//! count. That is what makes the whole event trace replayable.
+
+/// The splitmix64 finalizer: a high-quality 64-bit mixer.
+#[must_use]
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit word to the unit interval `[0, 1)` (53-bit precision).
+#[must_use]
+pub(crate) fn unit(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A message-latency model: given the metric distance between sender and
+/// receiver and one deterministic 64-bit draw, produce a non-negative
+/// delay in simulated time units.
+pub trait LatencyModel {
+    /// The delay of one message over metric distance `d`. `word` is this
+    /// transmission's deterministic draw; derive as many sub-draws as
+    /// needed by re-mixing it.
+    fn sample(&self, d: f64, word: u64) -> f64;
+}
+
+/// Every message takes the same fixed delay (a synchronous-rounds
+/// abstraction; `ConstantLatency(0.0)` gives the instantaneous network of
+/// the cross-validation tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConstantLatency(pub f64);
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&self, _d: f64, _word: u64) -> f64 {
+        self.0.max(0.0)
+    }
+}
+
+/// Latency proportional to the metric distance plus a fixed floor — the
+/// natural model when the metric *is* network latency (speed-of-light
+/// plus per-hop overhead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricLatency {
+    /// Multiplier on the metric distance.
+    pub scale: f64,
+    /// Fixed per-message overhead added to every delay.
+    pub floor: f64,
+}
+
+impl LatencyModel for MetricLatency {
+    fn sample(&self, d: f64, _word: u64) -> f64 {
+        (self.floor + self.scale * d).max(0.0)
+    }
+}
+
+/// Metric-proportional latency multiplied by lognormal jitter
+/// `exp(sigma * z)` with `z` approximately standard normal — the
+/// long-tailed queueing noise of real WANs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LognormalLatency {
+    /// Multiplier on the metric distance.
+    pub scale: f64,
+    /// Fixed per-message overhead (jittered along with the rest).
+    pub floor: f64,
+    /// Standard deviation of the log-jitter (`0.0` recovers
+    /// [`MetricLatency`]).
+    pub sigma: f64,
+}
+
+impl LatencyModel for LognormalLatency {
+    fn sample(&self, d: f64, word: u64) -> f64 {
+        // Irwin–Hall approximation: the sum of four uniforms has mean 2
+        // and variance 1/3; normalize to an approximate standard normal.
+        let mut w = word;
+        let mut sum = 0.0;
+        for _ in 0..4 {
+            w = mix(w);
+            sum += unit(w);
+        }
+        let z = (sum - 2.0) / (1.0f64 / 3.0).sqrt();
+        ((self.floor + self.scale * d) * (self.sigma * z).exp()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_distance_and_word() {
+        let m = ConstantLatency(2.5);
+        assert_eq!(m.sample(0.0, 1), 2.5);
+        assert_eq!(m.sample(99.0, 7), 2.5);
+        assert_eq!(ConstantLatency(-1.0).sample(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn metric_is_affine_in_distance() {
+        let m = MetricLatency {
+            scale: 2.0,
+            floor: 1.0,
+        };
+        assert_eq!(m.sample(0.0, 3), 1.0);
+        assert_eq!(m.sample(4.0, 3), 9.0);
+    }
+
+    #[test]
+    fn lognormal_is_deterministic_in_word_and_centered() {
+        let m = LognormalLatency {
+            scale: 1.0,
+            floor: 0.0,
+            sigma: 0.3,
+        };
+        assert_eq!(m.sample(5.0, 42), m.sample(5.0, 42));
+        assert_ne!(m.sample(5.0, 42), m.sample(5.0, 43));
+        // The median multiplier is ~1: averaging many draws stays near d.
+        let mean: f64 = (0..2000).map(|k| m.sample(1.0, mix(k))).sum::<f64>() / 2000.0;
+        assert!((0.8..1.3).contains(&mean), "mean jitter {mean}");
+        // sigma = 0 recovers the metric model exactly.
+        let flat = LognormalLatency {
+            scale: 1.0,
+            floor: 0.5,
+            sigma: 0.0,
+        };
+        assert_eq!(flat.sample(2.0, 9), 2.5);
+    }
+
+    #[test]
+    fn unit_draws_are_in_range() {
+        for k in 0..100 {
+            let u = unit(mix(k));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic message-passing simulation of the rings-of-neighbors
+//! protocols — the paper's claims, finally exercised as a *distributed
+//! system*.
+//!
+//! Every other crate in this workspace executes the constructions as
+//! in-process function calls over shared structures; this crate runs
+//! them as fleets of nodes that own **only their local slice** of state
+//! and make progress exclusively through typed point-to-point messages:
+//!
+//! * [`engine`]: a seeded discrete-event [`Simulator`] — events ordered
+//!   by `(time, seq)`, latency and drop draws hashed from the seed, a
+//!   sequential run loop — so for a fixed seed the full event trace (and
+//!   its fingerprint) is byte-identical across repeated runs and across
+//!   the `RON_THREADS` setting used to build the inputs;
+//! * [`latency`]: pluggable [`LatencyModel`]s — constant,
+//!   metric-proportional, lognormal jitter — plus message drops,
+//!   per-query timeouts and mid-flight crash injection
+//!   ([`Simulator::crash_at`]);
+//! * protocol drivers over per-node state extracted by the `partition()`
+//!   constructors of the structure crates: greedy small-world forwarding
+//!   ([`greedy`]; Theorem 5.2 hops become message chains), the
+//!   (1+delta)-stretch overlay schemes ([`overlay`]; Theorems 2.1/4.1),
+//!   and the object-location directory ([`directory`]; publish fan-out,
+//!   finger climb and zoom descent as message rounds);
+//! * [`report`]: a [`SimReport`] with message counts, hop statistics,
+//!   simulated-latency percentiles and the **per-node message-load
+//!   histogram** — the quantity the §5 STRUCTURES uniform-load
+//!   discussion is about, measured rather than asserted.
+//!
+//! For zero-latency, failure-free configurations every driver is
+//! property-tested to reproduce its in-process twin exactly (answers,
+//! hop counts, found levels) on all four instance families.
+//!
+//! # Example
+//!
+//! ```
+//! use ron_location::{DirectoryOverlay, ObjectId};
+//! use ron_metric::{gen, Node, Space};
+//! use ron_sim::directory::{DirectoryMsg, DirectoryNode};
+//! use ron_sim::{MetricLatency, SimConfig, Simulator};
+//!
+//! let space = Space::new(gen::uniform_cube(64, 2, 7));
+//! let mut overlay = DirectoryOverlay::build(&space);
+//! overlay.publish(&space, ObjectId(1), Node::new(9));
+//! let mut sim = Simulator::new(
+//!     DirectoryNode::fleet(&space, &overlay),
+//!     |u, v| space.dist(u, v),
+//!     MetricLatency { scale: 1.0, floor: 0.1 },
+//!     SimConfig::default(),
+//! );
+//! sim.inject(0.0, Node::new(40), DirectoryMsg::Lookup { obj: ObjectId(1) });
+//! let report = sim.run();
+//! assert_eq!(report.completed, 1);
+//! assert!(report.messages.sent as usize >= report.records[0].hops as usize);
+//! ```
+
+pub mod directory;
+pub mod engine;
+pub mod greedy;
+pub mod latency;
+pub mod overlay;
+pub mod report;
+
+pub use engine::{Ctx, FailKind, Resolution, SimConfig, SimNode, Simulator};
+pub use latency::{ConstantLatency, LatencyModel, LognormalLatency, MetricLatency};
+pub use report::{MessageCounts, Percentiles, QueryRecord, SimReport};
+
+use ron_metric::Node;
+
+/// A per-node slice of protocol state: the contract every `partition()`
+/// constructor in the workspace satisfies, and the unit of state a
+/// simulated node is allowed to touch.
+///
+/// The `entries` count is the node's share of the distributed
+/// structure's memory — the static counterpart of the per-node
+/// message-load histogram in [`SimReport`].
+pub trait LocalState {
+    /// The node this slice belongs to.
+    fn node(&self) -> Node;
+
+    /// Pointer/table entries resident in this slice.
+    fn entries(&self) -> usize;
+}
+
+impl LocalState for ron_core::NodeRings {
+    fn node(&self) -> Node {
+        self.node()
+    }
+
+    fn entries(&self) -> usize {
+        self.entries()
+    }
+}
+
+impl LocalState for ron_routing::BasicNodeState {
+    fn node(&self) -> Node {
+        self.node()
+    }
+
+    fn entries(&self) -> usize {
+        self.entries()
+    }
+}
+
+impl LocalState for ron_routing::SimpleNodeState {
+    fn node(&self) -> Node {
+        self.node()
+    }
+
+    fn entries(&self) -> usize {
+        self.entries()
+    }
+}
+
+impl LocalState for ron_location::DirectoryNodeState {
+    fn node(&self) -> Node {
+        self.node()
+    }
+
+    fn entries(&self) -> usize {
+        self.entries()
+    }
+}
+
+impl LocalState for greedy::GreedyNode {
+    fn node(&self) -> Node {
+        self.node()
+    }
+
+    fn entries(&self) -> usize {
+        self.entries()
+    }
+}
+
+impl LocalState for directory::DirectoryNode {
+    fn node(&self) -> Node {
+        self.state().node()
+    }
+
+    fn entries(&self) -> usize {
+        self.state().entries()
+    }
+}
+
+impl LocalState for overlay::BasicOverlayNode {
+    fn node(&self) -> Node {
+        self.state().node()
+    }
+
+    fn entries(&self) -> usize {
+        self.state().entries()
+    }
+}
+
+impl LocalState for overlay::SimpleOverlayNode {
+    fn node(&self) -> Node {
+        self.state().node()
+    }
+
+    fn entries(&self) -> usize {
+        self.state().entries()
+    }
+}
+
+/// The per-node resident-entry counts of a partitioned structure, in
+/// node order — the static load distribution next to the dynamic one in
+/// [`SimReport::node_received`].
+pub fn state_entries<L: LocalState>(states: &[L]) -> Vec<usize> {
+    states.iter().map(LocalState::entries).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_core::RingFamily;
+    use ron_metric::{LineMetric, Space};
+    use ron_nets::NestedNets;
+
+    #[test]
+    fn local_state_is_implemented_across_the_partitions() {
+        let space = Space::new(LineMetric::uniform(16).unwrap());
+        let nets = NestedNets::build(&space);
+        let rings = RingFamily::from_nets(&space, &nets, |_, r| Some(2.0 * r));
+        let slices = rings.partition();
+        let entries = state_entries(&slices);
+        assert_eq!(entries.len(), 16);
+        assert_eq!(
+            entries.iter().sum::<usize>(),
+            rings.total_pointers(),
+            "partitioned entries must add up to the family total"
+        );
+        assert_eq!(LocalState::node(&slices[5]), Node::new(5));
+    }
+}

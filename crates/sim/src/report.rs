@@ -1,0 +1,275 @@
+//! Simulation reports: message accounting, latency percentiles and the
+//! per-node load distribution.
+
+use std::collections::BTreeMap;
+
+use ron_metric::Node;
+
+use crate::engine::{FailKind, Resolution};
+
+/// Message-level accounting over one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MessageCounts {
+    /// Transmissions attempted.
+    pub sent: u64,
+    /// Messages delivered and processed.
+    pub delivered: u64,
+    /// Messages lost to the drop probability.
+    pub dropped: u64,
+    /// Messages that arrived at a crashed node.
+    pub lost_to_crash: u64,
+    /// Messages that arrived after their query had already resolved
+    /// (publish installs after the home's ack, or arrivals racing a
+    /// deadline). Processed normally; a late resolution is ignored.
+    pub stale: u64,
+}
+
+/// Percentile summary of a sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarizes `samples` (all zeros when empty).
+    #[must_use]
+    pub fn of(mut samples: Vec<f64>) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len();
+        let at = |q: f64| samples[((count as f64 * q) as usize).min(count - 1)];
+        Percentiles {
+            count,
+            mean: samples.iter().sum::<f64>() / count as f64,
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            max: samples[count - 1],
+        }
+    }
+}
+
+/// One query's outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryRecord {
+    /// Where the query was injected.
+    pub origin: Node,
+    /// Injection time.
+    pub injected_at: f64,
+    /// Resolution time (end of run for unresolved queries).
+    pub resolved_at: f64,
+    /// How it ended.
+    pub resolution: Resolution,
+    /// Messages delivered on behalf of this query — its hop count.
+    pub hops: u32,
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Queries injected.
+    pub queries: usize,
+    /// Queries that resolved as delivered.
+    pub completed: usize,
+    /// Message accounting.
+    pub messages: MessageCounts,
+    /// Simulated completion latency over delivered queries.
+    pub latency: Percentiles,
+    /// Hop counts over delivered queries.
+    pub hops: Percentiles,
+    /// Messages sent by each node.
+    pub node_sent: Vec<u64>,
+    /// Messages received (and processed) by each node — the serving load
+    /// the §5 STRUCTURES uniform-load discussion is about.
+    pub node_received: Vec<u64>,
+    /// Per-query outcomes, in injection order.
+    pub records: Vec<QueryRecord>,
+    /// Order-sensitive digest of the full event trace: two runs with the
+    /// same fingerprint executed byte-identical schedules.
+    pub trace_fingerprint: u64,
+    /// Simulated time of the last event.
+    pub end_time: f64,
+}
+
+impl SimReport {
+    /// Fraction of queries that completed.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.queries as f64
+        }
+    }
+
+    /// Failure counts by kind (empty when everything completed).
+    #[must_use]
+    pub fn failures(&self) -> BTreeMap<FailKind, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            if let Resolution::Failed(kind) = r.resolution {
+                *out.entry(kind).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Percentile summary of the per-node received-message load.
+    #[must_use]
+    pub fn load_percentiles(&self) -> Percentiles {
+        Percentiles::of(self.node_received.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Power-of-two histogram of the per-node received-message load:
+    /// bucket 0 counts idle nodes, bucket `k >= 1` counts nodes with load
+    /// in `[2^(k-1), 2^k)`.
+    #[must_use]
+    pub fn load_histogram_pow2(&self) -> Vec<u64> {
+        let mut hist: Vec<u64> = Vec::new();
+        for &load in &self.node_received {
+            let bucket = if load == 0 {
+                0
+            } else {
+                64 - load.leading_zeros() as usize
+            };
+            if bucket >= hist.len() {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+
+    /// Renders [`load_histogram_pow2`](SimReport::load_histogram_pow2)
+    /// as a compact `range:count` string, e.g. `0:12 1:30 2-3:51 4-7:9`.
+    #[must_use]
+    pub fn load_histogram_rendered(&self) -> String {
+        self.load_histogram_pow2()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(bucket, &c)| {
+                let (lo, hi) = if bucket == 0 {
+                    (0u64, 0u64)
+                } else {
+                    (1u64 << (bucket - 1), (1u64 << bucket) - 1)
+                };
+                if lo == hi {
+                    format!("{lo}:{c}")
+                } else {
+                    format!("{lo}-{hi}:{c}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Renders the report as an aligned text block for examples/logs.
+    #[must_use]
+    pub fn render(&self, title: &str) -> String {
+        let load = self.load_percentiles();
+        let mut out = format!("-- {title} --\n");
+        out.push_str(&format!(
+            "queries   {} injected, {} completed ({:.1}%)\n",
+            self.queries,
+            self.completed,
+            self.success_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "messages  {} sent, {} delivered, {} dropped, {} lost-to-crash, {} stale\n",
+            self.messages.sent,
+            self.messages.delivered,
+            self.messages.dropped,
+            self.messages.lost_to_crash,
+            self.messages.stale
+        ));
+        out.push_str(&format!(
+            "hops      mean {:.2}, p50 {:.0}, p99 {:.0}, max {:.0}\n",
+            self.hops.mean, self.hops.p50, self.hops.p99, self.hops.max
+        ));
+        out.push_str(&format!(
+            "latency   p50 {:.3}, p90 {:.3}, p99 {:.3}, max {:.3}\n",
+            self.latency.p50, self.latency.p90, self.latency.p99, self.latency.max
+        ));
+        out.push_str(&format!(
+            "load/node mean {:.2}, p50 {:.0}, p99 {:.0}, max {:.0}  [{}]\n",
+            load.mean,
+            load.p50,
+            load.p99,
+            load.max,
+            self.load_histogram_rendered()
+        ));
+        for (kind, count) in self.failures() {
+            out.push_str(&format!("failed    {count} x {kind:?}\n"));
+        }
+        out.push_str(&format!(
+            "trace     {:016x} (t_end = {:.3})\n",
+            self.trace_fingerprint, self.end_time
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let p = Percentiles::of((1..=100).map(f64::from).collect());
+        assert_eq!(p.count, 100);
+        assert!((p.mean - 50.5).abs() < 1e-12);
+        assert_eq!(p.p50, 51.0);
+        assert_eq!(p.p90, 91.0);
+        assert_eq!(p.p99, 100.0);
+        assert_eq!(p.max, 100.0);
+        assert_eq!(Percentiles::of(Vec::new()), Percentiles::default());
+    }
+
+    fn report_with_loads(loads: Vec<u64>) -> SimReport {
+        SimReport {
+            queries: 0,
+            completed: 0,
+            messages: MessageCounts::default(),
+            latency: Percentiles::default(),
+            hops: Percentiles::default(),
+            node_sent: vec![0; loads.len()],
+            node_received: loads,
+            records: Vec::new(),
+            trace_fingerprint: 0,
+            end_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn pow2_histogram_buckets() {
+        let r = report_with_loads(vec![0, 0, 1, 2, 3, 4, 7, 8]);
+        // load 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4..7 -> 3; 8 -> 4.
+        assert_eq!(r.load_histogram_pow2(), vec![2, 1, 2, 2, 1]);
+        assert_eq!(r.load_histogram_rendered(), "0:2 1:1 2-3:2 4-7:2 8-15:1");
+        let sum: u64 = r.load_histogram_pow2().iter().sum();
+        assert_eq!(sum as usize, r.node_received.len());
+    }
+
+    #[test]
+    fn render_mentions_the_title_and_counts() {
+        let r = report_with_loads(vec![1, 2]);
+        let text = r.render("smoke");
+        assert!(text.contains("smoke"));
+        assert!(text.contains("load/node"));
+        assert!(text.contains("trace"));
+    }
+}

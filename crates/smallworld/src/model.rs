@@ -66,6 +66,17 @@ impl ContactGraph {
         let total: usize = self.contacts.iter().map(Vec::len).sum();
         total as f64 / self.contacts.len() as f64
     }
+
+    /// Splits the graph into per-node contact lists: `partition()[u]` is
+    /// exactly `contacts_of(u)`, owned.
+    ///
+    /// The input format of the message-passing simulator (`ron-sim`),
+    /// where each simulated node holds only its own contact list and
+    /// forwarding is strongly local (Definition 5.1).
+    #[must_use]
+    pub fn partition(&self) -> Vec<Vec<Node>> {
+        self.contacts.clone()
+    }
 }
 
 /// The result of one routed query.

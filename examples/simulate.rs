@@ -1,0 +1,178 @@
+//! The rings protocols as a distributed system: a 4096-node clustered
+//! "Internet latency" metric, publishes and lookups running as real
+//! message rounds through the deterministic simulator, greedy
+//! small-world routing as message chains, and a crash burst mid-run.
+//!
+//! Run with: `cargo run --release --example simulate`
+//! (`RON_SIM_N=512` shrinks the instance for smoke runs.)
+//!
+//! Everything is seeded — the printed reports, including the event-trace
+//! fingerprints, reproduce exactly.
+
+use std::time::Instant;
+
+use rings_of_neighbors::location::{DirectoryOverlay, ObjectId};
+use rings_of_neighbors::metric::{gen, Node, Space};
+use rings_of_neighbors::sim::directory::{DirectoryMsg, DirectoryNode};
+use rings_of_neighbors::sim::greedy::{GreedyNode, GreedyPacket};
+use rings_of_neighbors::sim::{
+    state_entries, LognormalLatency, MetricLatency, Percentiles, SimConfig, Simulator,
+};
+use rings_of_neighbors::smallworld::GreedyModel;
+
+const SEED: u64 = 1105;
+
+fn sim_n() -> usize {
+    std::env::var("RON_SIM_N")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 64)
+        .unwrap_or(4096)
+}
+
+fn main() {
+    let n = sim_n();
+    let objects = (n / 4).clamp(16, 1000);
+    let lookups = if n >= 4096 { 10_000 } else { (2 * n).max(1000) };
+    let routes = if n >= 4096 { 2_000 } else { (n / 2).max(500) };
+
+    // 1. A clustered Internet-latency-like metric and the (empty)
+    //    directory overlay, partitioned into per-node slices.
+    let t0 = Instant::now();
+    let space = Space::new(gen::clustered(n, 2, (n / 64).max(4), 0.01, SEED));
+    let overlay = DirectoryOverlay::build(&space);
+    let fleet = DirectoryNode::fleet(&space, &overlay);
+    println!(
+        "built + partitioned overlay: n = {n}, levels = {} ({:.1?})",
+        overlay.levels(),
+        t0.elapsed()
+    );
+
+    // The WAN model: latency proportional to the metric with lognormal
+    // queueing jitter.
+    let wan = LognormalLatency {
+        scale: 50.0,
+        floor: 0.5,
+        sigma: 0.3,
+    };
+
+    // 2. Publish phase: each object's home fans its pointer entries out
+    //    over the net ladder as install messages.
+    let mut publish = Simulator::new(
+        fleet,
+        |u, v| space.dist(u, v),
+        wan,
+        SimConfig {
+            seed: SEED,
+            drop_prob: 0.0,
+            timeout: None,
+        },
+    );
+    for i in 0..objects {
+        let home = Node::new((i * 31 + 1) % n);
+        publish.inject(
+            i as f64,
+            home,
+            DirectoryMsg::Publish {
+                obj: ObjectId(i as u64),
+            },
+        );
+    }
+    let report = publish.run();
+    println!("\n{}", report.render(&format!("publish {objects} objects")));
+    assert_eq!(report.completed, objects, "publishes must all acknowledge");
+
+    // The per-node *state* load after the installs — the static
+    // counterpart of the message-load histograms below.
+    let nodes = publish.into_nodes();
+    let static_load = Percentiles::of(state_entries(&nodes).iter().map(|&e| e as f64).collect());
+    println!(
+        "per-node directory entries: p50 {:.0} / p99 {:.0} / max {:.0}\n",
+        static_load.p50, static_load.p99, static_load.max
+    );
+
+    // 3. Lookup phase over the installed tables: 10k lookups with a
+    //    crash burst mid-run (2% of the nodes die while queries are in
+    //    flight) and a per-query deadline.
+    let mut lookup = Simulator::new(
+        nodes,
+        |u, v| space.dist(u, v),
+        wan,
+        SimConfig {
+            seed: SEED ^ 0x100,
+            drop_prob: 0.0,
+            timeout: Some(2000.0),
+        },
+    );
+    let spread = lookups as f64 * 0.05;
+    let burst = (n / 50).max(1);
+    for k in 0..burst {
+        lookup.crash_at(spread * 0.6 + k as f64 * 0.01, Node::new((k * 101 + 3) % n));
+    }
+    for q in 0..lookups {
+        let origin = Node::new((q * 53 + 7) % n);
+        let obj = ObjectId((q * 97 + 13) as u64 % objects as u64);
+        lookup.inject(q as f64 * 0.05, origin, DirectoryMsg::Lookup { obj });
+    }
+    let report = lookup.run();
+    println!(
+        "{}",
+        report.render(&format!(
+            "{lookups} lookups, crash burst of {burst} nodes mid-run"
+        ))
+    );
+    assert!(
+        report.success_rate() > 0.5,
+        "a 2% crash burst must not take down the directory"
+    );
+    assert!(
+        report.completed < lookups,
+        "the burst should cost at least one in-flight query"
+    );
+
+    // 4. Greedy small-world routing (Theorem 5.2): 2k routes as message
+    //    chains; every route completes in O(log n) messages.
+    let t0 = Instant::now();
+    let model = GreedyModel::sample(&space, 2.0, SEED);
+    println!(
+        "sampled greedy contacts: max degree {} ({:.1?})",
+        model.contacts().max_out_degree(),
+        t0.elapsed()
+    );
+    let budget = model.hop_budget() as u32;
+    let mut greedy = Simulator::new(
+        GreedyNode::fleet(model.contacts()),
+        |u, v| space.dist(u, v),
+        MetricLatency {
+            scale: 50.0,
+            floor: 0.5,
+        },
+        SimConfig {
+            seed: SEED ^ 0x9,
+            drop_prob: 0.0,
+            timeout: None,
+        },
+    );
+    for q in 0..routes {
+        let src = Node::new((q * 131 + 7) % n);
+        let tgt = Node::new((q * 197 + 89) % n);
+        greedy.inject(
+            q as f64 * 0.05,
+            src,
+            GreedyPacket {
+                target: tgt,
+                hops_left: budget,
+            },
+        );
+    }
+    let report = greedy.run();
+    println!("{}", report.render(&format!("{routes} greedy routes")));
+    assert_eq!(report.completed, routes, "greedy routes must all complete");
+    let log2n = (n as f64).log2();
+    assert!(
+        report.hops.max <= 4.0 * log2n + 8.0,
+        "greedy message chains must stay O(log n): max {} vs log2 n = {log2n:.1}",
+        report.hops.max
+    );
+    println!("done: all phases deterministic; re-run to see identical fingerprints");
+}

@@ -22,4 +22,5 @@ pub use ron_measure as measure;
 pub use ron_metric as metric;
 pub use ron_nets as nets;
 pub use ron_routing as routing;
+pub use ron_sim as sim;
 pub use ron_smallworld as smallworld;
