@@ -1,0 +1,67 @@
+//! E-CHURN: the churn→repair→recovery lifecycle as a distributed
+//! protocol.
+//!
+//! Runs `ron_bench::fig_churn` at `RON_SIM_N` nodes (default 4096): a
+//! leave wave including the top-level hub, a coordinator-driven repair
+//! epoch as message rounds, a rejoin wave with backfill, and lookups
+//! flowing throughout — success dips and recovers to 100% in the table,
+//! which is written to `BENCH_report.json`. A smaller timed probe gives
+//! the criterion-style sample loop something quick to repeat.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_location::{DirectoryOverlay, ObjectId};
+use ron_metric::{gen, Node, Space};
+use ron_sim::directory::DirectoryNode;
+use ron_sim::{ChurnSchedule, ConstantLatency, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::sim_n_or(4096);
+    let start = Instant::now();
+    let table = ron_bench::fig_churn(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let path = ron_bench::report_json_path();
+    if let Err(e) = ron_bench::write_report_json(&path, &[(table, table_ms)]) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // Timed probe: one zero-latency repair epoch over a 128-node
+    // overlay with a 6-node leave wave.
+    let space = Space::new(gen::uniform_cube(128, 2, 9));
+    let mut overlay = DirectoryOverlay::build(&space);
+    for i in 0..16u64 {
+        overlay.publish(&space, ObjectId(i), Node::new((i as usize * 31 + 1) % 128));
+    }
+    let coordinator = Node::new(0);
+    let fleet = DirectoryNode::fleet_with_coordinator(&space, &overlay, coordinator);
+    c.bench_function("fig_churn/repair_epoch_128x6", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                fleet.clone(),
+                |u, v| space.dist(u, v),
+                ConstantLatency(0.0),
+                SimConfig::default(),
+            );
+            let mut schedule = ChurnSchedule::new();
+            for k in 0..6usize {
+                schedule.leave_at(0.0, Node::new(k * 17 + 3));
+            }
+            schedule.repair_at(1.0);
+            schedule.apply(&mut sim, coordinator);
+            let report = sim.run();
+            black_box((report.completed, report.trace_fingerprint))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -26,6 +26,8 @@
 //!   small-world models;
 //! * [`bits`]: bit-size accounting for tables, labels and headers, so the
 //!   benchmarks report the storage the paper's encodings would use;
+//! * [`stats`]: the shared nearest-rank quantile every report summarizes
+//!   with (one convention for the simulator and the serving engine);
 //! * [`par`]: the scoped-thread executor behind every parallel
 //!   construction loop (re-exported from `ron-metric`, where it lives so
 //!   the index builds can use it too; `RON_THREADS` overrides the worker
@@ -35,6 +37,7 @@ pub mod bits;
 mod enumeration;
 pub mod rings;
 pub mod sample;
+pub mod stats;
 pub mod zoom;
 
 pub use enumeration::{Enumeration, TranslationFn};

@@ -1,0 +1,663 @@
+//! The repair control plane: membership, registry and placement state
+//! plus the repair *planner*, shared between the in-process
+//! [`DirectoryOverlay::repair`] and the message-passing repair protocol
+//! of `ron-sim`.
+//!
+//! [`DirectoryOverlay::repair`] used to interleave its decisions with
+//! their application; splitting it into a pure plan
+//! ([`RepairAuthority::plan_repair`], producing a [`RepairPlan`] of
+//! per-node promotions, pointer writes/deletes, adoptions and finger
+//! refreshes) and an application step lets a *distributed* run fan the
+//! same plan out as messages — and makes "simulated repair equals
+//! in-process repair" a statement about one shared planner instead of
+//! two parallel implementations.
+//!
+//! The planner never touches a [`Space`] directly: it asks a
+//! [`RepairOracle`] for distances, nearest-member and ball queries.
+//! [`Space`] implements the oracle through its
+//! [`BallOracle`] backend (the in-process path), and [`ScanOracle`]
+//! implements it over a bare distance function (the simulator's
+//! coordinator, whose only geometric capability is the engine's
+//! distance oracle). Both visit candidates in the same ascending
+//! `(distance, node id)` order, so the two paths produce byte-identical
+//! plans — property-tested in `ron-sim` on all four instance families.
+
+use std::collections::HashMap;
+
+use ron_metric::{BallOracle, Metric, Node, Space};
+
+use crate::churn::RepairReport;
+use crate::directory::{DirectoryOverlay, ObjectId, Placement};
+
+/// The geometric queries repair planning needs, in the ascending
+/// `(distance, node id)` visit order of
+/// [`BallOracle`].
+pub trait RepairOracle {
+    /// Number of nodes in the space.
+    fn len(&self) -> usize;
+
+    /// Whether the space is empty (never true: construction rejects
+    /// empty metrics).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metric distance between two nodes.
+    fn dist(&self, u: Node, v: Node) -> f64;
+
+    /// Nearest node to `u` (inclusive) satisfying `pred`, ties broken by
+    /// node id.
+    fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)>;
+
+    /// Visits every node of the closed ball `B_u(r)` in ascending
+    /// `(distance, id)` order.
+    fn ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(Node));
+}
+
+impl<M: Metric, I: BallOracle> RepairOracle for Space<M, I> {
+    fn len(&self) -> usize {
+        Space::len(self)
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        Space::dist(self, u, v)
+    }
+
+    fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
+        self.index().nearest_where(u, pred)
+    }
+
+    fn ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(Node)) {
+        self.index().for_each_in_ball(u, r, &mut |_, v| visit(v));
+    }
+}
+
+/// A [`RepairOracle`] over a bare distance function: every query is an
+/// `O(n)` scan (plus a sort for balls) in `(distance, id)` order —
+/// exactly the order the indexed backends answer in, so a planner
+/// running on a scan oracle reproduces the indexed plan bit for bit.
+///
+/// This is what the simulator's repair coordinator uses: a simulated
+/// node holds no ball index, only the engine's distance oracle
+/// (geometric awareness is local knowledge, Definition 5.1).
+pub struct ScanOracle<'a> {
+    n: usize,
+    dist: &'a dyn Fn(Node, Node) -> f64,
+}
+
+impl<'a> ScanOracle<'a> {
+    /// Wraps a distance function over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize, dist: &'a dyn Fn(Node, Node) -> f64) -> Self {
+        ScanOracle { n, dist }
+    }
+}
+
+impl RepairOracle for ScanOracle<'_> {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, u: Node, v: Node) -> f64 {
+        (self.dist)(u, v)
+    }
+
+    fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
+        let mut best: Option<(f64, Node)> = None;
+        for i in 0..self.n {
+            let v = Node::new(i);
+            let d = (self.dist)(u, v);
+            let closer = match best {
+                Some((bd, bv)) => d < bd || (d == bd && v < bv),
+                None => true,
+            };
+            if closer && pred(v) {
+                best = Some((d, v));
+            }
+        }
+        best
+    }
+
+    fn ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(Node)) {
+        let mut hits: Vec<(f64, Node)> = (0..self.n)
+            .map(|i| ((self.dist)(u, Node::new(i)), Node::new(i)))
+            .filter(|&(d, _)| d <= r)
+            .collect();
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, v) in hits {
+            visit(v);
+        }
+    }
+}
+
+/// One node's finger refreshes: `(level, new finger)` for each touched
+/// level.
+pub type FingerUpdate = (Node, Vec<(usize, Option<Node>)>);
+
+/// One pointer-table operation at one node: install the entry
+/// (`target = Some(next)`) or delete it (`target = None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointerOp {
+    /// Ladder level of the entry.
+    pub level: usize,
+    /// The object the entry is for.
+    pub obj: ObjectId,
+    /// Chain node the entry forwards to, or `None` to delete.
+    pub target: Option<Node>,
+}
+
+/// Everything one node must do to execute a repair plan: promotions
+/// into net levels, objects to adopt (re-homings), and pointer-table
+/// operations. The simulator ships one of these per node as a message;
+/// the in-process path applies them directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeRepair {
+    /// The node this slice of the plan belongs to.
+    pub node: Node,
+    /// Net levels the node is promoted into (covering restoration).
+    pub promote: Vec<usize>,
+    /// Objects newly homed at this node.
+    pub adopt: Vec<ObjectId>,
+    /// Pointer-table writes and deletes.
+    pub ops: Vec<PointerOp>,
+}
+
+impl NodeRepair {
+    fn new(node: Node) -> Self {
+        NodeRepair {
+            node,
+            promote: Vec::new(),
+            adopt: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Whether the plan asks nothing of this node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.promote.is_empty() && self.adopt.is_empty() && self.ops.is_empty()
+    }
+}
+
+/// The output of one [`RepairAuthority::plan_repair`] call: the global
+/// decisions (promotion count, re-homings, touched objects) plus the
+/// per-node work list.
+#[derive(Clone, Debug, Default)]
+pub struct RepairPlan {
+    /// Net-level insertions decided by the covering pass.
+    pub promotions: usize,
+    /// Objects migrated to a new home because theirs died.
+    pub rehomed: Vec<(ObjectId, Node)>,
+    /// Objects whose placement was reconciled.
+    pub objects_touched: usize,
+    /// Levels whose membership changed since the last repair (leaves,
+    /// joins or promotions) — the levels whose fingers need refreshing.
+    pub touched_levels: Vec<bool>,
+    /// Per-node work, in first-touch order (deterministic).
+    pub node_repairs: Vec<NodeRepair>,
+    /// Updated placements, applied to the overlay's bookkeeping.
+    pub(crate) placements: Vec<(ObjectId, Placement)>,
+}
+
+impl RepairPlan {
+    /// The plan's global counters as a [`RepairReport`] with the
+    /// write/delete counts still zero — those are counted where the
+    /// table operations execute (the overlay in process, the owning
+    /// nodes' acks in the simulator).
+    #[must_use]
+    pub fn report_base(&self) -> RepairReport {
+        RepairReport {
+            promotions: self.promotions,
+            rehomed: self.rehomed.len(),
+            objects_touched: self.objects_touched,
+            ..RepairReport::default()
+        }
+    }
+}
+
+/// The control-plane state repair planning runs against: the dynamic
+/// net ladder, alive flags, touched sets, the object registry and the
+/// per-object placements — everything **except** the pointer tables,
+/// which stay at the owning nodes (the data plane).
+///
+/// The in-process path materializes one per `repair` call from the
+/// overlay; the simulator's coordinator node carries one persistently
+/// and evolves it across churn epochs (see `ron-sim`'s directory
+/// driver).
+#[derive(Clone, Debug)]
+pub struct RepairAuthority {
+    ring_factor: f64,
+    radii: Vec<f64>,
+    member: Vec<Vec<bool>>,
+    level_dirty: Vec<bool>,
+    touched: Vec<Vec<Node>>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    objects: Vec<ObjectId>,
+    homes: HashMap<ObjectId, Node>,
+    placements: HashMap<ObjectId, Placement>,
+}
+
+impl DirectoryOverlay {
+    /// Extracts the repair control plane: a copy of the overlay's
+    /// membership ladder, alive flags, touched sets, object registry and
+    /// placements (the pointer tables stay behind — they are the data
+    /// plane).
+    #[must_use]
+    pub fn control_plane(&self) -> RepairAuthority {
+        RepairAuthority {
+            ring_factor: self.ring_factor,
+            radii: self.radii.clone(),
+            member: self.member.clone(),
+            level_dirty: self.level_dirty.clone(),
+            touched: self.touched.clone(),
+            alive: self.alive.clone(),
+            alive_count: self.alive_count,
+            objects: self.objects.clone(),
+            homes: self.homes.clone(),
+            placements: self.placements.clone(),
+        }
+    }
+}
+
+impl RepairAuthority {
+    /// Number of nodes (alive or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the control plane tracks no nodes (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Number of ladder levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Whether `v` is currently alive in the control plane's view.
+    #[must_use]
+    pub fn is_alive(&self, v: Node) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The net levels `v` is currently a member of, ascending.
+    #[must_use]
+    pub fn member_levels_of(&self, v: Node) -> Vec<usize> {
+        (0..self.levels())
+            .filter(|&j| self.member[j][v.index()])
+            .collect()
+    }
+
+    /// The current home of `obj`, if registered.
+    #[must_use]
+    pub fn home_of(&self, obj: ObjectId) -> Option<Node> {
+        self.homes.get(&obj).copied()
+    }
+
+    /// Records that `v` left: vacates its net memberships and marks the
+    /// touched levels. Mirrors [`DirectoryOverlay::leave`] (the node's
+    /// pointer tables die with it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already dead or is the last alive node.
+    pub fn note_leave(&mut self, v: Node) {
+        assert!(self.alive[v.index()], "{v} is already dead");
+        assert!(self.alive_count > 1, "cannot remove the last alive node");
+        self.alive[v.index()] = false;
+        self.alive_count -= 1;
+        for j in 0..self.levels() {
+            if self.member[j][v.index()] {
+                self.member[j][v.index()] = false;
+                self.touched[j].push(v);
+                self.level_dirty[j] = true;
+            }
+        }
+    }
+
+    /// Records that `v` joined: marks it alive and inserts it greedily
+    /// into the ladder, exactly like [`DirectoryOverlay::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already alive.
+    pub fn note_join(&mut self, oracle: &dyn RepairOracle, v: Node) {
+        assert!(!self.alive[v.index()], "{v} is already alive");
+        self.alive[v.index()] = true;
+        self.alive_count += 1;
+        self.insert_member(0, v);
+        for j in 1..self.levels() {
+            let separated = match self.finger(oracle, v, j) {
+                Some((d, _)) => d >= self.radii[j],
+                None => true, // empty level: v restores it
+            };
+            if !separated {
+                break;
+            }
+            self.insert_member(j, v);
+        }
+    }
+
+    fn insert_member(&mut self, level: usize, v: Node) {
+        if !self.member[level][v.index()] {
+            self.member[level][v.index()] = true;
+            self.touched[level].push(v);
+            self.level_dirty[level] = true;
+        }
+    }
+
+    /// The finger of `s` at `level` under the current membership.
+    fn finger(&self, oracle: &dyn RepairOracle, s: Node, level: usize) -> Option<(f64, Node)> {
+        oracle.nearest_where(s, &mut |v| self.member[level][v.index()])
+    }
+
+    /// Alive members of the dynamic net within the publish radius of
+    /// `home`, nearest first.
+    fn dynamic_ring(&self, oracle: &dyn RepairOracle, home: Node, level: usize) -> Vec<Node> {
+        let r = self.ring_factor * self.radii[level];
+        let mut ring = Vec::new();
+        oracle.ball(home, r, &mut |v| {
+            if self.member[level][v.index()] {
+                ring.push(v);
+            }
+        });
+        ring
+    }
+
+    /// The home's zoom chain under the current membership (a level with
+    /// no members contributes the home itself). Repair only runs on
+    /// diverged ladders, so this is always the dynamic-finger chain of
+    /// `DirectoryOverlay::desired_chain`.
+    fn desired_chain(&self, oracle: &dyn RepairOracle, home: Node) -> Vec<Node> {
+        debug_assert!(
+            self.level_dirty.iter().any(|&d| d),
+            "repair planning on a pristine ladder"
+        );
+        (0..self.levels())
+            .map(|j| self.finger(oracle, home, j).map_or(home, |(_, f)| f))
+            .collect()
+    }
+
+    /// Plans one repair epoch over the accumulated touched sets:
+    /// covering promotions, re-homings and pointer reconciliation —
+    /// the exact decision sequence of [`DirectoryOverlay::repair`] —
+    /// then clears the touched sets and updates the control plane's
+    /// registry and placements. The caller applies the plan (directly,
+    /// or by fanning it out as messages).
+    pub fn plan_repair(&mut self, oracle: &dyn RepairOracle) -> RepairPlan {
+        let levels = self.levels();
+        let n = self.len();
+        let mut plan = RepairPlan {
+            touched_levels: vec![false; levels],
+            ..RepairPlan::default()
+        };
+        let mut index: HashMap<Node, usize> = HashMap::new();
+        let mut bucket = |plan: &mut RepairPlan, w: Node| -> usize {
+            *index.entry(w).or_insert_with(|| {
+                plan.node_repairs.push(NodeRepair::new(w));
+                plan.node_repairs.len() - 1
+            })
+        };
+
+        // Covering pass: promote uncovered alive nodes, coarse-compatible
+        // (a node promoted to level j joins every finer level too).
+        for j in 1..levels {
+            for i in 0..n {
+                let u = Node::new(i);
+                if !self.alive[i] || self.member[j][i] {
+                    continue;
+                }
+                let covered = match self.finger(oracle, u, j) {
+                    Some((d, _)) => d <= self.radii[j] * (1.0 + 1e-12),
+                    None => false,
+                };
+                if covered {
+                    continue;
+                }
+                for k in 1..=j {
+                    if !self.member[k][u.index()] {
+                        self.insert_member(k, u);
+                        plan.promotions += 1;
+                        let b = bucket(&mut plan, u);
+                        plan.node_repairs[b].promote.push(k);
+                    }
+                }
+            }
+        }
+
+        // Homes pass: re-home objects whose home died to the nearest
+        // alive node.
+        for idx in 0..self.objects.len() {
+            let obj = self.objects[idx];
+            let home = self.homes[&obj];
+            if self.alive[home.index()] {
+                continue;
+            }
+            let (_, new_home) = oracle
+                .nearest_where(home, &mut |v| self.alive[v.index()])
+                .expect("at least one node stays alive");
+            self.homes.insert(obj, new_home);
+            plan.rehomed.push((obj, new_home));
+            let b = bucket(&mut plan, new_home);
+            plan.node_repairs[b].adopt.push(obj);
+        }
+
+        // Pointer pass: reconcile each object whose rings or chain could
+        // have changed (see `DirectoryOverlay::repair_pointers` for the
+        // skip-test argument).
+        for idx in 0..self.objects.len() {
+            let obj = self.objects[idx];
+            let home = self.homes[&obj];
+            let old = self.placements.get(&obj).cloned().unwrap_or_default();
+            let moved = old.chain.first() != Some(&home);
+
+            let mut ring_changed = vec![false; levels];
+            for (j, slot) in ring_changed.iter_mut().enumerate() {
+                *slot = self.touched[j]
+                    .iter()
+                    .any(|&t| oracle.dist(home, t) <= self.ring_factor * self.radii[j] + 1e-12);
+            }
+            if !moved && ring_changed.iter().all(|&r| !r) {
+                continue;
+            }
+            plan.objects_touched += 1;
+
+            let new_chain = self.desired_chain(oracle, home);
+            let mut refresh = vec![false; levels];
+            for (j, slot) in refresh.iter_mut().enumerate() {
+                let chain_drift = j > 0 && old.chain.get(j - 1) != Some(&new_chain[j - 1]);
+                *slot = moved || ring_changed[j] || chain_drift;
+            }
+
+            let mut placement = Placement {
+                chain: new_chain.clone(),
+                entries: Vec::new(),
+            };
+            for &(level, w) in &old.entries {
+                if !refresh[level] {
+                    placement.entries.push((level, w));
+                }
+            }
+            for (level, _) in refresh.iter().enumerate().filter(|&(_, &r)| r) {
+                let desired = self.dynamic_ring(oracle, home, level);
+                let target = if level == 0 {
+                    home
+                } else {
+                    new_chain[level - 1]
+                };
+                // Delete stale entries from alive nodes that left the
+                // ring (a dead holder's table died with it).
+                for &(l, w) in &old.entries {
+                    if l == level
+                        && self.alive[w.index()]
+                        && desired
+                            .binary_search_by(|probe| {
+                                oracle
+                                    .dist(home, *probe)
+                                    .total_cmp(&oracle.dist(home, w))
+                                    .then(probe.cmp(&w))
+                            })
+                            .is_err()
+                    {
+                        let b = bucket(&mut plan, w);
+                        plan.node_repairs[b].ops.push(PointerOp {
+                            level,
+                            obj,
+                            target: None,
+                        });
+                    }
+                }
+                for w in desired {
+                    let b = bucket(&mut plan, w);
+                    plan.node_repairs[b].ops.push(PointerOp {
+                        level,
+                        obj,
+                        target: Some(target),
+                    });
+                    placement.entries.push((level, w));
+                }
+            }
+            self.placements.insert(obj, placement.clone());
+            plan.placements.push((obj, placement));
+        }
+
+        for (j, touched) in self.touched.iter_mut().enumerate() {
+            plan.touched_levels[j] = !touched.is_empty();
+            touched.clear();
+        }
+        plan
+    }
+
+    /// The per-node finger refreshes a plan implies: for every alive
+    /// node, its new finger at each touched level (the untouched levels'
+    /// fingers are still valid). Separate from [`plan_repair`] because
+    /// only the distributed path needs it — in process, fingers are
+    /// recomputed on demand.
+    ///
+    /// [`plan_repair`]: RepairAuthority::plan_repair
+    #[must_use]
+    pub fn finger_updates(
+        &self,
+        oracle: &dyn RepairOracle,
+        touched_levels: &[bool],
+    ) -> Vec<FingerUpdate> {
+        if !touched_levels.iter().any(|&t| t) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let u = Node::new(i);
+            let fingers: Vec<(usize, Option<Node>)> = touched_levels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t)
+                .map(|(j, _)| (j, self.finger(oracle, u, j).map(|(_, f)| f)))
+                .collect();
+            out.push((u, fingers));
+        }
+        out
+    }
+
+    /// The complete finger vector of `v` under the current membership —
+    /// one entry per level. A fresh joiner's backfill needs all of them:
+    /// its slice may predate an arbitrary number of epochs, so "levels
+    /// untouched this epoch are still valid" does not hold for it.
+    #[must_use]
+    pub fn full_fingers(&self, oracle: &dyn RepairOracle, v: Node) -> Vec<(usize, Option<Node>)> {
+        (0..self.levels())
+            .map(|j| (j, self.finger(oracle, v, j).map(|(_, f)| f)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ron_metric::{gen, LineMetric};
+
+    #[test]
+    fn scan_oracle_matches_the_indexed_backend() {
+        let space = Space::new(gen::uniform_cube(40, 2, 9));
+        let dist = |u: Node, v: Node| space.dist(u, v);
+        let scan = ScanOracle::new(space.len(), &dist);
+        for u in space.nodes() {
+            for r in [0.0, 0.1, 0.25, 2.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                RepairOracle::ball(&space, u, r, &mut |v| a.push(v));
+                scan.ball(u, r, &mut |v| b.push(v));
+                assert_eq!(a, b, "ball({u}, {r})");
+            }
+            for modulus in [2usize, 3, 7] {
+                let hit_idx =
+                    RepairOracle::nearest_where(&space, u, &mut |v| v.index() % modulus == 0);
+                let hit_scan = scan.nearest_where(u, &mut |v| v.index() % modulus == 0);
+                assert_eq!(hit_idx, hit_scan, "nearest_where({u}, % {modulus})");
+            }
+        }
+    }
+
+    #[test]
+    fn control_plane_plans_the_same_repair_the_overlay_applies() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..5u64 {
+            ov.publish(&space, ObjectId(i), Node::new((i as usize * 7) % 32));
+        }
+        ov.leave(Node::new(7));
+        ov.leave(Node::new(14));
+        let mut authority = ov.control_plane();
+        let plan = authority.plan_repair(&space);
+        let report = ov.repair(&space);
+        assert_eq!(plan.report_base().promotions, report.promotions);
+        assert_eq!(plan.rehomed.len(), report.rehomed);
+        assert_eq!(plan.report_base().objects_touched, report.objects_touched);
+        let planned_writes: usize = plan
+            .node_repairs
+            .iter()
+            .flat_map(|nr| nr.ops.iter())
+            .filter(|op| op.target.is_some())
+            .count();
+        assert!(planned_writes >= report.pointer_writes);
+        // The authority evolved past the epoch: planning again is a
+        // no-op, like repairing twice.
+        let idle = authority.plan_repair(&space);
+        assert_eq!(idle.promotions, 0);
+        assert_eq!(idle.objects_touched, 0);
+        assert!(idle.node_repairs.is_empty());
+    }
+
+    #[test]
+    fn note_join_mirrors_overlay_join() {
+        let space = Space::new(gen::uniform_cube(24, 2, 3));
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(1));
+        ov.leave(Node::new(5));
+        let mut authority = ov.control_plane();
+        ov.join(&space, Node::new(5));
+        let dist = |u: Node, v: Node| space.dist(u, v);
+        let scan = ScanOracle::new(space.len(), &dist);
+        authority.note_join(&scan, Node::new(5));
+        for j in 0..ov.levels() {
+            assert_eq!(
+                authority.member_levels_of(Node::new(5)).contains(&j),
+                ov.is_net_member(j, Node::new(5)),
+                "membership at level {j}"
+            );
+        }
+    }
+}

@@ -27,7 +27,8 @@ use rand::{RngExt, SeedableRng};
 use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_routing::PathStats;
 
-use crate::directory::{DirectoryOverlay, Placement};
+use crate::authority::RepairPlan;
+use crate::directory::DirectoryOverlay;
 
 /// Work performed by one [`DirectoryOverlay::repair`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -119,159 +120,63 @@ impl DirectoryOverlay {
     /// Restores the covering and publish invariants after any sequence of
     /// joins and leaves; afterwards every lookup from an alive origin
     /// succeeds again. Returns the work performed.
+    ///
+    /// Since the plan/apply split, this is a thin composition: extract
+    /// the [control plane](DirectoryOverlay::control_plane), let it
+    /// [plan](crate::RepairAuthority::plan_repair) the epoch (covering
+    /// promotions, re-homings, pointer reconciliation — including the
+    /// incremental skip test: a chain point at level `j` can only drift
+    /// if membership changed strictly nearer to the home than the old
+    /// point, and after the covering pass any such change shows up as a
+    /// touched node inside the publish radius, so an object with no
+    /// touched node inside any publish radius and an unmoved home costs
+    /// only `sum_j |touched[j]|` distance probes), then apply the plan.
+    /// The message-passing simulator runs the *same* planner at its
+    /// coordinator node and applies the same plan as a message fan-out.
     pub fn repair<M: Metric, I: BallOracle>(&mut self, space: &Space<M, I>) -> RepairReport {
-        let mut report = RepairReport::default();
-        self.repair_covering(space, &mut report);
-        self.repair_homes(space, &mut report);
-        self.repair_pointers(space, &mut report);
-        for t in &mut self.touched {
-            t.clear();
+        let mut authority = self.control_plane();
+        let plan = authority.plan_repair(space);
+        self.apply_plan(&plan)
+    }
+
+    /// Applies a repair plan: net-level promotions, re-homings, placement
+    /// bookkeeping and the per-node pointer operations, counting the
+    /// writes and deletes that actually changed a table (the distributed
+    /// path counts the same thing in per-node acks). Clears the touched
+    /// sets — the plan consumed them.
+    pub fn apply_plan(&mut self, plan: &RepairPlan) -> RepairReport {
+        let mut report = plan.report_base();
+        for nr in &plan.node_repairs {
+            for &level in &nr.promote {
+                self.member[level][nr.node.index()] = true;
+                self.level_dirty[level] = true;
+            }
+            for op in &nr.ops {
+                let table = &mut self.tables[nr.node.index()][op.level];
+                match op.target {
+                    Some(target) => {
+                        if table.insert(op.obj, target) != Some(target) {
+                            report.pointer_writes += 1;
+                        }
+                    }
+                    None => {
+                        if table.remove(&op.obj).is_some() {
+                            report.pointer_deletes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for &(obj, new_home) in &plan.rehomed {
+            self.homes.insert(obj, new_home);
+        }
+        for (obj, placement) in &plan.placements {
+            self.placements.insert(*obj, placement.clone());
+        }
+        for touched in &mut self.touched {
+            touched.clear();
         }
         report
-    }
-
-    /// Covering pass: promote uncovered alive nodes, coarse-compatible
-    /// (a node promoted to level `j` joins every finer level too, keeping
-    /// the ladder nested). Separation may degrade — covering is the
-    /// serving invariant; degree growth is the measured price.
-    fn repair_covering<M: Metric, I: BallOracle>(
-        &mut self,
-        space: &Space<M, I>,
-        report: &mut RepairReport,
-    ) {
-        let n = self.len();
-        for j in 1..self.levels() {
-            for i in 0..n {
-                let u = Node::new(i);
-                if !self.alive[i] || self.member[j][i] {
-                    continue;
-                }
-                let covered = match self.finger(space, u, j) {
-                    Some((d, _)) => d <= self.radii[j] * (1.0 + 1e-12),
-                    None => false,
-                };
-                if covered {
-                    continue;
-                }
-                for k in 1..=j {
-                    if !self.member[k][u.index()] {
-                        self.insert_member(k, u);
-                        report.promotions += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Re-homes objects whose home died to the nearest alive node.
-    fn repair_homes<M: Metric, I: BallOracle>(
-        &mut self,
-        space: &Space<M, I>,
-        report: &mut RepairReport,
-    ) {
-        for idx in 0..self.objects.len() {
-            let obj = self.objects[idx];
-            let home = self.homes[&obj];
-            if self.alive[home.index()] {
-                continue;
-            }
-            let (_, new_home) = space
-                .index()
-                .nearest_where(home, &mut |v| self.alive[v.index()])
-                .expect("at least one node stays alive");
-            self.homes.insert(obj, new_home);
-            report.rehomed += 1;
-        }
-    }
-
-    /// Pointer reconciliation: for each object whose rings or chain could
-    /// have changed (membership `touched` near its home, chain drift, or a
-    /// re-homing), diff the desired entry set against the installed one.
-    ///
-    /// The skip test never recomputes the chain: a chain point at level
-    /// `j` can only drift if membership changed strictly nearer to the
-    /// home than the old point — and after the covering pass any such
-    /// change lies within `r_j <= c r_j`, so it already shows up as a
-    /// touched node inside the publish radius. No touched node inside any
-    /// publish radius and an unmoved home therefore mean both rings and
-    /// chain are intact, and the object costs only `sum_j |touched[j]|`
-    /// distance probes.
-    fn repair_pointers<M: Metric, I: BallOracle>(
-        &mut self,
-        space: &Space<M, I>,
-        report: &mut RepairReport,
-    ) {
-        let levels = self.levels();
-        for idx in 0..self.objects.len() {
-            let obj = self.objects[idx];
-            let home = self.homes[&obj];
-            let old = self.placements.get(&obj).cloned().unwrap_or_default();
-            let moved = old.chain.first() != Some(&home);
-
-            // Levels whose ring membership may have changed: some touched
-            // node lies within the publish radius of the home.
-            let mut ring_changed = vec![false; levels];
-            for (j, slot) in ring_changed.iter_mut().enumerate() {
-                *slot = self.touched[j]
-                    .iter()
-                    .any(|&t| space.dist(home, t) <= self.ring_factor * self.radii[j] + 1e-12);
-            }
-            if !moved && ring_changed.iter().all(|&r| !r) {
-                continue;
-            }
-            report.objects_touched += 1;
-
-            let new_chain = self.desired_chain(space, home);
-            let mut refresh = vec![false; levels];
-            for (j, slot) in refresh.iter_mut().enumerate() {
-                let chain_drift = j > 0 && old.chain.get(j - 1) != Some(&new_chain[j - 1]);
-                *slot = moved || ring_changed[j] || chain_drift;
-            }
-
-            let mut placement = Placement {
-                chain: new_chain.clone(),
-                entries: Vec::new(),
-            };
-            // Untouched levels keep their installed entries verbatim.
-            for &(level, w) in &old.entries {
-                if !refresh[level] {
-                    placement.entries.push((level, w));
-                }
-            }
-            for (level, _) in refresh.iter().enumerate().filter(|&(_, &r)| r) {
-                let desired = self.dynamic_ring(space, home, level);
-                let target = if level == 0 {
-                    home
-                } else {
-                    new_chain[level - 1]
-                };
-                // Delete stale entries from nodes that left the ring.
-                for &(l, w) in &old.entries {
-                    if l == level
-                        && self.alive[w.index()]
-                        && desired
-                            .binary_search_by(|probe| {
-                                space
-                                    .dist(home, *probe)
-                                    .total_cmp(&space.dist(home, w))
-                                    .then(probe.cmp(&w))
-                            })
-                            .is_err()
-                        && self.tables[w.index()][level].remove(&obj).is_some()
-                    {
-                        report.pointer_deletes += 1;
-                    }
-                }
-                for w in desired {
-                    let prev = self.tables[w.index()][level].insert(obj, target);
-                    if prev != Some(target) {
-                        report.pointer_writes += 1;
-                    }
-                    placement.entries.push((level, w));
-                }
-            }
-            self.placements.insert(obj, placement);
-        }
     }
 }
 

@@ -44,6 +44,7 @@
 //! assert_eq!(report.final_success_rate(), 1.0);
 //! ```
 
+pub mod authority;
 pub mod churn;
 mod directory;
 pub mod engine;
@@ -52,6 +53,7 @@ mod partition;
 mod publish;
 pub mod stats;
 
+pub use authority::{NodeRepair, PointerOp, RepairAuthority, RepairOracle, RepairPlan, ScanOracle};
 pub use churn::{
     drive_churn, ChurnConfig, ChurnReport, ChurnSchedule, ChurnStep, QuerySample, RepairReport,
 };

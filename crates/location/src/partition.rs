@@ -21,6 +21,10 @@ use crate::directory::{DirectoryOverlay, ObjectId};
 pub struct DirectoryNodeState {
     node: Node,
     alive: bool,
+    /// `member[j]`: whether this node is a member of the level-`j` net —
+    /// the node's own coordinate in the ladder, which the distributed
+    /// repair protocol updates through promotion announcements.
+    member: Vec<bool>,
     /// `fingers[j]`: nearest alive level-`j` net member to this node.
     fingers: Vec<Option<Node>>,
     /// `rings[j]`: members of this node's publish ring at level `j`.
@@ -81,10 +85,55 @@ impl DirectoryNodeState {
         self.tables[level].get(&obj).copied()
     }
 
+    /// Whether this node is a member of the level-`level` net (in its
+    /// own, possibly repair-updated, view).
+    #[must_use]
+    pub fn is_member(&self, level: usize) -> bool {
+        self.member[level]
+    }
+
     /// Installs a level-`level` entry for `obj` forwarding to `next`
     /// (what a node does on receiving a publish-install message).
     pub fn install(&mut self, level: usize, obj: ObjectId, next: Node) {
         self.tables[level].insert(obj, next);
+    }
+
+    /// Installs an entry and reports whether the table actually changed
+    /// — the count a repair ack carries back to the coordinator, matched
+    /// against the in-process `pointer_writes`.
+    pub fn install_counted(&mut self, level: usize, obj: ObjectId, next: Node) -> bool {
+        self.tables[level].insert(obj, next) != Some(next)
+    }
+
+    /// Deletes the level-`level` entry for `obj`, returning the removed
+    /// forward pointer if one was present (repair reconciliation).
+    pub fn remove_entry(&mut self, level: usize, obj: ObjectId) -> Option<Node> {
+        self.tables[level].remove(&obj)
+    }
+
+    /// Marks this node a member of the level-`level` net (a repair
+    /// covering-promotion announcement, or a join's ladder insertion).
+    pub fn promote(&mut self, level: usize) {
+        self.member[level] = true;
+    }
+
+    /// Replaces the finger at `level` (a repair finger refresh: the
+    /// coordinator recomputed the nearest member under the new
+    /// membership).
+    pub fn set_finger(&mut self, level: usize, finger: Option<Node>) {
+        self.fingers[level] = finger;
+    }
+
+    /// Resets the slice to a fresh joiner: alive, no memberships, no
+    /// entries, homing nothing. A node that *left* lost its state; when
+    /// it rejoins, the repair protocol rebuilds what it should hold
+    /// (join backfill). Fingers are kept — the joiner receives refreshed
+    /// ones in the same repair gram.
+    pub fn reset(&mut self) {
+        self.alive = true;
+        self.member.iter_mut().for_each(|m| *m = false);
+        self.tables.iter_mut().for_each(BTreeMap::clear);
+        self.homed.clear();
     }
 
     /// Whether `obj` is homed at this node.
@@ -130,6 +179,7 @@ impl DirectoryOverlay {
                 DirectoryNodeState {
                     node: v,
                     alive: self.is_alive(v),
+                    member: (0..levels).map(|j| self.is_net_member(j, v)).collect(),
                     fingers: (0..levels)
                         .map(|j| self.finger(space, v, j).map(|(_, f)| f))
                         .collect(),

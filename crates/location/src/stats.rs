@@ -20,7 +20,9 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes raw per-query latencies in nanoseconds.
+    /// Summarizes raw per-query latencies in nanoseconds. Quantiles use
+    /// the workspace-wide nearest-rank convention
+    /// ([`ron_core::stats::nearest_rank_index`]).
     #[must_use]
     pub fn from_nanos(mut nanos: Vec<u64>) -> Self {
         if nanos.is_empty() {
@@ -28,10 +30,7 @@ impl LatencySummary {
         }
         nanos.sort_unstable();
         let us = |n: u64| n as f64 / 1000.0;
-        let at = |p: f64| {
-            let idx = ((nanos.len() - 1) as f64 * p).round() as usize;
-            us(nanos[idx])
-        };
+        let at = |p: f64| us(nanos[ron_core::stats::nearest_rank_index(nanos.len(), p)]);
         let sum: u64 = nanos.iter().sum();
         LatencySummary {
             count: nanos.len(),
@@ -94,7 +93,8 @@ mod tests {
         let nanos: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
         let s = LatencySummary::from_nanos(nanos);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_us, 51.0);
+        // Nearest rank (shared with ron-sim): the p50 of 1..=100 is 50.
+        assert_eq!(s.p50_us, 50.0);
         assert_eq!(s.p99_us, 99.0);
         assert_eq!(s.max_us, 100.0);
         assert!((s.mean_us - 50.5).abs() < 1e-9);

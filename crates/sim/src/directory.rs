@@ -13,15 +13,53 @@
 //! count and found level are identical (property-tested on all four
 //! instance families).
 
-use ron_location::{DirectoryNodeState, DirectoryOverlay, ObjectId};
+use std::collections::BTreeMap;
+
+use ron_location::{
+    DirectoryNodeState, DirectoryOverlay, ObjectId, PointerOp, RepairAuthority, RepairReport,
+    ScanOracle,
+};
 use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::engine::{Ctx, FailKind, SimNode};
+
+/// The repair coordinator's private state: the control plane it evolves
+/// across churn epochs plus the bookkeeping of the in-flight epoch.
+#[derive(Clone, Debug)]
+struct Coordinator {
+    authority: RepairAuthority,
+    /// Id of the in-flight epoch (0 = none yet). Grams and acks carry
+    /// it so an ack straggling in from an abandoned epoch (crossed
+    /// schedules, dropped grams) cannot corrupt the current one.
+    current_epoch: usize,
+    /// Grams still awaiting an ack in the current epoch.
+    pending: usize,
+    /// The plan's global counters for the current epoch.
+    epoch_base: RepairReport,
+    /// Effective pointer writes/deletes acked so far (plus the
+    /// coordinator's own).
+    writes: usize,
+    deletes: usize,
+    /// Reports of completed epochs, in order.
+    history: Vec<RepairReport>,
+}
+
+/// One node's share of a repair plan while the coordinator assembles
+/// the fan-out (the wire form is [`DirectoryMsg::RepairGram`]).
+#[derive(Clone, Debug, Default)]
+struct GramParts {
+    reset: bool,
+    promote: Vec<usize>,
+    fingers: Vec<(usize, Option<Node>)>,
+    adopt: Vec<ObjectId>,
+    ops: Vec<PointerOp>,
+}
 
 /// One node of the directory protocol.
 #[derive(Clone, Debug)]
 pub struct DirectoryNode {
     state: DirectoryNodeState,
+    coordinator: Option<Box<Coordinator>>,
 }
 
 impl DirectoryNode {
@@ -34,14 +72,56 @@ impl DirectoryNode {
         overlay
             .partition(space)
             .into_iter()
-            .map(|state| DirectoryNode { state })
+            .map(|state| DirectoryNode {
+                state,
+                coordinator: None,
+            })
             .collect()
+    }
+
+    /// [`fleet`](DirectoryNode::fleet), with `coordinator` additionally
+    /// carrying the repair control plane
+    /// ([`DirectoryOverlay::control_plane`]) so the fleet can run
+    /// [`DirectoryMsg::Repair`] epochs. The coordinator must stay alive
+    /// for the whole run (it cannot churn itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coordinator` is dead at partition time.
+    #[must_use]
+    pub fn fleet_with_coordinator<M: Metric, I: BallOracle>(
+        space: &Space<M, I>,
+        overlay: &DirectoryOverlay,
+        coordinator: Node,
+    ) -> Vec<DirectoryNode> {
+        assert!(
+            overlay.is_alive(coordinator),
+            "coordinator {coordinator} is dead at partition time"
+        );
+        let mut fleet = Self::fleet(space, overlay);
+        fleet[coordinator.index()].coordinator = Some(Box::new(Coordinator {
+            authority: overlay.control_plane(),
+            current_epoch: 0,
+            pending: 0,
+            epoch_base: RepairReport::default(),
+            writes: 0,
+            deletes: 0,
+            history: Vec::new(),
+        }));
+        fleet
     }
 
     /// The per-node slice (inspect after a run to see installed entries).
     #[must_use]
     pub fn state(&self) -> &DirectoryNodeState {
         &self.state
+    }
+
+    /// The reports of the repair epochs this node coordinated, in order
+    /// (empty for non-coordinators).
+    #[must_use]
+    pub fn repair_history(&self) -> &[RepairReport] {
+        self.coordinator.as_ref().map_or(&[], |co| &co.history)
     }
 
     /// Walks as much of the climb as is local to this node, then either
@@ -93,6 +173,167 @@ impl DirectoryNode {
                 },
             );
         }
+    }
+
+    /// Runs one repair epoch at the coordinator: apply the membership
+    /// delta to the control plane, plan the epoch with the *same*
+    /// planner the in-process `DirectoryOverlay::repair` uses (over the
+    /// engine's distance oracle instead of a ball index), and fan the
+    /// plan out as one gram per affected node. The epoch's query
+    /// completes when every gram is acked. Starting a new epoch while a
+    /// previous one still awaits acks abandons the old one (its query
+    /// stays unresolved; stale acks are recognized by epoch id and
+    /// dropped).
+    fn coordinate_repair(
+        &mut self,
+        ctx: &mut Ctx<'_, DirectoryMsg>,
+        leaves: &[Node],
+        joins: &[Node],
+    ) {
+        let me = self.state.node();
+        assert!(
+            !leaves.contains(&me) && !joins.contains(&me),
+            "the coordinator cannot churn itself"
+        );
+        let dist = ctx.dist_fn();
+        // Plan with the control plane borrowed; collect the grams, then
+        // release the borrow to apply the coordinator's own share.
+        let mut grams: BTreeMap<Node, GramParts> = BTreeMap::new();
+        let epoch_base;
+        {
+            let co = self
+                .coordinator
+                .as_mut()
+                .expect("repair injected at a non-coordinator");
+            let oracle = ScanOracle::new(co.authority.len(), dist);
+            for &v in leaves {
+                co.authority.note_leave(v);
+            }
+            for &v in joins {
+                co.authority.note_join(&oracle, v);
+            }
+            let plan = co.authority.plan_repair(&oracle);
+            epoch_base = plan.report_base();
+            for (u, fingers) in co.authority.finger_updates(&oracle, &plan.touched_levels) {
+                grams.entry(u).or_default().fingers = fingers;
+            }
+            for nr in plan.node_repairs {
+                let gram = grams.entry(nr.node).or_default();
+                gram.promote.extend(nr.promote);
+                gram.adopt = nr.adopt;
+                gram.ops = nr.ops;
+            }
+            // Join backfill: a fresh joiner resets its slice and learns
+            // its full ladder membership and its *complete* finger
+            // vector — its slice may predate several epochs, so the
+            // "untouched levels are still valid" shortcut that serves
+            // the survivors does not hold for it.
+            for &v in joins {
+                let gram = grams.entry(v).or_default();
+                gram.reset = true;
+                gram.promote.extend(co.authority.member_levels_of(v));
+                gram.promote.sort_unstable();
+                gram.promote.dedup();
+                gram.fingers = co.authority.full_fingers(&oracle, v);
+            }
+        }
+        let epoch = {
+            let co = self.coordinator.as_mut().expect("checked above");
+            co.current_epoch += 1;
+            co.current_epoch
+        };
+        let mut own = None;
+        let mut pending = 0usize;
+        for (v, parts) in grams {
+            if v == me {
+                own = Some(self.apply_gram(
+                    parts.reset,
+                    &parts.promote,
+                    &parts.fingers,
+                    &parts.adopt,
+                    &parts.ops,
+                ));
+            } else {
+                pending += 1;
+                ctx.send(
+                    v,
+                    DirectoryMsg::RepairGram {
+                        coordinator: me,
+                        epoch,
+                        reset: parts.reset,
+                        promote: parts.promote,
+                        fingers: parts.fingers,
+                        adopt: parts.adopt,
+                        ops: parts.ops,
+                    },
+                );
+            }
+        }
+        let co = self.coordinator.as_mut().expect("checked above");
+        co.epoch_base = epoch_base;
+        let (writes, deletes) = own.unwrap_or((0, 0));
+        co.writes = writes;
+        co.deletes = deletes;
+        co.pending = pending;
+        if pending == 0 {
+            self.finish_epoch(ctx);
+        }
+    }
+
+    /// Applies one gram to the local slice, returning the effective
+    /// (write, delete) counts for the ack.
+    fn apply_gram(
+        &mut self,
+        reset: bool,
+        promote: &[usize],
+        fingers: &[(usize, Option<Node>)],
+        adopt: &[ObjectId],
+        ops: &[PointerOp],
+    ) -> (usize, usize) {
+        if reset {
+            self.state.reset();
+        }
+        for &level in promote {
+            self.state.promote(level);
+        }
+        for &(level, finger) in fingers {
+            self.state.set_finger(level, finger);
+        }
+        for &obj in adopt {
+            self.state.adopt(obj);
+        }
+        let mut writes = 0usize;
+        let mut deletes = 0usize;
+        for op in ops {
+            match op.target {
+                Some(next) => {
+                    if self.state.install_counted(op.level, op.obj, next) {
+                        writes += 1;
+                    }
+                }
+                None => {
+                    if self.state.remove_entry(op.level, op.obj).is_some() {
+                        deletes += 1;
+                    }
+                }
+            }
+        }
+        (writes, deletes)
+    }
+
+    /// Seals the in-flight epoch: record its report and resolve the
+    /// repair query (detail = epoch index).
+    fn finish_epoch(&mut self, ctx: &mut Ctx<'_, DirectoryMsg>) {
+        let me = self.state.node();
+        let co = self
+            .coordinator
+            .as_mut()
+            .expect("epoch at a non-coordinator");
+        let mut report = co.epoch_base;
+        report.pointer_writes = co.writes;
+        report.pointer_deletes = co.deletes;
+        co.history.push(report);
+        ctx.complete(me, (co.history.len() - 1) as u64);
     }
 
     /// The packet arrived here during the descent at `level`: recognize
@@ -173,6 +414,50 @@ pub enum DirectoryMsg {
         /// Chain node the entry forwards to.
         next: Node,
     },
+    /// Start a repair epoch (inject at the coordinator; never sent on
+    /// the wire). `leaves` and `joins` are the membership delta since
+    /// the last epoch — the failure detector's output, which a real
+    /// deployment derives from heartbeats and the simulation takes from
+    /// the churn schedule.
+    Repair {
+        /// Nodes that left (crashed away) since the last epoch.
+        leaves: Vec<Node>,
+        /// Nodes that (re)joined fresh since the last epoch.
+        joins: Vec<Node>,
+    },
+    /// One node's slice of a repair plan, fanned out by the coordinator:
+    /// promotion announcements, finger refreshes, re-homing adoptions
+    /// and pointer reconciliation ops (join backfill is the same gram
+    /// with `reset` set).
+    RepairGram {
+        /// Where to send the ack.
+        coordinator: Node,
+        /// The coordinator's epoch id, echoed in the ack.
+        epoch: usize,
+        /// Reset the local slice first (the receiver is a fresh joiner).
+        reset: bool,
+        /// Net levels this node is promoted into.
+        promote: Vec<usize>,
+        /// `(level, finger)` refreshes for the levels whose membership
+        /// changed.
+        fingers: Vec<(usize, Option<Node>)>,
+        /// Objects this node now homes (re-homed from dead homes).
+        adopt: Vec<ObjectId>,
+        /// Pointer-table writes and deletes.
+        ops: Vec<PointerOp>,
+    },
+    /// A gram receiver's reply: how many table operations actually
+    /// changed state (summed by the coordinator into the epoch's
+    /// [`RepairReport`]).
+    RepairAck {
+        /// The epoch the acked gram belonged to; acks from an abandoned
+        /// epoch are dropped.
+        epoch: usize,
+        /// Pointer writes that changed the receiver's table.
+        writes: usize,
+        /// Pointer deletes that removed an entry.
+        deletes: usize,
+    },
 }
 
 impl SimNode for DirectoryNode {
@@ -228,6 +513,50 @@ impl SimNode for DirectoryNode {
             }
             DirectoryMsg::Install { obj, level, next } => {
                 self.state.install(level, obj, next);
+            }
+            DirectoryMsg::Repair { leaves, joins } => {
+                self.coordinate_repair(ctx, &leaves, &joins);
+            }
+            DirectoryMsg::RepairGram {
+                coordinator,
+                epoch,
+                reset,
+                promote,
+                fingers,
+                adopt,
+                ops,
+            } => {
+                let (writes, deletes) = self.apply_gram(reset, &promote, &fingers, &adopt, &ops);
+                ctx.send(
+                    coordinator,
+                    DirectoryMsg::RepairAck {
+                        epoch,
+                        writes,
+                        deletes,
+                    },
+                );
+            }
+            DirectoryMsg::RepairAck {
+                epoch,
+                writes,
+                deletes,
+            } => {
+                let co = self
+                    .coordinator
+                    .as_mut()
+                    .expect("repair ack at a non-coordinator");
+                if epoch != co.current_epoch || co.pending == 0 {
+                    // A straggler from an abandoned epoch (the schedule
+                    // started a new one before every ack arrived, or a
+                    // gram was dropped and its epoch never completed).
+                    return;
+                }
+                co.writes += writes;
+                co.deletes += deletes;
+                co.pending -= 1;
+                if co.pending == 0 {
+                    self.finish_epoch(ctx);
+                }
             }
         }
     }

@@ -22,7 +22,7 @@ use std::collections::BinaryHeap;
 use ron_metric::Node;
 
 use crate::latency::{mix, unit, LatencyModel};
-use crate::report::{MessageCounts, Percentiles, QueryRecord, SimReport};
+use crate::report::{MessageCounts, Percentiles, PhaseMark, QueryRecord, SimReport};
 
 /// How a query ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -79,6 +79,16 @@ pub struct Ctx<'a, M> {
     dist: &'a dyn Fn(Node, Node) -> f64,
     outbox: Vec<(Node, M)>,
     resolution: Option<Resolution>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The distance oracle itself, with the simulator's lifetime — so a
+    /// handler can keep using it past its borrow of the `Ctx` (the
+    /// repair coordinator wraps it in a `ScanOracle` while also sending
+    /// messages).
+    pub fn dist_fn(&self) -> &'a dyn Fn(Node, Node) -> f64 {
+        self.dist
+    }
 }
 
 impl<M> Ctx<'_, M> {
@@ -156,8 +166,14 @@ enum EventKind<M> {
     Crash {
         node: Node,
     },
+    Revive {
+        node: Node,
+    },
     Deadline {
         qid: u32,
+    },
+    Phase {
+        name: String,
     },
 }
 
@@ -229,6 +245,7 @@ pub struct Simulator<'a, N: SimNode> {
     counts: MessageCounts,
     node_sent: Vec<u64>,
     node_received: Vec<u64>,
+    phase_marks: Vec<PhaseMark>,
     trace: u64,
 }
 
@@ -261,6 +278,7 @@ impl<'a, N: SimNode> Simulator<'a, N> {
             counts: MessageCounts::default(),
             node_sent: vec![0; n],
             node_received: vec![0; n],
+            phase_marks: Vec::new(),
             trace: FNV_OFFSET,
         }
     }
@@ -296,10 +314,42 @@ impl<'a, N: SimNode> Simulator<'a, N> {
         self.post(time, EventKind::Crash { node: v });
     }
 
+    /// Schedules `v` to come back at `time`: it receives again from that
+    /// instant on, with whatever local state it held when it crashed
+    /// (crash-with-rejoin) — a fresh *join* additionally resets the
+    /// state through the driver's repair protocol. Messages that arrived
+    /// while it was down stay lost.
+    pub fn revive_at(&mut self, time: f64, v: Node) {
+        self.post(time, EventKind::Revive { node: v });
+    }
+
+    /// Schedules a named phase boundary at `time`: queries injected at or
+    /// after it (and before the next boundary) are grouped under `name`
+    /// in [`SimReport::phase_breakdown`], and the per-node received-load
+    /// counters are snapshotted when the boundary fires so each phase
+    /// reports its own load distribution.
+    pub fn mark_phase(&mut self, time: f64, name: impl Into<String>) {
+        self.post(time, EventKind::Phase { name: name.into() });
+    }
+
     /// Schedules a query: `msg` is handed to `origin`'s handler at
     /// `time` (a local hand-off, not a network message). Returns the
     /// query id, which indexes [`SimReport::records`] in injection order.
     pub fn inject(&mut self, time: f64, origin: Node, msg: N::Msg) -> u32 {
+        self.inject_with_deadline(time, origin, msg, self.config.timeout)
+    }
+
+    /// [`inject`](Simulator::inject) with an explicit per-query deadline
+    /// overriding [`SimConfig::timeout`] — `None` disables the deadline
+    /// for this query (long-running control queries like a repair epoch
+    /// should not time out on the lookup deadline).
+    pub fn inject_with_deadline(
+        &mut self,
+        time: f64,
+        origin: Node,
+        msg: N::Msg,
+        deadline: Option<f64>,
+    ) -> u32 {
         let qid = self.queries.len() as u32;
         self.queries.push(QueryState {
             origin,
@@ -308,7 +358,7 @@ impl<'a, N: SimNode> Simulator<'a, N> {
             resolution: None,
         });
         self.post(time, EventKind::Inject { origin, qid, msg });
-        if let Some(t) = self.config.timeout {
+        if let Some(t) = deadline {
             self.post(time + t, EventKind::Deadline { qid });
         }
         qid
@@ -375,6 +425,24 @@ impl<'a, N: SimNode> Simulator<'a, N> {
                     fnv(&mut self.trace, ev.time.to_bits());
                     fnv(&mut self.trace, node.index() as u64);
                     self.alive[node.index()] = false;
+                }
+                EventKind::Revive { node } => {
+                    fnv(&mut self.trace, 5);
+                    fnv(&mut self.trace, ev.time.to_bits());
+                    fnv(&mut self.trace, node.index() as u64);
+                    self.alive[node.index()] = true;
+                }
+                EventKind::Phase { name } => {
+                    fnv(&mut self.trace, 6);
+                    fnv(&mut self.trace, ev.time.to_bits());
+                    for byte in name.bytes() {
+                        fnv(&mut self.trace, u64::from(byte));
+                    }
+                    self.phase_marks.push(PhaseMark {
+                        name,
+                        start: ev.time,
+                        received_before: self.node_received.clone(),
+                    });
                 }
                 EventKind::Deadline { qid } => {
                     if self.queries[qid as usize].resolution.is_none() {
@@ -462,6 +530,7 @@ impl<'a, N: SimNode> Simulator<'a, N> {
             hops: Percentiles::of(hop_counts),
             node_sent: self.node_sent.clone(),
             node_received: self.node_received.clone(),
+            phases: self.phase_marks.clone(),
             records,
             trace_fingerprint: self.trace,
             end_time: self.now,
@@ -617,6 +686,87 @@ mod tests {
             Resolution::Failed(FailKind::Unresolved)
         );
         assert_eq!(report.messages.dropped, 1);
+    }
+
+    #[test]
+    fn revive_restores_delivery() {
+        let mut sim = Simulator::new(
+            chain(3),
+            |_, _| 1.0,
+            ConstantLatency(1.0),
+            SimConfig::default(),
+        );
+        sim.crash_at(0.0, Node::new(1));
+        sim.inject(1.0, Node::new(0), 2); // relay dies at node 1
+        sim.revive_at(5.0, Node::new(1));
+        sim.inject(6.0, Node::new(0), 2); // full chain again
+        let report = sim.run();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.messages.lost_to_crash, 1);
+        assert_eq!(
+            report.records[1].resolution,
+            Resolution::Delivered {
+                at: Node::new(2),
+                detail: 7
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_deadline_overrides_the_config_timeout() {
+        let mut sim = Simulator::new(
+            chain(3),
+            |_, _| 1.0,
+            ConstantLatency(1.0),
+            SimConfig {
+                drop_prob: 1.0,
+                timeout: Some(5.0),
+                ..SimConfig::default()
+            },
+        );
+        sim.inject(0.0, Node::new(0), 2);
+        sim.inject_with_deadline(0.0, Node::new(0), 2, None);
+        let report = sim.run();
+        assert_eq!(
+            report.records[0].resolution,
+            Resolution::Failed(FailKind::TimedOut)
+        );
+        assert_eq!(
+            report.records[1].resolution,
+            Resolution::Failed(FailKind::Unresolved),
+            "a deadline-free query must not inherit the config timeout"
+        );
+    }
+
+    #[test]
+    fn phases_partition_queries_and_load() {
+        let mut sim = Simulator::new(
+            chain(5),
+            |_, _| 1.0,
+            ConstantLatency(1.0),
+            SimConfig::default(),
+        );
+        sim.mark_phase(0.0, "warm");
+        sim.mark_phase(10.0, "steady");
+        sim.inject(0.0, Node::new(0), 4); // 4 deliveries, completes
+        sim.inject(12.0, Node::new(0), 2); // 2 deliveries, completes
+        sim.inject(13.0, Node::new(0), 9); // 4 deliveries, stalls at the end
+        let report = sim.run();
+        let phases = report.phase_breakdown();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "warm");
+        assert_eq!((phases[0].queries, phases[0].completed), (1, 1));
+        assert_eq!(phases[0].success_rate(), Some(1.0));
+        assert_eq!(phases[1].name, "steady");
+        assert_eq!((phases[1].queries, phases[1].completed), (2, 1));
+        // Loads are per-phase deltas: 4 deliveries before t = 10, the
+        // other 6 after.
+        let total = |p: &crate::report::PhaseSummary| p.load.mean * p.load.count as f64;
+        assert!((total(&phases[0]) - 4.0).abs() < 1e-9);
+        assert!((total(&phases[1]) - 6.0).abs() < 1e-9);
+        assert!(report.render_phases().contains("steady"));
+        // Phase marks change the trace (they are events).
+        assert_eq!(report.phases.len(), 2);
     }
 
     #[test]

@@ -63,8 +63,15 @@ impl LatencyModel for MetricLatency {
 }
 
 /// Metric-proportional latency multiplied by lognormal jitter
-/// `exp(sigma * z)` with `z` approximately standard normal — the
-/// long-tailed queueing noise of real WANs.
+/// `exp(sigma * z - sigma^2 / 2)` with `z` approximately standard
+/// normal — the long-tailed queueing noise of real WANs.
+///
+/// The `-sigma^2 / 2` term is the log-mean correction: a bare
+/// `exp(sigma * z)` multiplier has mean `exp(sigma^2 / 2) > 1`, so the
+/// mean simulated latency would silently inflate relative to
+/// [`MetricLatency`] as `sigma` grows. With the correction the jitter
+/// multiplier has mean ~1 at every `sigma`, and `sigma = 0` recovers
+/// [`MetricLatency`] exactly.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LognormalLatency {
     /// Multiplier on the metric distance.
@@ -87,7 +94,8 @@ impl LatencyModel for LognormalLatency {
             sum += unit(w);
         }
         let z = (sum - 2.0) / (1.0f64 / 3.0).sqrt();
-        ((self.floor + self.scale * d) * (self.sigma * z).exp()).max(0.0)
+        let jitter = (self.sigma * z - self.sigma * self.sigma / 2.0).exp();
+        ((self.floor + self.scale * d) * jitter).max(0.0)
     }
 }
 
@@ -114,7 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn lognormal_is_deterministic_in_word_and_centered() {
+    fn lognormal_is_deterministic_in_word_and_mean_corrected() {
         let m = LognormalLatency {
             scale: 1.0,
             floor: 0.0,
@@ -122,16 +130,36 @@ mod tests {
         };
         assert_eq!(m.sample(5.0, 42), m.sample(5.0, 42));
         assert_ne!(m.sample(5.0, 42), m.sample(5.0, 43));
-        // The median multiplier is ~1: averaging many draws stays near d.
-        let mean: f64 = (0..2000).map(|k| m.sample(1.0, mix(k))).sum::<f64>() / 2000.0;
-        assert!((0.8..1.3).contains(&mean), "mean jitter {mean}");
-        // sigma = 0 recovers the metric model exactly.
+        // The -sigma^2/2 log-mean correction centers the *mean* (not just
+        // the median) multiplier on 1, so mean simulated latency tracks
+        // MetricLatency at every sigma instead of inflating by
+        // exp(sigma^2/2) (~4.6% at 0.3, ~20% at 0.6).
+        for sigma in [0.1, 0.3, 0.6] {
+            let m = LognormalLatency {
+                scale: 1.0,
+                floor: 0.0,
+                sigma,
+            };
+            let mean: f64 = (0..4000).map(|k| m.sample(1.0, mix(k))).sum::<f64>() / 4000.0;
+            assert!(
+                (0.97..1.03).contains(&mean),
+                "sigma {sigma}: corrected mean jitter {mean}"
+            );
+        }
+        // sigma = 0 recovers the metric model exactly (no residual
+        // correction term).
         let flat = LognormalLatency {
             scale: 1.0,
             floor: 0.5,
             sigma: 0.0,
         };
-        assert_eq!(flat.sample(2.0, 9), 2.5);
+        let metric = MetricLatency {
+            scale: 1.0,
+            floor: 0.5,
+        };
+        for (d, word) in [(0.0, 1u64), (2.0, 9), (17.5, 1105)] {
+            assert_eq!(flat.sample(d, word), metric.sample(d, word));
+        }
     }
 
     #[test]

@@ -22,10 +22,16 @@
 //!   (1+delta)-stretch overlay schemes ([`overlay`]; Theorems 2.1/4.1),
 //!   and the object-location directory ([`directory`]; publish fan-out,
 //!   finger climb and zoom descent as message rounds);
+//! * [`churn`]: churn schedules (leaves, fresh joins, crash-with-rejoin)
+//!   injected at simulated times, with repair epochs running as message
+//!   rounds through a coordinator that carries the directory's control
+//!   plane — zero-latency failure-free repair is property-tested equal
+//!   to the in-process `DirectoryOverlay::repair`;
 //! * [`report`]: a [`SimReport`] with message counts, hop statistics,
-//!   simulated-latency percentiles and the **per-node message-load
+//!   simulated-latency percentiles, the **per-node message-load
 //!   histogram** — the quantity the §5 STRUCTURES uniform-load
-//!   discussion is about, measured rather than asserted.
+//!   discussion is about, measured rather than asserted — and per-phase
+//!   success/load breakdowns over marked phase boundaries.
 //!
 //! For zero-latency, failure-free configurations every driver is
 //! property-tested to reproduce its in-process twin exactly (answers,
@@ -54,6 +60,7 @@
 //! assert!(report.messages.sent as usize >= report.records[0].hops as usize);
 //! ```
 
+pub mod churn;
 pub mod directory;
 pub mod engine;
 pub mod greedy;
@@ -61,9 +68,13 @@ pub mod latency;
 pub mod overlay;
 pub mod report;
 
+pub use churn::{ChurnEvent, ChurnSchedule};
+
 pub use engine::{Ctx, FailKind, Resolution, SimConfig, SimNode, Simulator};
 pub use latency::{ConstantLatency, LatencyModel, LognormalLatency, MetricLatency};
-pub use report::{MessageCounts, Percentiles, QueryRecord, SimReport};
+pub use report::{
+    render_rate, MessageCounts, Percentiles, PhaseMark, PhaseSummary, QueryRecord, SimReport,
+};
 
 use ron_metric::Node;
 

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use ron_core::stats;
 use ron_metric::Node;
 
 use crate::engine::{FailKind, Resolution};
@@ -42,7 +43,9 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Summarizes `samples` (all zeros when empty).
+    /// Summarizes `samples` (all zeros when empty). Quantiles use the
+    /// workspace-wide nearest-rank convention
+    /// ([`ron_core::stats::nearest_rank`]).
     #[must_use]
     pub fn of(mut samples: Vec<f64>) -> Percentiles {
         if samples.is_empty() {
@@ -50,16 +53,23 @@ impl Percentiles {
         }
         samples.sort_by(f64::total_cmp);
         let count = samples.len();
-        let at = |q: f64| samples[((count as f64 * q) as usize).min(count - 1)];
         Percentiles {
             count,
             mean: samples.iter().sum::<f64>() / count as f64,
-            p50: at(0.50),
-            p90: at(0.90),
-            p99: at(0.99),
+            p50: stats::nearest_rank(&samples, 0.50),
+            p90: stats::nearest_rank(&samples, 0.90),
+            p99: stats::nearest_rank(&samples, 0.99),
             max: samples[count - 1],
         }
     }
+}
+
+/// Renders an optional success rate as `"87.5%"`, or `"n/a"` when there
+/// were no queries to rate (shared by [`SimReport::render`] and the
+/// bench tables).
+#[must_use]
+pub fn render_rate(rate: Option<f64>) -> String {
+    rate.map_or_else(|| String::from("n/a"), |r| format!("{:.1}%", r * 100.0))
 }
 
 /// One query's outcome.
@@ -75,6 +85,53 @@ pub struct QueryRecord {
     pub resolution: Resolution,
     /// Messages delivered on behalf of this query — its hop count.
     pub hops: u32,
+}
+
+/// One phase boundary recorded by `Simulator::mark_phase`: the phase
+/// name, its start time, and the per-node received-message counters at
+/// that instant (so phase loads can be reported as deltas).
+#[derive(Clone, Debug)]
+pub struct PhaseMark {
+    /// Phase name.
+    pub name: String,
+    /// Simulated time the phase began.
+    pub start: f64,
+    /// Snapshot of the per-node received counters when the phase began.
+    pub(crate) received_before: Vec<u64>,
+}
+
+/// Per-phase slice of a run: the queries injected during one phase and
+/// the message load served during it.
+#[derive(Clone, Debug)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Phase start time.
+    pub start: f64,
+    /// Start of the next phase (end of the run for the last phase).
+    pub end: f64,
+    /// Queries injected during the phase.
+    pub queries: usize,
+    /// Of those, queries that resolved as delivered (whenever they
+    /// resolved — a query injected in one phase may complete in a later
+    /// one; it counts for the phase that injected it).
+    pub completed: usize,
+    /// Per-node messages received *during* the phase (delta between the
+    /// boundary snapshots).
+    pub load: Percentiles,
+}
+
+impl PhaseSummary {
+    /// Fraction of this phase's queries that completed (`None` when the
+    /// phase injected none).
+    #[must_use]
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.queries == 0 {
+            None
+        } else {
+            Some(self.completed as f64 / self.queries as f64)
+        }
+    }
 }
 
 /// The outcome of one simulation run.
@@ -95,6 +152,9 @@ pub struct SimReport {
     /// Messages received (and processed) by each node — the serving load
     /// the §5 STRUCTURES uniform-load discussion is about.
     pub node_received: Vec<u64>,
+    /// Phase boundaries recorded by `Simulator::mark_phase`, in time
+    /// order (empty unless the run marked phases).
+    pub phases: Vec<PhaseMark>,
     /// Per-query outcomes, in injection order.
     pub records: Vec<QueryRecord>,
     /// Order-sensitive digest of the full event trace: two runs with the
@@ -105,13 +165,15 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Fraction of queries that completed.
+    /// Fraction of queries that completed, or `None` for a run with no
+    /// queries — an empty run has no success rate, and reporting `1.0`
+    /// would render as a misleading "100.0%" in every table.
     #[must_use]
-    pub fn success_rate(&self) -> f64 {
+    pub fn success_rate(&self) -> Option<f64> {
         if self.queries == 0 {
-            1.0
+            None
         } else {
-            self.completed as f64 / self.queries as f64
+            Some(self.completed as f64 / self.queries as f64)
         }
     }
 
@@ -131,6 +193,72 @@ impl SimReport {
     #[must_use]
     pub fn load_percentiles(&self) -> Percentiles {
         Percentiles::of(self.node_received.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Per-phase success and load over the boundaries recorded by
+    /// `Simulator::mark_phase`. Each phase covers queries injected in
+    /// `[start, next start)` and the messages received between the two
+    /// boundary snapshots (the last phase runs to the end of the run).
+    /// Queries injected before the first mark are not covered — mark a
+    /// phase at time 0 to account for everything.
+    #[must_use]
+    pub fn phase_breakdown(&self) -> Vec<PhaseSummary> {
+        let mut out = Vec::with_capacity(self.phases.len());
+        for (k, mark) in self.phases.iter().enumerate() {
+            let end = self
+                .phases
+                .get(k + 1)
+                .map_or(f64::INFINITY, |next| next.start);
+            let in_phase = |r: &&QueryRecord| r.injected_at >= mark.start && r.injected_at < end;
+            let queries = self.records.iter().filter(in_phase).count();
+            let completed = self
+                .records
+                .iter()
+                .filter(in_phase)
+                .filter(|r| matches!(r.resolution, Resolution::Delivered { .. }))
+                .count();
+            let after = self
+                .phases
+                .get(k + 1)
+                .map_or(&self.node_received, |next| &next.received_before);
+            let load = Percentiles::of(
+                after
+                    .iter()
+                    .zip(&mark.received_before)
+                    .map(|(&a, &b)| (a - b) as f64)
+                    .collect(),
+            );
+            out.push(PhaseSummary {
+                name: mark.name.clone(),
+                start: mark.start,
+                end: if end.is_finite() { end } else { self.end_time },
+                queries,
+                completed,
+                load,
+            });
+        }
+        out
+    }
+
+    /// Renders [`phase_breakdown`](SimReport::phase_breakdown) as an
+    /// aligned text block (empty string when no phases were marked).
+    #[must_use]
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        for phase in self.phase_breakdown() {
+            out.push_str(&format!(
+                "phase {:<12} [{:>9.2}, {:>9.2})  {:>6} queries, {:>6} completed ({:>6}), load p99 {:.0} max {:.0}\n",
+                phase.name,
+                phase.start,
+                phase.end,
+                phase.queries,
+                phase.completed,
+                render_rate(phase.success_rate()),
+                phase.load.p99,
+                phase.load.max,
+            ));
+        }
+        out
     }
 
     /// Power-of-two histogram of the per-node received-message load:
@@ -183,10 +311,10 @@ impl SimReport {
         let load = self.load_percentiles();
         let mut out = format!("-- {title} --\n");
         out.push_str(&format!(
-            "queries   {} injected, {} completed ({:.1}%)\n",
+            "queries   {} injected, {} completed ({})\n",
             self.queries,
             self.completed,
-            self.success_rate() * 100.0
+            render_rate(self.success_rate())
         ));
         out.push_str(&format!(
             "messages  {} sent, {} delivered, {} dropped, {} lost-to-crash, {} stale\n",
@@ -232,9 +360,10 @@ mod tests {
         let p = Percentiles::of((1..=100).map(f64::from).collect());
         assert_eq!(p.count, 100);
         assert!((p.mean - 50.5).abs() < 1e-12);
-        assert_eq!(p.p50, 51.0);
-        assert_eq!(p.p90, 91.0);
-        assert_eq!(p.p99, 100.0);
+        // Nearest rank: ceil(q * 100) - 1. The p50 of 1..=100 is 50.
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
         assert_eq!(p.max, 100.0);
         assert_eq!(Percentiles::of(Vec::new()), Percentiles::default());
     }
@@ -248,6 +377,7 @@ mod tests {
             hops: Percentiles::default(),
             node_sent: vec![0; loads.len()],
             node_received: loads,
+            phases: Vec::new(),
             records: Vec::new(),
             trace_fingerprint: 0,
             end_time: 0.0,
@@ -271,5 +401,17 @@ mod tests {
         assert!(text.contains("smoke"));
         assert!(text.contains("load/node"));
         assert!(text.contains("trace"));
+    }
+
+    #[test]
+    fn empty_run_has_no_success_rate() {
+        let r = report_with_loads(vec![0, 0]);
+        assert_eq!(r.success_rate(), None);
+        assert!(
+            r.render("empty").contains("0 injected, 0 completed (n/a)"),
+            "an empty run must render n/a, not 100.0%"
+        );
+        assert_eq!(render_rate(None), "n/a");
+        assert_eq!(render_rate(Some(0.875)), "87.5%");
     }
 }

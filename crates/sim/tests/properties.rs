@@ -165,6 +165,66 @@ proptest! {
     }
 }
 
+/// Deterministic pseudo-random samples for the statistics properties.
+fn random_samples(seed: u64, len: usize) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0.0..1000.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The unified nearest-rank percentile helper matches the reference
+    /// definition (smallest sample covering a q-fraction) on random
+    /// sample sets.
+    #[test]
+    fn percentiles_match_brute_force_reference(seed in 0u64..10_000, len in 1usize..200) {
+        let samples = random_samples(seed, len);
+        let p = ron_sim::Percentiles::of(samples.clone());
+        let mut sorted = samples;
+        sorted.sort_by(f64::total_cmp);
+        let reference = |q: f64| {
+            let need = (q * sorted.len() as f64).ceil() as usize;
+            *sorted
+                .iter()
+                .find(|&&x| sorted.iter().filter(|&&y| y <= x).count() >= need)
+                .expect("nonempty")
+        };
+        prop_assert_eq!(p.p50, reference(0.50));
+        prop_assert_eq!(p.p90, reference(0.90));
+        prop_assert_eq!(p.p99, reference(0.99));
+        prop_assert_eq!(p.max, *sorted.last().expect("nonempty"));
+        prop_assert_eq!(p.count, sorted.len());
+    }
+
+    /// Every node lands in exactly one power-of-two load bucket: the
+    /// histogram totals always equal the node count.
+    #[test]
+    fn load_histogram_totals_equal_node_count(seed in 0u64..10_000, len in 1usize..128) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loads: Vec<u64> = (0..len).map(|_| rng.random_range(0..5000)).collect();
+        let report = SimReport {
+            queries: 0,
+            completed: 0,
+            messages: ron_sim::MessageCounts::default(),
+            latency: ron_sim::Percentiles::default(),
+            hops: ron_sim::Percentiles::default(),
+            node_sent: vec![0; loads.len()],
+            node_received: loads,
+            phases: Vec::new(),
+            records: Vec::new(),
+            trace_fingerprint: 0,
+            end_time: 0.0,
+        };
+        let total: u64 = report.load_histogram_pow2().iter().sum();
+        prop_assert_eq!(total as usize, report.node_received.len());
+    }
+}
+
 /// One full build + simulate pass with latency jitter, drops and a
 /// mid-run crash burst; returns the trace fingerprint.
 fn fingerprint_run(seed: u64) -> u64 {

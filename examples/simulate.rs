@@ -1,7 +1,9 @@
 //! The rings protocols as a distributed system: a 4096-node clustered
 //! "Internet latency" metric, publishes and lookups running as real
-//! message rounds through the deterministic simulator, greedy
-//! small-world routing as message chains, and a crash burst mid-run.
+//! message rounds through the deterministic simulator, a crash burst
+//! mid-run, a leave/join wave with distributed repair (success dips,
+//! repair epochs run as message rounds, success recovers to 100%), and
+//! greedy small-world routing as message chains.
 //!
 //! Run with: `cargo run --release --example simulate`
 //! (`RON_SIM_N=512` shrinks the instance for smoke runs.)
@@ -16,18 +18,28 @@ use rings_of_neighbors::metric::{gen, Node, Space};
 use rings_of_neighbors::sim::directory::{DirectoryMsg, DirectoryNode};
 use rings_of_neighbors::sim::greedy::{GreedyNode, GreedyPacket};
 use rings_of_neighbors::sim::{
-    state_entries, LognormalLatency, MetricLatency, Percentiles, SimConfig, Simulator,
+    state_entries, ChurnSchedule, LognormalLatency, MetricLatency, Percentiles, SimConfig,
+    Simulator,
 };
 use rings_of_neighbors::smallworld::GreedyModel;
 
 const SEED: u64 = 1105;
 
 fn sim_n() -> usize {
-    std::env::var("RON_SIM_N")
-        .ok()
-        .and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 64)
-        .unwrap_or(4096)
+    const DEFAULT: usize = 4096;
+    match std::env::var("RON_SIM_N") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 64 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring RON_SIM_N={raw:?} (need an integer >= 64); \
+                     running at the default n = {DEFAULT}"
+                );
+                DEFAULT
+            }
+        },
+        Err(_) => DEFAULT,
+    }
 }
 
 fn main() {
@@ -40,7 +52,7 @@ fn main() {
     //    directory overlay, partitioned into per-node slices.
     let t0 = Instant::now();
     let space = Space::new(gen::clustered(n, 2, (n / 64).max(4), 0.01, SEED));
-    let overlay = DirectoryOverlay::build(&space);
+    let mut overlay = DirectoryOverlay::build(&space);
     let fleet = DirectoryNode::fleet(&space, &overlay);
     println!(
         "built + partitioned overlay: n = {n}, levels = {} ({:.1?})",
@@ -122,7 +134,7 @@ fn main() {
         ))
     );
     assert!(
-        report.success_rate() > 0.5,
+        report.success_rate().unwrap_or(0.0) > 0.5,
         "a 2% crash burst must not take down the directory"
     );
     assert!(
@@ -130,7 +142,115 @@ fn main() {
         "the burst should cost at least one in-flight query"
     );
 
-    // 4. Greedy small-world routing (Theorem 5.2): 2k routes as message
+    // 4. Churn lifecycle: the same lookup workload while ~2% of the
+    //    nodes (including the top-level hub) *leave* — state conceded,
+    //    directory damaged — a coordinator runs distributed repair as
+    //    message rounds (promotion announcements, reconciliation grams,
+    //    acks), and half the leavers rejoin fresh with backfill. Lookup
+    //    success dips while the directory is damaged and recovers to
+    //    100% once the epochs complete.
+    //
+    //    The fleet comes from an in-process publish of the same objects
+    //    (property-tested byte-identical to the simulated installs), so
+    //    the repair coordinator's control plane knows the registry.
+    let items: Vec<(ObjectId, Node)> = (0..objects)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % n)))
+        .collect();
+    overlay.publish_batch(&space, &items);
+    let top = overlay.levels() - 1;
+    let hub = space
+        .nodes()
+        .find(|&v| overlay.is_net_member(top, v))
+        .expect("a top-level hub exists");
+    let mut victims = vec![hub];
+    for k in 0..(n / 50).max(4) {
+        let v = Node::new((k * 101 + 3) % n);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    let coordinator = space
+        .nodes()
+        .find(|v| !victims.contains(v))
+        .expect("somebody stays alive");
+    let rejoiners: Vec<Node> = victims.iter().step_by(2).copied().collect();
+    let mut churn = Simulator::new(
+        DirectoryNode::fleet_with_coordinator(&space, &overlay, coordinator),
+        |u, v| space.dist(u, v),
+        wan,
+        SimConfig {
+            seed: SEED ^ 0x200,
+            drop_prob: 0.0,
+            timeout: Some(2000.0),
+        },
+    );
+    let mut schedule = ChurnSchedule::new();
+    for &v in &victims {
+        schedule.leave_at(300.0, v);
+    }
+    schedule.repair_at(500.0);
+    for &v in &rejoiners {
+        schedule.join_at(700.0, v);
+    }
+    schedule.repair_at(750.0);
+    schedule.apply(&mut churn, coordinator);
+    // Phase boundaries leave slack for in-flight lookups and for the
+    // repair rounds (two message hops each) to ack under WAN jitter.
+    churn.mark_phase(0.0, "steady");
+    churn.mark_phase(250.0, "churned");
+    churn.mark_phase(1200.0, "recovered");
+    let span = 1400.0;
+    for q in 0..lookups {
+        // Origins avoid the victims: the dip below measures directory
+        // damage, not dead origins.
+        let mut origin = Node::new((q * 53 + 7) % n);
+        while victims.contains(&origin) {
+            origin = Node::new((origin.index() + 1) % n);
+        }
+        let obj = ObjectId((q * 97 + 13) as u64 % objects as u64);
+        churn.inject(
+            q as f64 * span / lookups as f64,
+            origin,
+            DirectoryMsg::Lookup { obj },
+        );
+    }
+    let report = churn.run();
+    println!(
+        "{}",
+        report.render(&format!(
+            "churn lifecycle: {} leave (incl. the top hub), {} rejoin, 2 repair epochs",
+            victims.len(),
+            rejoiners.len()
+        ))
+    );
+    print!("{}", report.render_phases());
+    for (i, repair) in churn.node(coordinator).repair_history().iter().enumerate() {
+        println!(
+            "repair {}: promotions {}, pointer writes {}, deletes {}, rehomed {}",
+            i + 1,
+            repair.promotions,
+            repair.pointer_writes,
+            repair.pointer_deletes,
+            repair.rehomed
+        );
+    }
+    println!();
+    let phases = report.phase_breakdown();
+    assert!(
+        phases[0].success_rate().unwrap_or(0.0) > 0.99,
+        "the steady phase must serve (in-flight boundary tail aside)"
+    );
+    assert!(
+        phases[1].success_rate().unwrap_or(1.0) < 1.0,
+        "the leave wave must dent lookup success"
+    );
+    assert_eq!(
+        phases[2].success_rate(),
+        Some(1.0),
+        "lookups after the repair epochs must recover to 100%"
+    );
+
+    // 5. Greedy small-world routing (Theorem 5.2): 2k routes as message
     //    chains; every route completes in O(log n) messages.
     let t0 = Instant::now();
     let model = GreedyModel::sample(&space, 2.0, SEED);
