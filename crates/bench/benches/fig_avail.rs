@@ -1,0 +1,51 @@
+//! E-AVAIL: lookup availability *through* a churn wave and repair.
+//!
+//! Runs `ron_bench::fig_avail` at `RON_SIM_N` nodes (default 4096):
+//! reader threads hammer lookups while a writer applies a leave wave and
+//! a full repair, once through the stop-the-world blocking baseline and
+//! once through the epoch-published `EpochCell` path — the repair-window
+//! availability dip narrows to nothing under epoch publication. The
+//! simulator half injects lookups through a churn wave run as message
+//! rounds and reports the per-time-bucket availability timeline. The
+//! table is written to `BENCH_report.json`. A smaller timed probe gives
+//! the criterion-style sample loop something quick to repeat.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ron_location::{DirectoryOverlay, EpochCell, ObjectId, Snapshot};
+use ron_metric::{gen, Node, Space};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::sim_n_or(4096);
+    let start = Instant::now();
+    let table = ron_bench::fig_avail(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let path = ron_bench::report_json_path();
+    if let Err(e) = ron_bench::write_report_json(&path, &[(table, table_ms)]) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // Timed probe: one capture-and-publish swap of a 256-node snapshot —
+    // the epoch path's entire serving-side cost of a repair.
+    let space = Space::new(gen::uniform_cube(256, 2, 9));
+    let mut overlay = DirectoryOverlay::build(&space);
+    for i in 0..32u64 {
+        overlay.publish(&space, ObjectId(i), Node::new((i as usize * 31 + 1) % 256));
+    }
+    let cell = EpochCell::new(Snapshot::capture(&space, &overlay));
+    c.bench_function("fig_avail/publish_snapshot_256", |b| {
+        b.iter(|| black_box(overlay.publish_snapshot(&space, &cell)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! engine round through the snapshot + LRU cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ron_location::{DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot};
+use ron_location::{DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine, Snapshot};
 use ron_metric::{gen, Node, Space};
 use std::hint::black_box;
 
@@ -19,8 +19,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(overlay.lookup(&space, Node::new(200), ObjectId(3)).unwrap()))
     });
 
-    let snapshot = Snapshot::capture(&space, &overlay);
-    let engine = QueryEngine::new(&space, &snapshot);
+    let directory = EpochCell::new(Snapshot::capture(&space, &overlay));
+    let engine = QueryEngine::new(&space, &directory);
     let queries: Vec<(Node, ObjectId)> = (0..1024usize)
         .map(|i| (Node::new((i * 53 + 7) % 256), ObjectId((i % 64) as u64)))
         .collect();

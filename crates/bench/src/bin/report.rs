@@ -39,6 +39,7 @@ fn main() {
     run(&mut ron_bench::table_location);
     run(&mut || ron_bench::fig_sim(sim_n));
     run(&mut || ron_bench::fig_churn(sim_n));
+    run(&mut || ron_bench::fig_avail(sim_n));
     run(&mut || ron_bench::fig_build_scaling(scaling_n));
 
     let path = ron_bench::report_json_path();

@@ -28,6 +28,10 @@
 //!   benchmarks report the storage the paper's encodings would use;
 //! * [`stats`]: the shared nearest-rank quantile every report summarizes
 //!   with (one convention for the simulator and the serving engine);
+//! * [`publish`]: the epoch-stamped publication cell ([`publish::EpochCell`])
+//!   behind serve-during-repair — writers build successor state off to the
+//!   side and swap it in atomically, readers clone an `Arc` and keep
+//!   serving;
 //! * [`par`]: the scoped-thread executor behind every parallel
 //!   construction loop (re-exported from `ron-metric`, where it lives so
 //!   the index builds can use it too; `RON_THREADS` overrides the worker
@@ -35,6 +39,7 @@
 
 pub mod bits;
 mod enumeration;
+pub mod publish;
 pub mod rings;
 pub mod sample;
 pub mod stats;

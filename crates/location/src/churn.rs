@@ -24,11 +24,13 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use ron_core::publish::EpochCell;
 use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_routing::PathStats;
 
 use crate::authority::RepairPlan;
 use crate::directory::DirectoryOverlay;
+use crate::engine::Snapshot;
 
 /// Work performed by one [`DirectoryOverlay::repair`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +71,7 @@ impl DirectoryOverlay {
     /// [`repair`]: DirectoryOverlay::repair
     pub fn join<M: Metric, I: BallOracle>(&mut self, space: &Space<M, I>, v: Node) {
         assert!(!self.alive[v.index()], "{v} is already alive");
+        self.epoch += 1;
         self.alive[v.index()] = true;
         self.alive_count += 1;
         self.insert_member(0, v);
@@ -95,6 +98,7 @@ impl DirectoryOverlay {
     pub fn leave(&mut self, v: Node) {
         assert!(self.alive[v.index()], "{v} is already dead");
         assert!(self.alive_count > 1, "cannot remove the last alive node");
+        self.epoch += 1;
         self.alive[v.index()] = false;
         self.alive_count -= 1;
         for j in 0..self.levels() {
@@ -144,7 +148,18 @@ impl DirectoryOverlay {
     /// writes and deletes that actually changed a table (the distributed
     /// path counts the same thing in per-node acks). Clears the touched
     /// sets — the plan consumed them.
+    ///
+    /// The plan was built off to the side by
+    /// [`RepairAuthority::plan_repair`](crate::RepairAuthority::plan_repair)
+    /// without touching serving state, and applying it bumps the overlay
+    /// [epoch](DirectoryOverlay::epoch). Under epoch publication the
+    /// mutable overlay *is* the successor under construction — readers
+    /// only ever see published [`Snapshot`](crate::engine::Snapshot)s, so
+    /// no clone is needed; capture-and-publish after the apply makes the
+    /// repaired state visible atomically (see
+    /// [`repair_published`](DirectoryOverlay::repair_published)).
     pub fn apply_plan(&mut self, plan: &RepairPlan) -> RepairReport {
+        self.epoch += 1;
         let mut report = plan.report_base();
         for nr in &plan.node_repairs {
             for &level in &nr.promote {
@@ -176,6 +191,25 @@ impl DirectoryOverlay {
         for touched in &mut self.touched {
             touched.clear();
         }
+        report
+    }
+
+    /// Repairs the overlay and atomically publishes the repaired state to
+    /// `cell`: plan the epoch, apply it to this (unpublished, mutable)
+    /// overlay, then capture-and-swap a fresh [`Snapshot`]. Readers keep
+    /// serving the previous publication at full rate throughout and see
+    /// the repaired directory only as one complete state — never a
+    /// half-applied plan.
+    ///
+    /// Returns the repair work performed, exactly as
+    /// [`repair`](DirectoryOverlay::repair) would.
+    pub fn repair_published<M: Metric, I: BallOracle>(
+        &mut self,
+        space: &Space<M, I>,
+        cell: &EpochCell<Snapshot>,
+    ) -> RepairReport {
+        let report = self.repair(space);
+        self.publish_snapshot(space, cell);
         report
     }
 }

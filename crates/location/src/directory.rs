@@ -99,6 +99,11 @@ pub struct DirectoryOverlay {
     pub(crate) objects: Vec<ObjectId>,
     pub(crate) homes: HashMap<ObjectId, Node>,
     pub(crate) placements: HashMap<ObjectId, Placement>,
+    /// Version counter over this overlay lineage: bumped by every
+    /// lookup-affecting mutation (publish, unpublish, join, leave, plan
+    /// application). Snapshots are stamped with it, so epoch-tagged cache
+    /// entries from an older state are rejected after a publication.
+    pub(crate) epoch: u64,
 }
 
 impl DirectoryOverlay {
@@ -169,7 +174,17 @@ impl DirectoryOverlay {
             objects: Vec::new(),
             homes: HashMap::new(),
             placements: HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// The overlay's mutation epoch: incremented by every lookup-affecting
+    /// change (publish, unpublish, join, leave, repair-plan application).
+    /// A [`Snapshot`](crate::engine::Snapshot) carries the epoch it was
+    /// captured at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of nodes in the underlying space (alive or not).

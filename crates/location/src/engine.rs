@@ -1,45 +1,73 @@
 //! The concurrent query engine: a worker pool serving batched lookups
-//! over an immutable snapshot, with a shared LRU result cache.
+//! over epoch-published snapshots, with a sharded, epoch-tagged LRU
+//! result cache.
 //!
 //! The engine separates *structure maintenance* (the mutable
-//! [`DirectoryOverlay`]) from *serving*: a [`Snapshot`] freezes the
-//! overlay's fingers into a flat table, worker threads
-//! (`std::thread::scope`; no external dependencies, per the vendored-shim
-//! discipline) split the batch, and every successful lookup is memoised
-//! in an LRU cache keyed by `(origin, object)`. The [`BatchReport`]
-//! carries throughput, p50/p99 latency and hops/stretch statistics
-//! (through the shared [`PathStats`] accounting of `ron-routing`).
+//! [`DirectoryOverlay`]) from *serving* — and, since the epoch
+//! refactor, the two run concurrently. A [`Snapshot`] is an **owned**,
+//! epoch-stamped copy of everything a lookup reads (liveness, homes,
+//! pointer tables, precomputed fingers); it lives in an
+//! [`EpochCell`] and workers clone the current `Arc` per query, so a
+//! repair can build and publish a successor snapshot *while the batch is
+//! in flight*: lookups proceed at full rate through churn and repair,
+//! each answer valid against exactly one published state, never a torn
+//! mixture (property-tested across all four generator families).
+//!
+//! Worker threads (`std::thread::scope`; no external dependencies, per
+//! the vendored-shim discipline) split the batch; every successful
+//! lookup is memoised in an LRU cache keyed by `(origin, object)`,
+//! hash-sharded across [`EngineConfig::cache_shards`] locks so workers
+//! don't funnel through a single mutex, and tagged with the publication
+//! epoch so hits cached against a superseded snapshot are rejected. The
+//! [`BatchReport`] carries throughput, p50/p99 latency and hops/stretch
+//! statistics (through the shared [`PathStats`] accounting of
+//! `ron-routing`).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use ron_core::publish::EpochCell;
 use ron_metric::{BallOracle, Metric, Node, Space};
 use ron_routing::PathStats;
 
 use crate::directory::{DirectoryOverlay, ObjectId};
+use crate::lookup::{locate_view, LookupView};
 use crate::stats::{BatchReport, LatencySummary};
 
-/// An immutable serving view of a [`DirectoryOverlay`]: the per-node,
-/// per-level fingers are precomputed so a lookup is a pure table walk.
+/// An immutable, owned serving view of a [`DirectoryOverlay`]: the
+/// per-node, per-level fingers are precomputed so a lookup is a pure
+/// table walk, and the state a lookup reads (liveness, homes, pointer
+/// tables) is copied out, so the overlay is free to mutate — churn,
+/// repair, publish — while the snapshot serves.
 ///
-/// Capture a fresh snapshot after any churn + repair; the snapshot
-/// borrows the overlay, so the borrow checker enforces that the overlay
-/// cannot be mutated while a snapshot serves.
+/// A snapshot is stamped with the overlay [epoch] it was captured at.
+/// Publish one through an [`EpochCell`] (see
+/// [`DirectoryOverlay::publish_snapshot`]) and readers pick up the
+/// successor on their next load, without ever observing a half-applied
+/// mutation.
+///
+/// [epoch]: DirectoryOverlay::epoch
 #[derive(Clone, Debug)]
-pub struct Snapshot<'a> {
-    overlay: &'a DirectoryOverlay,
+pub struct Snapshot {
+    /// Overlay epoch at capture time.
+    epoch: u64,
+    levels: usize,
     /// `fingers[v * levels + j]`: nearest alive level-`j` member to `v`.
     fingers: Vec<Option<Node>>,
-    levels: usize,
+    alive: Vec<bool>,
+    homes: HashMap<ObjectId, Node>,
+    /// `tables[v][j]`: the level-`j` pointer entries stored at node `v`.
+    tables: Vec<Vec<HashMap<ObjectId, Node>>>,
 }
 
-impl<'a> Snapshot<'a> {
-    /// Freezes the overlay's current fingers.
+impl Snapshot {
+    /// Freezes the overlay's current state: fingers, liveness, homes and
+    /// pointer tables, stamped with the overlay's current epoch.
     #[must_use]
     pub fn capture<M: Metric, I: BallOracle>(
         space: &Space<M, I>,
-        overlay: &'a DirectoryOverlay,
+        overlay: &DirectoryOverlay,
     ) -> Self {
         let n = overlay.len();
         let levels = overlay.levels();
@@ -51,16 +79,19 @@ impl<'a> Snapshot<'a> {
             }
         }
         Snapshot {
-            overlay,
-            fingers,
+            epoch: overlay.epoch(),
             levels,
+            fingers,
+            alive: overlay.alive.clone(),
+            homes: overlay.homes.clone(),
+            tables: overlay.tables.clone(),
         }
     }
 
-    /// The overlay this snapshot was captured from.
+    /// The overlay epoch this snapshot was captured at.
     #[must_use]
-    pub fn overlay(&self) -> &DirectoryOverlay {
-        self.overlay
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Serves one lookup from the frozen finger table.
@@ -74,9 +105,41 @@ impl<'a> Snapshot<'a> {
         origin: Node,
         obj: ObjectId,
     ) -> Result<crate::lookup::LookupOutcome, crate::lookup::LocateError> {
-        self.overlay.locate_with(space, origin, obj, |s, j| {
+        locate_view(self, space, origin, obj, |s, j| {
             self.fingers[s.index() * self.levels + j]
         })
+    }
+}
+
+impl LookupView for Snapshot {
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn is_alive(&self, v: Node) -> bool {
+        self.alive[v.index()]
+    }
+
+    fn home_of(&self, obj: ObjectId) -> Option<Node> {
+        self.homes.get(&obj).copied()
+    }
+
+    fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
+        self.tables[v.index()][level].get(&obj).copied()
+    }
+}
+
+impl DirectoryOverlay {
+    /// Captures a fresh [`Snapshot`] of this overlay and publishes it to
+    /// `cell`, returning the cell's new publication epoch. In-flight
+    /// readers finish on the state they loaded; subsequent loads serve
+    /// the new one.
+    pub fn publish_snapshot<M: Metric, I: BallOracle>(
+        &self,
+        space: &Space<M, I>,
+        cell: &EpochCell<Snapshot>,
+    ) -> u64 {
+        cell.publish(Snapshot::capture(space, self))
     }
 }
 
@@ -90,6 +153,11 @@ struct CachedHit {
 
 /// A fixed-capacity LRU map: `HashMap` index into a slab of
 /// doubly-linked entries. O(1) get/insert, least-recently-used eviction.
+///
+/// Entries are tagged with the publication epoch they were computed
+/// against; a `get` under a different epoch is a miss (the stale entry
+/// stays resident until overwritten or evicted — it can never be served
+/// again, since epochs are monotone).
 #[derive(Debug)]
 struct LruCache {
     capacity: usize,
@@ -103,6 +171,7 @@ struct LruCache {
 struct LruSlot {
     key: (Node, ObjectId),
     value: CachedHit,
+    epoch: u64,
     prev: usize,
     next: usize,
 }
@@ -146,8 +215,11 @@ impl LruCache {
         }
     }
 
-    fn get(&mut self, key: (Node, ObjectId)) -> Option<CachedHit> {
+    fn get(&mut self, key: (Node, ObjectId), epoch: u64) -> Option<CachedHit> {
         let &i = self.map.get(&key)?;
+        if self.slots[i].epoch != epoch {
+            return None; // cached against a superseded publication
+        }
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
@@ -155,12 +227,13 @@ impl LruCache {
         Some(self.slots[i].value)
     }
 
-    fn insert(&mut self, key: (Node, ObjectId), value: CachedHit) {
+    fn insert(&mut self, key: (Node, ObjectId), value: CachedHit, epoch: u64) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
+            self.slots[i].epoch = epoch;
             if self.head != i {
                 self.unlink(i);
                 self.push_front(i);
@@ -171,6 +244,7 @@ impl LruCache {
             self.slots.push(LruSlot {
                 key,
                 value,
+                epoch,
                 prev: NIL,
                 next: NIL,
             });
@@ -182,6 +256,7 @@ impl LruCache {
             self.map.remove(&self.slots[i].key);
             self.slots[i].key = key;
             self.slots[i].value = value;
+            self.slots[i].epoch = epoch;
             i
         };
         self.map.insert(key, i);
@@ -194,13 +269,62 @@ impl LruCache {
     }
 }
 
+/// The shared result cache, hash-sharded over independent locks so the
+/// worker pool doesn't funnel every query through one mutex.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<Mutex<LruCache>>,
+}
+
+impl ShardedCache {
+    /// `capacity` is the total budget, split evenly across `shards`
+    /// locks (at least one; capacity 0 disables caching entirely).
+    fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Picks the shard for a key: a splitmix64-style finalizer over the
+    /// origin/object pair, so consecutive node indices spread out.
+    fn shard(&self, key: (Node, ObjectId)) -> &Mutex<LruCache> {
+        let mut h = (key.0.index() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.1 .0);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn get(&self, key: (Node, ObjectId), epoch: u64) -> Option<CachedHit> {
+        self.shard(key).lock().expect("cache lock").get(key, epoch)
+    }
+
+    fn insert(&self, key: (Node, ObjectId), value: CachedHit, epoch: u64) {
+        self.shard(key)
+            .lock()
+            .expect("cache lock")
+            .insert(key, value, epoch);
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Worker threads serving the batch.
     pub workers: usize,
-    /// Capacity of the shared LRU result cache (0 disables caching).
+    /// Total capacity of the shared LRU result cache (0 disables
+    /// caching).
     pub cache_capacity: usize,
+    /// Number of independent cache shards (clamped to at least 1). One
+    /// shard reproduces the old single-mutex behaviour; more shards cut
+    /// lock contention on cache-hot workloads.
+    pub cache_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -208,47 +332,63 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 4,
             cache_capacity: 4096,
+            cache_shards: 8,
         }
     }
 }
 
 /// The concurrent query engine: serves batches of `(origin, object)`
-/// lookups over a [`Snapshot`] with a worker pool and a shared LRU cache.
+/// lookups from the currently published [`Snapshot`] with a worker pool
+/// and a sharded, epoch-tagged LRU cache.
+///
+/// The engine holds the [`EpochCell`], not a snapshot: each query loads
+/// the current publication, so a repair that publishes mid-batch is
+/// picked up immediately — earlier queries in the batch answered from
+/// the old state, later ones from the new, each complete.
 ///
 /// # Example
 ///
 /// ```
-/// use ron_location::{DirectoryOverlay, EngineConfig, ObjectId, QueryEngine, Snapshot};
+/// use ron_location::{
+///     DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine, Snapshot,
+/// };
 /// use ron_metric::{gen, Node, Space};
 ///
 /// let space = Space::new(gen::uniform_cube(64, 2, 7));
 /// let mut overlay = DirectoryOverlay::build(&space);
 /// overlay.publish(&space, ObjectId(0), Node::new(5));
-/// let snapshot = Snapshot::capture(&space, &overlay);
-/// let engine = QueryEngine::new(&space, &snapshot);
+/// let directory = EpochCell::new(Snapshot::capture(&space, &overlay));
+/// let engine = QueryEngine::new(&space, &directory);
 /// let queries = vec![(Node::new(60), ObjectId(0)); 128];
 /// let report = engine.serve(&queries, &EngineConfig::default());
 /// assert_eq!(report.successes, 128);
 /// assert!(report.cache_hits > 0);
+///
+/// // The overlay is free to mutate while the engine serves; publishing
+/// // makes the new state visible to subsequent queries atomically.
+/// overlay.publish(&space, ObjectId(1), Node::new(9));
+/// overlay.publish_snapshot(&space, &directory);
+/// let report = engine.serve(&[(Node::new(60), ObjectId(1))], &EngineConfig::default());
+/// assert_eq!(report.successes, 1);
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine<'a, M> {
     space: &'a Space<M>,
-    snapshot: &'a Snapshot<'a>,
+    directory: &'a EpochCell<Snapshot>,
 }
 
 impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
-    /// Creates an engine over a frozen snapshot.
+    /// Creates an engine over a publication cell.
     #[must_use]
-    pub fn new(space: &'a Space<M>, snapshot: &'a Snapshot<'a>) -> Self {
-        QueryEngine { space, snapshot }
+    pub fn new(space: &'a Space<M>, directory: &'a EpochCell<Snapshot>) -> Self {
+        QueryEngine { space, directory }
     }
 
     /// Serves the batch with `config.workers` threads, returning
     /// throughput, latency percentiles and path statistics.
     pub fn serve(&self, queries: &[(Node, ObjectId)], config: &EngineConfig) -> BatchReport {
         let workers = config.workers.max(1).min(queries.len().max(1));
-        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
         let chunk = queries.len().div_ceil(workers);
         let start = Instant::now();
         let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
@@ -279,30 +419,28 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
         report
     }
 
-    fn serve_chunk(&self, queries: &[(Node, ObjectId)], cache: &Mutex<LruCache>) -> WorkerResult {
+    fn serve_chunk(&self, queries: &[(Node, ObjectId)], cache: &ShardedCache) -> WorkerResult {
         let mut out = WorkerResult::default();
         for &(origin, obj) in queries {
             let t0 = Instant::now();
-            let hit = {
-                let mut guard = cache.lock().expect("cache lock");
-                guard.get((origin, obj))
-            };
-            let result = match hit {
+            // Load the current publication per query: a mid-batch publish
+            // is picked up immediately, and the epoch tag keeps cache
+            // entries from a superseded snapshot from being served.
+            let snap = self.directory.load();
+            let epoch = snap.epoch();
+            let result = match cache.get((origin, obj), epoch) {
                 Some(cached) => {
                     out.cache_hits += 1;
                     Some(cached)
                 }
-                None => match self.snapshot.lookup(self.space, origin, obj) {
+                None => match snap.lookup(self.space, origin, obj) {
                     Ok(outcome) => {
                         let cached = CachedHit {
                             home: outcome.home,
                             length: outcome.length,
                             hops: outcome.hops(),
                         };
-                        cache
-                            .lock()
-                            .expect("cache lock")
-                            .insert((origin, obj), cached);
+                        cache.insert((origin, obj), cached, epoch);
                         Some(cached)
                     }
                     Err(_) => None,
@@ -354,33 +492,88 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut lru = LruCache::new(2);
-        lru.insert(key(1), hit(1));
-        lru.insert(key(2), hit(2));
-        assert_eq!(lru.get(key(1)), Some(hit(1))); // 1 is now MRU
-        lru.insert(key(3), hit(3)); // evicts 2
-        assert_eq!(lru.get(key(2)), None);
-        assert_eq!(lru.get(key(1)), Some(hit(1)));
-        assert_eq!(lru.get(key(3)), Some(hit(3)));
+        lru.insert(key(1), hit(1), 0);
+        lru.insert(key(2), hit(2), 0);
+        assert_eq!(lru.get(key(1), 0), Some(hit(1))); // 1 is now MRU
+        lru.insert(key(3), hit(3), 0); // evicts 2
+        assert_eq!(lru.get(key(2), 0), None);
+        assert_eq!(lru.get(key(1), 0), Some(hit(1)));
+        assert_eq!(lru.get(key(3), 0), Some(hit(3)));
         assert_eq!(lru.len(), 2);
     }
 
     #[test]
     fn lru_update_moves_to_front() {
         let mut lru = LruCache::new(2);
-        lru.insert(key(1), hit(1));
-        lru.insert(key(2), hit(2));
-        lru.insert(key(1), hit(9)); // update, 1 becomes MRU
-        lru.insert(key(3), hit(3)); // evicts 2
-        assert_eq!(lru.get(key(1)), Some(hit(9)));
-        assert_eq!(lru.get(key(2)), None);
+        lru.insert(key(1), hit(1), 0);
+        lru.insert(key(2), hit(2), 0);
+        lru.insert(key(1), hit(9), 0); // update, 1 becomes MRU
+        lru.insert(key(3), hit(3), 0); // evicts 2
+        assert_eq!(lru.get(key(1), 0), Some(hit(9)));
+        assert_eq!(lru.get(key(2), 0), None);
+    }
+
+    #[test]
+    fn lru_accounts_hits_and_misses_exactly() {
+        let mut lru = LruCache::new(4);
+        let (mut hits, mut misses) = (0usize, 0usize);
+        let mut probe = |lru: &mut LruCache, k: u64| match lru.get(key(k), 0) {
+            Some(_) => hits += 1,
+            None => misses += 1,
+        };
+        probe(&mut lru, 1); // cold miss
+        lru.insert(key(1), hit(1), 0);
+        probe(&mut lru, 1); // hit
+        probe(&mut lru, 1); // hit again — gets don't consume the entry
+        probe(&mut lru, 2); // miss: never inserted
+        assert_eq!((hits, misses), (2, 2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn lru_rejects_entries_from_a_superseded_epoch() {
+        let mut lru = LruCache::new(4);
+        lru.insert(key(1), hit(1), 0);
+        assert_eq!(lru.get(key(1), 0), Some(hit(1)));
+        // After a publish the same key under the new epoch is a miss...
+        assert_eq!(lru.get(key(1), 1), None);
+        // ...and re-inserting retags it, making the *old* epoch stale.
+        lru.insert(key(1), hit(2), 1);
+        assert_eq!(lru.get(key(1), 1), Some(hit(2)));
+        assert_eq!(lru.get(key(1), 0), None);
+        assert_eq!(lru.len(), 1, "retagging must not duplicate the entry");
     }
 
     #[test]
     fn zero_capacity_cache_is_inert() {
         let mut lru = LruCache::new(0);
-        lru.insert(key(1), hit(1));
-        assert_eq!(lru.get(key(1)), None);
+        lru.insert(key(1), hit(1), 0);
+        assert_eq!(lru.get(key(1), 0), None);
         assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_across_shards() {
+        let cache = ShardedCache::new(64, 8);
+        for i in 0..32u64 {
+            cache.insert(key(i), hit(i as usize), 0);
+        }
+        for i in 0..32u64 {
+            assert_eq!(cache.get(key(i), 0), Some(hit(i as usize)), "key {i}");
+            assert_eq!(cache.get(key(i), 1), None, "epoch tag applies per shard");
+        }
+    }
+
+    #[test]
+    fn sharded_cache_clamps_degenerate_configs() {
+        // Zero shards clamps to one; zero capacity stays inert.
+        let cache = ShardedCache::new(16, 0);
+        assert_eq!(cache.shards.len(), 1);
+        cache.insert(key(1), hit(1), 0);
+        assert_eq!(cache.get(key(1), 0), Some(hit(1)));
+        let inert = ShardedCache::new(0, 4);
+        inert.insert(key(1), hit(1), 0);
+        assert_eq!(inert.get(key(1), 0), None);
     }
 
     #[test]
@@ -391,6 +584,7 @@ mod tests {
             ov.publish(&space, ObjectId(i), Node::new((i as usize * 9) % 64));
         }
         let snap = Snapshot::capture(&space, &ov);
+        assert_eq!(snap.epoch(), ov.epoch());
         for s in space.nodes() {
             for &obj in ov.objects() {
                 let a = ov.lookup(&space, s, obj).unwrap();
@@ -401,14 +595,29 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_isolated_from_later_overlay_mutation() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(5));
+        let snap = Snapshot::capture(&space, &ov);
+        // Damage the overlay after the capture: the snapshot still serves
+        // the state it froze.
+        ov.leave(Node::new(5));
+        assert!(ov.lookup(&space, Node::new(20), ObjectId(0)).is_err());
+        let out = snap.lookup(&space, Node::new(20), ObjectId(0)).unwrap();
+        assert_eq!(out.home, Node::new(5));
+        assert!(ov.epoch() > snap.epoch(), "mutation bumps the epoch");
+    }
+
+    #[test]
     fn engine_serves_batches_with_full_success() {
         let space = Space::new(LineMetric::uniform(64).unwrap());
         let mut ov = DirectoryOverlay::build(&space);
         for i in 0..8u64 {
             ov.publish(&space, ObjectId(i), Node::new((i as usize * 7) % 64));
         }
-        let snap = Snapshot::capture(&space, &ov);
-        let engine = QueryEngine::new(&space, &snap);
+        let cell = EpochCell::new(Snapshot::capture(&space, &ov));
+        let engine = QueryEngine::new(&space, &cell);
         let queries: Vec<(Node, ObjectId)> = (0..512)
             .map(|i| (Node::new((i * 13) % 64), ObjectId((i % 8) as u64)))
             .collect();
@@ -417,6 +626,7 @@ mod tests {
             &EngineConfig {
                 workers: 4,
                 cache_capacity: 64,
+                cache_shards: 4,
             },
         );
         assert_eq!(report.served, 512);
@@ -437,11 +647,76 @@ mod tests {
         let mut ov = DirectoryOverlay::build(&space);
         ov.publish(&space, ObjectId(0), Node::new(5));
         ov.leave(Node::new(5)); // kill the home, no repair
-        let snap = Snapshot::capture(&space, &ov);
-        let engine = QueryEngine::new(&space, &snap);
+        let cell = EpochCell::new(Snapshot::capture(&space, &ov));
+        let engine = QueryEngine::new(&space, &cell);
         let queries = vec![(Node::new(20), ObjectId(0)); 16];
         let report = engine.serve(&queries, &EngineConfig::default());
         assert_eq!(report.failures, 16);
         assert_eq!(report.successes, 0);
+    }
+
+    #[test]
+    fn publish_invalidates_cached_hits() {
+        let space = Space::new(LineMetric::uniform(32).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        ov.publish(&space, ObjectId(0), Node::new(5));
+        let cell = EpochCell::new(Snapshot::capture(&space, &ov));
+        let engine = QueryEngine::new(&space, &cell);
+        let queries = vec![(Node::new(20), ObjectId(0)); 64];
+        let warm = engine.serve(&queries, &EngineConfig::default());
+        assert_eq!(warm.successes, 64);
+
+        // Move the object: unpublish + republish at a new home, then
+        // publish the successor snapshot.
+        ov.unpublish(ObjectId(0));
+        ov.publish(&space, ObjectId(0), Node::new(29));
+        ov.publish_snapshot(&space, &cell);
+
+        // A fresh batch must resolve to the *new* home even though the
+        // batch-local cache starts cold; and serving the same batch with
+        // a mid-serve publish must never mix epochs per answer (each
+        // answer comes from exactly one published snapshot).
+        let report = engine.serve(&queries, &EngineConfig::default());
+        assert_eq!(report.successes, 64);
+        let out = cell
+            .load()
+            .lookup(&space, Node::new(20), ObjectId(0))
+            .unwrap();
+        assert_eq!(out.home, Node::new(29));
+    }
+
+    #[test]
+    fn repair_published_serves_through_the_swap() {
+        let space = Space::new(LineMetric::uniform(64).unwrap());
+        let mut ov = DirectoryOverlay::build(&space);
+        for i in 0..6u64 {
+            ov.publish(&space, ObjectId(i), Node::new((i as usize * 7) % 64));
+        }
+        let cell = EpochCell::new(Snapshot::capture(&space, &ov));
+        let engine = QueryEngine::new(&space, &cell);
+        let pre = cell.load();
+
+        // Damage + repair entirely behind the cell: readers of `pre`
+        // are never disturbed.
+        let top = ov.levels() - 1;
+        let hub = space.nodes().find(|&v| ov.is_net_member(top, v)).unwrap();
+        ov.leave(hub);
+        let report = ov.repair_published(&space, &cell);
+        assert!(report.promotions + report.pointer_writes > 0);
+        assert_eq!(cell.epoch(), 1);
+        assert!(cell.load().epoch() > pre.epoch());
+
+        // Post-repair serving is 100% from alive origins.
+        let queries: Vec<(Node, ObjectId)> = (0..128)
+            .map(|i| {
+                let mut origin = Node::new((i * 13) % 64);
+                if origin == hub {
+                    origin = Node::new((origin.index() + 1) % 64);
+                }
+                (origin, ObjectId((i % 6) as u64))
+            })
+            .collect();
+        let served = engine.serve(&queries, &EngineConfig::default());
+        assert_eq!(served.successes, queries.len());
     }
 }

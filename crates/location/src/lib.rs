@@ -19,8 +19,11 @@
 //!   replaying random and targeted (hub-first) removal schedules and
 //!   reporting success/stretch degradation and repair cost — the DRFE-R
 //!   evaluation shape;
-//! * **serving** ([`engine`]): a `std::thread` worker pool over an
-//!   immutable [`Snapshot`] with a shared LRU result cache, reporting
+//! * **serving** ([`engine`]): a `std::thread` worker pool over owned,
+//!   epoch-stamped [`Snapshot`]s published through an [`EpochCell`] —
+//!   repairs build successor state off to the side and swap it in
+//!   atomically, so lookups proceed at full rate *through* churn and
+//!   repair — with a sharded, epoch-tagged LRU result cache, reporting
 //!   throughput, p50/p99 latency and hops/stretch (through
 //!   [`ron_routing::PathStats`]).
 //!
@@ -61,4 +64,5 @@ pub use directory::{DirectoryOverlay, ObjectId, DEFAULT_RING_FACTOR};
 pub use engine::{EngineConfig, QueryEngine, Snapshot};
 pub use lookup::{LocateError, LookupOutcome};
 pub use partition::DirectoryNodeState;
+pub use ron_core::publish::{EpochCell, Published};
 pub use stats::{BatchReport, LatencySummary};

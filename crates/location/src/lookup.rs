@@ -100,6 +100,116 @@ impl fmt::Display for LocateError {
 
 impl Error for LocateError {}
 
+/// The read surface a lookup walk needs: liveness, the object registry
+/// and the per-node pointer tables. Implemented by the live
+/// [`DirectoryOverlay`] and by the owned, epoch-stamped
+/// [`Snapshot`](crate::engine::Snapshot) — both answer the same walk, so
+/// a published snapshot serves exactly what the overlay it was captured
+/// from would have served.
+pub(crate) trait LookupView {
+    /// Number of ladder levels.
+    fn levels(&self) -> usize;
+
+    /// Whether `v` is alive in this view.
+    fn is_alive(&self, v: Node) -> bool;
+
+    /// The home of `obj`, if published in this view.
+    fn home_of(&self, obj: ObjectId) -> Option<Node>;
+
+    /// The level-`level` pointer entry for `obj` at node `v`.
+    fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node>;
+}
+
+impl LookupView for DirectoryOverlay {
+    fn levels(&self) -> usize {
+        DirectoryOverlay::levels(self)
+    }
+
+    fn is_alive(&self, v: Node) -> bool {
+        DirectoryOverlay::is_alive(self, v)
+    }
+
+    fn home_of(&self, obj: ObjectId) -> Option<Node> {
+        DirectoryOverlay::home_of(self, obj)
+    }
+
+    fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
+        DirectoryOverlay::entry(self, v, level, obj)
+    }
+}
+
+/// The shared lookup walk over any [`LookupView`] and finger provider:
+/// climb the origin's fingers until a level holds an entry, then descend
+/// the stored chain to the home.
+pub(crate) fn locate_view<V: LookupView, M: Metric, I>(
+    view: &V,
+    space: &Space<M, I>,
+    origin: Node,
+    obj: ObjectId,
+    fingers: impl Fn(Node, usize) -> Option<Node>,
+) -> Result<LookupOutcome, LocateError> {
+    if !view.is_alive(origin) {
+        return Err(LocateError::OriginDown { origin });
+    }
+    if view.home_of(obj).is_none() {
+        return Err(LocateError::UnknownObject { obj });
+    }
+    let mut path = vec![origin];
+    let mut cur = origin;
+    let mut length = 0.0f64;
+    let mut hop = |path: &mut Vec<Node>, cur: &mut Node, to: Node| {
+        if *cur != to {
+            length += space.dist(*cur, to);
+            path.push(to);
+            *cur = to;
+        }
+    };
+    for j in 0..view.levels() {
+        let Some(f) = fingers(origin, j) else {
+            continue; // level emptied by churn; keep climbing
+        };
+        hop(&mut path, &mut cur, f);
+        let Some(first) = view.entry(cur, j, obj) else {
+            continue;
+        };
+        // Hit at level j: descend the home's zoom chain.
+        let mut level = j;
+        let mut next = first;
+        loop {
+            if !view.is_alive(next) {
+                return Err(LocateError::BrokenChain {
+                    obj,
+                    at: next,
+                    level,
+                });
+            }
+            hop(&mut path, &mut cur, next);
+            // A node storing the object recognises arrival — entries
+            // may legitimately shortcut straight to the home (e.g.
+            // when a level below was emptied by churn at publish
+            // time).
+            if view.home_of(obj) == Some(cur) || level == 0 {
+                break;
+            }
+            level -= 1;
+            next = view
+                .entry(cur, level, obj)
+                .ok_or(LocateError::BrokenChain {
+                    obj,
+                    at: cur,
+                    level,
+                })?;
+        }
+        return Ok(LookupOutcome {
+            home: cur,
+            path,
+            length,
+            found_level: j,
+        });
+    }
+    Err(LocateError::NotFound { obj, origin })
+}
+
 impl DirectoryOverlay {
     /// Locates `obj` from `origin`, returning the home and the traversed
     /// overlay path.
@@ -128,66 +238,7 @@ impl DirectoryOverlay {
         obj: ObjectId,
         fingers: impl Fn(Node, usize) -> Option<Node>,
     ) -> Result<LookupOutcome, LocateError> {
-        if !self.is_alive(origin) {
-            return Err(LocateError::OriginDown { origin });
-        }
-        if self.home_of(obj).is_none() {
-            return Err(LocateError::UnknownObject { obj });
-        }
-        let mut path = vec![origin];
-        let mut cur = origin;
-        let mut length = 0.0f64;
-        let mut hop = |path: &mut Vec<Node>, cur: &mut Node, to: Node| {
-            if *cur != to {
-                length += space.dist(*cur, to);
-                path.push(to);
-                *cur = to;
-            }
-        };
-        for j in 0..self.levels() {
-            let Some(f) = fingers(origin, j) else {
-                continue; // level emptied by churn; keep climbing
-            };
-            hop(&mut path, &mut cur, f);
-            let Some(first) = self.entry(cur, j, obj) else {
-                continue;
-            };
-            // Hit at level j: descend the home's zoom chain.
-            let mut level = j;
-            let mut next = first;
-            loop {
-                if !self.is_alive(next) {
-                    return Err(LocateError::BrokenChain {
-                        obj,
-                        at: next,
-                        level,
-                    });
-                }
-                hop(&mut path, &mut cur, next);
-                // A node storing the object recognises arrival — entries
-                // may legitimately shortcut straight to the home (e.g.
-                // when a level below was emptied by churn at publish
-                // time).
-                if self.home_of(obj) == Some(cur) || level == 0 {
-                    break;
-                }
-                level -= 1;
-                next = self
-                    .entry(cur, level, obj)
-                    .ok_or(LocateError::BrokenChain {
-                        obj,
-                        at: cur,
-                        level,
-                    })?;
-            }
-            return Ok(LookupOutcome {
-                home: cur,
-                path,
-                length,
-                found_level: j,
-            });
-        }
-        Err(LocateError::NotFound { obj, origin })
+        locate_view(self, space, origin, obj, fingers)
     }
 }
 

@@ -77,6 +77,7 @@ impl DirectoryOverlay {
     fn install(&mut self, obj: ObjectId, home: Node, plan: (Vec<Node>, Vec<Vec<Node>>)) -> usize {
         assert!(self.is_alive(home), "cannot publish {obj} on dead {home}");
         assert!(!self.homes.contains_key(&obj), "{obj} is already published");
+        self.epoch += 1;
         let (chain, rings) = plan;
         let mut placement = Placement {
             chain: chain.clone(),
@@ -105,6 +106,7 @@ impl DirectoryOverlay {
     /// Panics if `obj` is not published.
     pub fn unpublish(&mut self, obj: ObjectId) -> usize {
         assert!(self.homes.contains_key(&obj), "{obj} is not published");
+        self.epoch += 1;
         let placement = self.placements.remove(&obj).unwrap_or_default();
         let mut deletes = 0usize;
         for (level, w) in placement.entries {

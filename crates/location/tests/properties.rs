@@ -3,7 +3,10 @@
 //! recovery after arbitrary join/leave sequences.
 
 use proptest::prelude::*;
-use ron_location::{ChurnConfig, ChurnSchedule, DirectoryOverlay, ObjectId};
+use ron_location::{
+    ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine,
+    Snapshot,
+};
 use ron_metric::{gen, LineMetric, Metric, Node, Space};
 
 /// Static worst-case stretch bound of the factor-2 overlay (documented in
@@ -158,6 +161,162 @@ proptest! {
         prop_assert_eq!(report.final_success_rate(), 1.0);
         check_all_pairs(&space, &overlay);
     }
+}
+
+/// Drives one serve-during-repair race over `space` and checks the
+/// epoch-publication safety property: reader threads load the published
+/// snapshot and record `(epoch, origin, obj, answer)` while the main
+/// thread publishes a leave wave (epoch 1) and then a repair built off
+/// to the side (epoch 2). Afterwards every recorded answer is recomputed
+/// on the *retained* snapshot of its epoch — each answer must be exactly
+/// the answer of one published plan state, pre-plan-valid or
+/// post-plan-valid, never a torn mixture — and every reader must observe
+/// epochs monotonically.
+fn assert_never_torn<M: Metric + Sync>(space: &Space<M>, objects: usize, victims: usize) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let n = space.len();
+    let mut overlay = DirectoryOverlay::build(space);
+    publish_some(space, &mut overlay, objects, 13);
+    let cell = EpochCell::new(Snapshot::capture(space, &overlay));
+    let mut retained = vec![cell.load()];
+    let stop = AtomicBool::new(false);
+
+    let records = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let (cell, stop) = (&cell, &stop);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut last_epoch = 0u64;
+                    let mut q = r;
+                    while !stop.load(Ordering::Acquire) {
+                        let snap = cell.load();
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "published epochs must be monotone per reader"
+                        );
+                        last_epoch = snap.epoch();
+                        let origin = Node::new((q * 53 + 7) % n);
+                        let obj = ObjectId((q % objects) as u64);
+                        out.push((snap.epoch(), origin, obj, snap.lookup(space, origin, obj)));
+                        q += 2;
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        // The writer script: the leave wave lands as one published epoch,
+        // the repair is built off to the side and swapped in as the next.
+        for k in 0..victims {
+            let v = Node::new((k * 11 + 3) % n);
+            if overlay.is_alive(v) && overlay.alive_count() > 2 {
+                overlay.leave(v);
+            }
+        }
+        overlay.publish_snapshot(space, &cell);
+        retained.push(cell.load());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        overlay.repair_published(space, &cell);
+        retained.push(cell.load());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        stop.store(true, Ordering::Release);
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    assert_eq!(
+        retained
+            .iter()
+            .map(ron_location::Published::epoch)
+            .collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert!(!records.is_empty(), "the race must observe some lookups");
+    for (epoch, origin, obj, answer) in &records {
+        let expected = retained[*epoch as usize].lookup(space, *origin, *obj);
+        assert_eq!(
+            answer, &expected,
+            "epoch {epoch}: the answer from {origin} for {obj} must be exactly the \
+             published plan state's answer — never a torn mixture"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Mid-repair answers are never torn, on uniform cubes.
+    #[test]
+    fn never_torn_on_cubes(n in 32usize..64, seed in 0u64..100) {
+        assert_never_torn(&Space::new(gen::uniform_cube(n, 2, seed)), 6, n / 8);
+    }
+
+    /// ... on perturbed grids.
+    #[test]
+    fn never_torn_on_grids(side in 5usize..7, jitter in 0.0f64..0.4, seed in 0u64..100) {
+        let space = Space::new(gen::perturbed_grid(side, 2, jitter, seed));
+        let victims = space.len() / 8;
+        assert_never_torn(&space, 5, victims);
+    }
+
+    /// ... on clustered Internet-latency-like metrics.
+    #[test]
+    fn never_torn_on_clusters(n in 32usize..56, clusters in 2usize..6, seed in 0u64..100) {
+        assert_never_torn(&Space::new(gen::clustered(n, 2, clusters, 0.01, seed)), 5, n / 8);
+    }
+
+    /// ... and on the exponential line (deep ladders: the most levels a
+    /// torn read could straddle).
+    #[test]
+    fn never_torn_on_exponential_line(n in 10usize..20) {
+        assert_never_torn(&Space::new(gen::exponential_line(n)), 4, n / 6);
+    }
+}
+
+/// A `serve()` batch racing a publish observes only complete snapshots:
+/// both the pre-churn and post-repair directories serve every query in
+/// the batch, so a mid-batch swap cannot produce a single failure — and
+/// the epoch tags keep stale cache entries from leaking across the swap.
+#[test]
+fn engine_batch_racing_a_publish_never_fails() {
+    let space = Space::new(gen::uniform_cube(96, 2, 23));
+    let mut overlay = DirectoryOverlay::build(&space);
+    publish_some(&space, &mut overlay, 8, 13);
+    let victims: Vec<Node> = (0..6).map(|k| Node::new((k * 17 + 3) % 96)).collect();
+    let queries: Vec<(Node, ObjectId)> = (0..20_000usize)
+        .map(|q| {
+            let mut origin = Node::new((q * 53 + 7) % 96);
+            while victims.contains(&origin) {
+                origin = Node::new((origin.index() + 1) % 96);
+            }
+            (origin, ObjectId((q % 8) as u64))
+        })
+        .collect();
+    let directory = EpochCell::new(Snapshot::capture(&space, &overlay));
+    let engine = QueryEngine::new(&space, &directory);
+    let config = EngineConfig {
+        workers: 4,
+        cache_capacity: 512,
+        cache_shards: 4,
+    };
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| engine.serve(&queries, &config));
+        for &v in &victims {
+            overlay.leave(v);
+        }
+        overlay.repair_published(&space, &directory);
+        serve.join().expect("serve thread panicked")
+    });
+    assert_eq!(report.served, queries.len());
+    assert_eq!(
+        report.successes, report.served,
+        "a mid-batch epoch swap must not fail a query"
+    );
+    assert_eq!(directory.epoch(), 1);
 }
 
 /// Non-proptest: the line metric exercises exact distance ties.

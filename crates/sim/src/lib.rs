@@ -30,8 +30,12 @@
 //! * [`report`]: a [`SimReport`] with message counts, hop statistics,
 //!   simulated-latency percentiles, the **per-node message-load
 //!   histogram** — the quantity the §5 STRUCTURES uniform-load
-//!   discussion is about, measured rather than asserted — and per-phase
-//!   success/load breakdowns over marked phase boundaries.
+//!   discussion is about, measured rather than asserted — per-phase
+//!   success/load breakdowns over marked phase boundaries, and a
+//!   per-time-bucket availability timeline
+//!   ([`SimReport::availability_timeline`]) measuring lookup success and
+//!   p99 latency *through* churn waves and repair epochs (the
+//!   serve-during-repair number).
 //!
 //! For zero-latency, failure-free configurations every driver is
 //! property-tested to reproduce its in-process twin exactly (answers,
@@ -73,7 +77,8 @@ pub use churn::{ChurnEvent, ChurnSchedule};
 pub use engine::{Ctx, FailKind, Resolution, SimConfig, SimNode, Simulator};
 pub use latency::{ConstantLatency, LatencyModel, LognormalLatency, MetricLatency};
 pub use report::{
-    render_rate, MessageCounts, Percentiles, PhaseMark, PhaseSummary, QueryRecord, SimReport,
+    render_rate, AvailabilityBucket, MessageCounts, Percentiles, PhaseMark, PhaseSummary,
+    QueryRecord, SimReport,
 };
 
 use ron_metric::Node;

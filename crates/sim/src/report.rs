@@ -134,6 +134,37 @@ impl PhaseSummary {
     }
 }
 
+/// One window of the availability timeline: the queries injected during
+/// `[start, end)` (the last bucket is closed at the run's end) and how
+/// they fared, whenever they resolved.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvailabilityBucket {
+    /// Window start (simulated time).
+    pub start: f64,
+    /// Window end (simulated time).
+    pub end: f64,
+    /// Queries injected during the window.
+    pub injected: usize,
+    /// Of those, queries that resolved as delivered.
+    pub completed: usize,
+    /// p99 of the simulated completion latency of this window's
+    /// delivered queries (0 when none completed).
+    pub p99_latency: f64,
+}
+
+impl AvailabilityBucket {
+    /// Fraction of the window's queries that completed (`None` when the
+    /// window injected none).
+    #[must_use]
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.injected == 0 {
+            None
+        } else {
+            Some(self.completed as f64 / self.injected as f64)
+        }
+    }
+}
+
 /// The outcome of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -256,6 +287,66 @@ impl SimReport {
                 render_rate(phase.success_rate()),
                 phase.load.p99,
                 phase.load.max,
+            ));
+        }
+        out
+    }
+
+    /// The per-time-bucket availability timeline: queries bucketed by
+    /// injection time over `[0, end_time]` into `buckets` equal windows
+    /// (at least one; the last bucket is closed so the final injection
+    /// counts). Every query lands in exactly one bucket, so the injected
+    /// and completed sums equal the run totals.
+    ///
+    /// This is the serve-during-repair measurement: with epoch
+    /// publication the driver keeps injecting lookups through the
+    /// coordinator's repair rounds, and the timeline shows whether (and
+    /// for how long) success dipped while the epochs applied.
+    #[must_use]
+    pub fn availability_timeline(&self, buckets: usize) -> Vec<AvailabilityBucket> {
+        let buckets = buckets.max(1);
+        let span = if self.end_time > 0.0 {
+            self.end_time
+        } else {
+            1.0
+        };
+        let width = span / buckets as f64;
+        let mut injected = vec![0usize; buckets];
+        let mut completed = vec![0usize; buckets];
+        let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); buckets];
+        for r in &self.records {
+            let k = ((r.injected_at / width) as usize).min(buckets - 1);
+            injected[k] += 1;
+            if matches!(r.resolution, Resolution::Delivered { .. }) {
+                completed[k] += 1;
+                latencies[k].push(r.resolved_at - r.injected_at);
+            }
+        }
+        (0..buckets)
+            .map(|k| AvailabilityBucket {
+                start: k as f64 * width,
+                end: (k + 1) as f64 * width,
+                injected: injected[k],
+                completed: completed[k],
+                p99_latency: Percentiles::of(std::mem::take(&mut latencies[k])).p99,
+            })
+            .collect()
+    }
+
+    /// Renders [`availability_timeline`](SimReport::availability_timeline)
+    /// as an aligned text block, one line per bucket.
+    #[must_use]
+    pub fn render_availability(&self, buckets: usize) -> String {
+        let mut out = String::new();
+        for b in self.availability_timeline(buckets) {
+            out.push_str(&format!(
+                "avail [{:>9.2}, {:>9.2})  {:>6} injected, {:>6} completed ({:>6}), p99 {:.3}\n",
+                b.start,
+                b.end,
+                b.injected,
+                b.completed,
+                render_rate(b.success_rate()),
+                b.p99_latency,
             ));
         }
         out
@@ -401,6 +492,60 @@ mod tests {
         assert!(text.contains("smoke"));
         assert!(text.contains("load/node"));
         assert!(text.contains("trace"));
+    }
+
+    #[test]
+    fn availability_timeline_partitions_the_run() {
+        let mut r = report_with_loads(vec![0, 0]);
+        r.end_time = 10.0;
+        let mk = |t: f64, ok: bool| QueryRecord {
+            origin: Node::new(0),
+            injected_at: t,
+            resolved_at: t + 0.5,
+            resolution: if ok {
+                Resolution::Delivered {
+                    at: Node::new(1),
+                    detail: 0,
+                }
+            } else {
+                Resolution::Failed(FailKind::TimedOut)
+            },
+            hops: 1,
+        };
+        // 2.5 lands in bucket 0 of 4 ([0, 2.5) is half-open, [2.5, 5)
+        // takes it); 10.0 (the last injection) lands in the final,
+        // closed bucket.
+        r.records = vec![mk(0.0, true), mk(2.5, false), mk(7.0, true), mk(10.0, true)];
+        r.queries = 4;
+        r.completed = 3;
+        let timeline = r.availability_timeline(4);
+        assert_eq!(timeline.len(), 4);
+        assert_eq!(
+            timeline.iter().map(|b| b.injected).sum::<usize>(),
+            r.queries,
+            "every query lands in exactly one bucket"
+        );
+        assert_eq!(timeline.iter().map(|b| b.completed).sum::<usize>(), 3);
+        assert_eq!(timeline[0].injected, 1);
+        assert_eq!(timeline[1].injected, 1);
+        assert_eq!(timeline[1].completed, 0);
+        assert_eq!(timeline[1].success_rate(), Some(0.0));
+        assert_eq!(timeline[3].injected, 1, "end-of-run injection counts");
+        assert_eq!(timeline[0].success_rate(), Some(1.0));
+        assert!((timeline[0].p99_latency - 0.5).abs() < 1e-12);
+        assert_eq!(timeline[1].p99_latency, 0.0, "no completions, no p99");
+        // Degenerate shapes: zero buckets clamps to one; an empty run
+        // renders a single empty window.
+        assert_eq!(r.availability_timeline(0).len(), 1);
+        let empty = report_with_loads(vec![0]);
+        let t = empty.availability_timeline(3);
+        assert!(t
+            .iter()
+            .all(|b| b.injected == 0 && b.success_rate().is_none()));
+        let text = r.render_availability(4);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("0.0%"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
     }
 
     #[test]

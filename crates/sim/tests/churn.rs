@@ -399,8 +399,8 @@ fn overlapping_epochs_abandon_the_older_one() {
 }
 
 /// One full churn lifecycle under WAN jitter and drops; returns the
-/// trace fingerprint.
-fn churn_fingerprint_run(seed: u64) -> u64 {
+/// full report (trace fingerprint plus availability timeline).
+fn churn_fingerprint_run(seed: u64) -> ron_sim::SimReport {
     let space = Space::new(gen::uniform_cube(64, 2, 17));
     let mut overlay = DirectoryOverlay::build(&space);
     let items: Vec<(ObjectId, Node)> = (0..8)
@@ -439,19 +439,39 @@ fn churn_fingerprint_run(seed: u64) -> u64 {
         let obj = ObjectId((q % items.len()) as u64);
         sim.inject(q as f64 * 0.5, origin, DirectoryMsg::Lookup { obj });
     }
-    sim.run().trace_fingerprint
+    sim.run()
 }
 
 /// Acceptance: churn, repair rounds, phase marks, jitter and drops —
-/// the trace stays byte-identical across reruns and thread counts.
+/// the trace stays byte-identical across reruns and thread counts, and
+/// so does the derived availability timeline (the serve-during-repair
+/// figure must reproduce bucket for bucket).
 #[test]
 fn churn_trace_fingerprint_is_identical_across_thread_counts_and_reruns() {
     let single = par::with_threads(1, || churn_fingerprint_run(1105));
     let parallel = par::with_threads(4, || churn_fingerprint_run(1105));
     let again = churn_fingerprint_run(1105);
-    assert_eq!(single, parallel, "RON_THREADS must not change the trace");
-    assert_eq!(single, again, "reruns must replay the identical trace");
-    assert_ne!(single, churn_fingerprint_run(1106), "the seed must matter");
+    assert_eq!(
+        single.trace_fingerprint, parallel.trace_fingerprint,
+        "RON_THREADS must not change the trace"
+    );
+    assert_eq!(
+        single.trace_fingerprint, again.trace_fingerprint,
+        "reruns must replay the identical trace"
+    );
+    assert_ne!(
+        single.trace_fingerprint,
+        churn_fingerprint_run(1106).trace_fingerprint,
+        "the seed must matter"
+    );
+    let timeline = single.availability_timeline(8);
+    assert_eq!(timeline, parallel.availability_timeline(8));
+    assert_eq!(timeline, again.availability_timeline(8));
+    assert_eq!(
+        timeline.iter().map(|b| b.injected).sum::<usize>(),
+        single.queries,
+        "every query lands in exactly one bucket"
+    );
 }
 
 /// Lookups keep flowing through a leave wave: success dips while the

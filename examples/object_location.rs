@@ -11,8 +11,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rings_of_neighbors::location::{
-    drive_churn, ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, ObjectId, QueryEngine,
-    Snapshot,
+    drive_churn, ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, EpochCell, ObjectId,
+    QueryEngine, Snapshot,
 };
 use rings_of_neighbors::metric::{gen, Node, Space};
 
@@ -71,11 +71,12 @@ fn main() {
             }
         })
         .collect();
-    let snapshot = Snapshot::capture(&space, &overlay);
-    let engine = QueryEngine::new(&space, &snapshot);
+    let directory = EpochCell::new(Snapshot::capture(&space, &overlay));
+    let engine = QueryEngine::new(&space, &directory);
     let config = EngineConfig {
         workers: 4,
         cache_capacity: 4096,
+        cache_shards: 8,
     };
     let report = engine.serve(&queries, &config);
     println!(
@@ -161,8 +162,9 @@ fn main() {
             }
         })
         .collect();
-    let snapshot = Snapshot::capture(&space, &overlay);
-    let engine = QueryEngine::new(&space, &snapshot);
+    // Publishing the repaired snapshot swaps the serving state under the
+    // same engine — no rebuild, readers just see the new epoch.
+    overlay.publish_snapshot(&space, &directory);
     let report = engine.serve(&survivors, &config);
     println!(
         "\npost-repair serve: success = {:.1}%, {:.0} lookups/s, p50 = {:.1} us, p99 = {:.1} us",

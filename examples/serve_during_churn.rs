@@ -1,0 +1,181 @@
+//! Serving *through* repair: reader threads hammer lookups against the
+//! epoch-published directory while a churn wave lands and a full repair
+//! runs — and never notice. The leave wave and the repaired successor
+//! are each built off to the side on the mutable overlay and swapped in
+//! atomically through the [`EpochCell`], so the serving path keeps its
+//! availability floor (answers within a 5 ms deadline) through both
+//! epochs; only the *success rate* dips while the published state is
+//! damaged, and it returns to 100% the instant the repair is published.
+//!
+//! Run with: `cargo run --release --example serve_during_churn`
+//!
+//! [`EpochCell`]: rings_of_neighbors::location::EpochCell
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rings_of_neighbors::location::{
+    DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine, Snapshot,
+};
+use rings_of_neighbors::metric::{gen, Node, Space};
+
+const N: usize = 2048;
+const OBJECTS: usize = 256;
+const READERS: usize = 2;
+/// Wall-clock width of each serving window (ms).
+const WINDOW_MS: u64 = 20;
+/// Service deadline: a lookup answered slower than this counts against
+/// the availability floor.
+const DEADLINE_MS: f64 = 5.0;
+/// The floor itself: every window must answer at least this fraction of
+/// its lookups within the deadline, repair epochs included.
+const FLOOR: f64 = 0.95;
+
+fn main() {
+    // 1. A clustered metric, the overlay, and a batch of published
+    //    objects; the initial snapshot goes into the epoch cell.
+    let space = Space::new(gen::clustered(N, 2, N / 64, 0.01, 1105));
+    let mut overlay = DirectoryOverlay::build(&space);
+    let items: Vec<(ObjectId, Node)> = (0..OBJECTS)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % N)))
+        .collect();
+    overlay.publish_batch(&space, &items);
+    let cell = EpochCell::new(Snapshot::capture(&space, &overlay));
+    println!(
+        "overlay: n = {N}, levels = {}, {OBJECTS} objects published (epoch {})",
+        overlay.levels(),
+        cell.epoch()
+    );
+
+    // The churn wave: the top-level hub (worst case for the climb) plus
+    // a spread of victims. Query origins avoid them, so success measures
+    // directory damage, not dead origins.
+    let top = overlay.levels() - 1;
+    let hub = space
+        .nodes()
+        .find(|&v| overlay.is_net_member(top, v))
+        .expect("a hub exists");
+    let mut victims = vec![hub];
+    for k in 0..N / 32 {
+        let v = Node::new((k * 11 + 3) % N);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+
+    // 2. Reader threads sample lookups (start offset, success, service
+    //    latency) while the writer scripts: wave published, repair
+    //    published, stop. Nobody ever waits on the writer.
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let ms_now = || start.elapsed().as_secs_f64() * 1e3;
+    let (samples, t_wave, t_done, t_stop, repair) = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let (cell, stop, space, victims) = (&cell, &stop, &space, &victims);
+                scope.spawn(move || {
+                    let mut out: Vec<(f64, bool, f64)> = Vec::new();
+                    let mut q = r;
+                    while !stop.load(Ordering::Acquire) {
+                        let mut origin = Node::new((q * 53 + 7) % N);
+                        while victims.contains(&origin) {
+                            origin = Node::new((origin.index() + 1) % N);
+                        }
+                        let obj = ObjectId((q % OBJECTS) as u64);
+                        let at = ms_now();
+                        let t0 = Instant::now();
+                        let ok = cell.load().lookup(space, origin, obj).is_ok();
+                        out.push((at, ok, t0.elapsed().as_secs_f64() * 1e3));
+                        q += READERS;
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(WINDOW_MS));
+        let t_wave = ms_now();
+        for &v in &victims {
+            overlay.leave(v);
+        }
+        overlay.publish_snapshot(&space, &cell);
+        std::thread::sleep(Duration::from_millis(WINDOW_MS));
+        let repair = overlay.repair_published(&space, &cell);
+        let t_done = ms_now();
+        std::thread::sleep(Duration::from_millis(WINDOW_MS));
+        stop.store(true, Ordering::Release);
+        let t_stop = ms_now();
+
+        let mut samples: Vec<(f64, bool, f64)> = readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader panicked"))
+            .collect();
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        (samples, t_wave, t_done, t_stop, repair)
+    });
+    assert_eq!(cell.epoch(), 2, "wave + repair = two published epochs");
+    println!(
+        "churn wave: -{} nodes (incl. the top hub); repair: {} pointer writes, \
+         {} promotions, {} rehomed — all behind the readers' backs",
+        victims.len(),
+        repair.pointer_writes,
+        repair.promotions,
+        repair.rehomed
+    );
+
+    // 3. Slice the samples into the three windows by lookup start time
+    //    and check the availability floor everywhere.
+    println!("\nwindow    lookups  success %  within {DEADLINE_MS} ms  p99 ms");
+    for (name, lo, hi) in [
+        ("steady", 0.0, t_wave),
+        ("damaged", t_wave, t_done),
+        ("repaired", t_done, t_stop),
+    ] {
+        let window: Vec<_> = samples.iter().filter(|s| s.0 >= lo && s.0 < hi).collect();
+        let lookups = window.len();
+        assert!(lookups > 0, "{name}: the window must see traffic");
+        let successes = window.iter().filter(|s| s.1).count();
+        let within = window.iter().filter(|s| s.2 <= DEADLINE_MS).count();
+        let mut latencies: Vec<f64> = window.iter().map(|s| s.2).collect();
+        latencies.sort_by(f64::total_cmp);
+        let availability = within as f64 / lookups as f64;
+        println!(
+            "{name:<9} {lookups:<8} {:<10.1} {:<13.1} {:.3}",
+            successes as f64 / lookups as f64 * 100.0,
+            availability * 100.0,
+            latencies[((latencies.len() as f64 * 0.99).ceil() as usize).min(latencies.len()) - 1],
+        );
+        assert!(
+            availability >= FLOOR,
+            "{name}: availability {availability:.3} fell below the {FLOOR} floor"
+        );
+        if name != "damaged" {
+            assert_eq!(successes, lookups, "{name}: every lookup must succeed");
+        }
+    }
+
+    // 4. The batched engine over the same cell sees the repaired epoch:
+    //    the full query mix serves at 100%.
+    let engine = QueryEngine::new(&space, &cell);
+    let queries: Vec<(Node, ObjectId)> = (0..4000usize)
+        .map(|q| {
+            let mut origin = Node::new((q * 53 + 7) % N);
+            while victims.contains(&origin) {
+                origin = Node::new((origin.index() + 1) % N);
+            }
+            (origin, ObjectId((q % OBJECTS) as u64))
+        })
+        .collect();
+    let report = engine.serve(&queries, &EngineConfig::default());
+    println!(
+        "\npost-repair engine batch: {} lookups, success = {:.1}%, {:.0} lookups/s",
+        report.served,
+        report.success_rate() * 100.0,
+        report.throughput()
+    );
+    assert_eq!(
+        report.successes, report.served,
+        "the repaired epoch must serve the full batch"
+    );
+    println!("done: the directory served at full rate through the repair");
+}

@@ -234,7 +234,28 @@ fn main() {
             repair.rehomed
         );
     }
+    // The same run sliced by *injection time* instead of phase marks:
+    // the per-bucket availability timeline through the waves and repair
+    // epochs.
+    print!("{}", report.render_availability(12));
     println!();
+    let timeline = report.availability_timeline(12);
+    assert_eq!(
+        timeline.iter().map(|b| b.injected).sum::<usize>(),
+        report.queries,
+        "every lookup lands in exactly one timeline bucket"
+    );
+    let rates: Vec<f64> = timeline.iter().filter_map(|b| b.success_rate()).collect();
+    assert!(
+        rates.iter().all(|&r| r > 0.0),
+        "no bucket may go fully dark: the directory keeps an availability \
+         floor even while repair epochs run"
+    );
+    assert_eq!(
+        rates.last(),
+        Some(&1.0),
+        "the last bucket with traffic must serve everything"
+    );
     let phases = report.phase_breakdown();
     assert!(
         phases[0].success_rate().unwrap_or(0.0) > 0.99,
