@@ -1,0 +1,52 @@
+//! E-OBS: the observability layer across construction, serving, repair
+//! and the simulator.
+//!
+//! Runs `ron_bench::fig_obs_with_registry` at `RON_SIM_N` nodes
+//! (default 1024): every instrumented layer once with recording off
+//! (the throughput baseline) and once with it on, rendering the drained
+//! registry as the E-OBS table and folding the raw metrics into
+//! `BENCH_report.json` as the `"obs"` block. The timed probe measures
+//! the disabled-path cost directly — the single relaxed atomic load an
+//! instrumentation point costs when observability is off.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::sim_n_or(1024);
+    let start = Instant::now();
+    let (table, registry) = ron_bench::fig_obs_with_registry(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let obs_json = registry.to_json();
+    let path = ron_bench::report_json_path();
+    if let Err(e) =
+        ron_bench::write_report_json_with_obs(&path, &[(table, table_ms)], Some(&obs_json))
+    {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // Timed probe: the off-hot-path guarantee. With recording disabled
+    // a record call is one relaxed load and a branch.
+    ron_obs::set_enabled(false);
+    c.bench_function("fig_obs/disabled_record_calls_x1024", |b| {
+        b.iter(|| {
+            for i in 0..1024u64 {
+                ron_obs::count("bench.disabled.counter", i);
+                ron_obs::observe("bench.disabled.hist", i);
+            }
+            black_box(ron_obs::enabled())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -42,9 +42,18 @@ fn main() {
     run(&mut || ron_bench::fig_avail(sim_n));
     run(&mut || ron_bench::fig_build_scaling(scaling_n));
 
+    // E-OBS last: it toggles the recording flag around its own passes,
+    // and its drained registry rides into the JSON as the "obs" block.
+    let start = Instant::now();
+    let (obs_table, registry) = ron_bench::fig_obs_with_registry(sim_n);
+    let obs_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", obs_table.render());
+    tables.push((obs_table, obs_ms));
+    let obs_json = registry.to_json();
+
     let path = ron_bench::report_json_path();
-    match ron_bench::write_report_json(&path, &tables) {
-        Ok(()) => println!("wrote {path} ({} tables)", tables.len()),
+    match ron_bench::write_report_json_with_obs(&path, &tables, Some(&obs_json)) {
+        Ok(()) => println!("wrote {path} ({} tables + obs block)", tables.len()),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

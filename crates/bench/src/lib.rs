@@ -142,6 +142,15 @@ fn json_string_array(items: &[String]) -> String {
 /// tracked across PRs by CI artifacts instead of eyeballs.
 #[must_use]
 pub fn report_json(tables: &[(Table, f64)]) -> String {
+    report_json_with_obs(tables, None)
+}
+
+/// [`report_json`] with an optional `"obs"` block: the JSON export of a
+/// drained [`ron_obs::Registry`] (see [`fig_obs_with_registry`]), so
+/// the raw metrics ride in `BENCH_report.json` next to the tables they
+/// summarize.
+#[must_use]
+pub fn report_json_with_obs(tables: &[(Table, f64)], obs: Option<&str>) -> String {
     let mut out = String::from("{\"schema\":\"ron-bench/1\",\"threads\":");
     out.push_str(&par::num_threads().to_string());
     out.push_str(",\"tables\":[");
@@ -156,7 +165,12 @@ pub fn report_json(tables: &[(Table, f64)]) -> String {
         // Splice the table object's fields into this one.
         out.push_str(body.strip_prefix('{').unwrap_or(&body));
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(obs) = obs {
+        out.push_str(",\"obs\":");
+        out.push_str(obs);
+    }
+    out.push('}');
     out
 }
 
@@ -167,6 +181,19 @@ pub fn report_json(tables: &[(Table, f64)]) -> String {
 /// Propagates the underlying I/O error.
 pub fn write_report_json(path: &str, tables: &[(Table, f64)]) -> std::io::Result<()> {
     std::fs::write(path, report_json(tables) + "\n")
+}
+
+/// [`write_report_json`] with the optional `"obs"` registry block.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_report_json_with_obs(
+    path: &str,
+    tables: &[(Table, f64)],
+    obs: Option<&str>,
+) -> std::io::Result<()> {
+    std::fs::write(path, report_json_with_obs(tables, obs) + "\n")
 }
 
 /// Workspace-root path for `BENCH_report.json`, independent of the
@@ -723,6 +750,7 @@ pub fn table_location() -> Table {
             "p50 us",
             "p99 us",
             "repair writes",
+            "cache h/m/st",
         ]
         .iter()
         .map(ToString::to_string)
@@ -784,6 +812,7 @@ fn location_rows<M: Metric + Sync>(t: &mut Table, name: &str, space: Space<M>) {
             f(report.latency.p50_us),
             f(report.latency.p99_us),
             "-".into(),
+            report.render_cache_shards(),
         ]);
     }
     // Targeted (hub-first) churn, DRFE-R style: degrade, repair, recover.
@@ -810,6 +839,7 @@ fn location_rows<M: Metric + Sync>(t: &mut Table, name: &str, space: Space<M>) {
             "-".into(),
             "-".into(),
             "-".into(),
+            "-".into(),
         ]);
         t.rows.push(vec![
             name.to_string(),
@@ -823,6 +853,7 @@ fn location_rows<M: Metric + Sync>(t: &mut Table, name: &str, space: Space<M>) {
             "-".into(),
             "-".into(),
             (step.repair.pointer_writes + step.repair.pointer_deletes).to_string(),
+            "-".into(),
         ]);
     }
 }
@@ -1840,6 +1871,10 @@ pub fn fig_avail(n: usize) -> Table {
     }
     schedule.repair_at(t_repair);
     schedule.apply(&mut sim, coordinator);
+    // Marks make the timeline self-describing: the rendered buckets say
+    // which window held the wave and which held the repair epoch.
+    sim.mark_phase(t_wave, "wave");
+    sim.mark_phase(t_repair, "repair");
     for q in 0..lookups {
         let (origin, obj) = avail_query(q, n, objects, &victims);
         sim.inject(
@@ -1849,7 +1884,9 @@ pub fn fig_avail(n: usize) -> Table {
         );
     }
     let report = sim.run();
-    let timeline = report.availability_timeline(10);
+    // Trimmed: the repair epoch's trailing acks stretch end_time past
+    // the last injection, and those all-zero windows are noise.
+    let timeline = report.availability_timeline_trimmed(10);
     assert_eq!(
         timeline.iter().map(|b| b.injected).sum::<usize>(),
         report.queries,
@@ -1859,7 +1896,17 @@ pub fn fig_avail(n: usize) -> Table {
         timeline.iter().map(|b| b.completed).sum::<usize>(),
         report.completed
     );
-    for b in &timeline {
+    let width = timeline[0].end - timeline[0].start;
+    for (k, b) in timeline.iter().enumerate() {
+        let marks: Vec<&str> = report
+            .phases
+            .iter()
+            .filter(|m| {
+                let at = ((m.start / width) as usize).min(timeline.len() - 1);
+                at == k
+            })
+            .map(|m| m.name.as_str())
+            .collect();
         t.rows.push(vec![
             "sim".into(),
             format!("[{:.0}, {:.0})", b.start, b.end),
@@ -1868,7 +1915,11 @@ pub fn fig_avail(n: usize) -> Table {
             "-".into(),
             "-".into(),
             f(b.p99_latency),
-            "-".into(),
+            if marks.is_empty() {
+                "-".into()
+            } else {
+                format!("<- {}", marks.join(", "))
+            },
         ]);
     }
     t.rows.push(vec![
@@ -1888,6 +1939,248 @@ pub fn fig_avail(n: usize) -> Table {
         ),
     ]);
     t
+}
+
+/// [`fig_obs`] returning the drained registry too, so the `report`
+/// binary can fold the raw metrics into `BENCH_report.json` as an
+/// `"obs"` block next to the rendered table.
+///
+/// The function runs the whole pipeline once with recording off (the
+/// throughput baseline) and once with recording on: dense and sparse
+/// index construction, nets/rings/directory assembly, a batched
+/// publish, engine serving over the sharded cache, a leave wave plus
+/// repair, and a small message-passing sim slice with phase marks. The
+/// drained registry then carries oracle calls per construction stage,
+/// lookup hop/probe histograms, per-shard cache hit ratios, repair
+/// phase timings and sim gram counts — the table is a readable
+/// projection of it.
+///
+/// # Panics
+///
+/// Panics if a layer failed to record (missing oracle, lookup, repair
+/// or sim keys) or if the obs-on serve throughput collapses to less
+/// than half the obs-off baseline — the instrumentation is supposed to
+/// cost ~nothing, and the report row shows the measured ratio.
+#[must_use]
+pub fn fig_obs_with_registry(n: usize) -> (Table, ron_obs::Registry) {
+    use ron_sim::directory::{DirectoryMsg, DirectoryNode};
+    use ron_sim::{MetricLatency, SimConfig, Simulator};
+
+    let n = n.clamp(64, DENSE_NODE_CAP);
+    let mut t = Table {
+        title: format!("E-OBS: observability across construction, serving, repair, sim (n = {n})"),
+        backend: "per-row".into(),
+        header: ["metric", "kind", "count", "mean/value", "p99~", "detail"]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        rows: Vec::new(),
+    };
+
+    let objects = (n / 4).max(8);
+    let queries: Vec<(Node, ObjectId)> = (0..4000usize)
+        .map(|i| {
+            let origin = Node::new((i * 53 + 7) % n);
+            let frac = ((i * 97 + 13) % 1000) as f64 / 1000.0;
+            let obj = ObjectId(((frac * frac * objects as f64) as usize % objects) as u64);
+            (origin, obj)
+        })
+        .collect();
+    let config = EngineConfig::default();
+    let publish_items: Vec<(ObjectId, Node)> = (0..objects)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % n)))
+        .collect();
+
+    // Baseline: the E-OL serving pass with recording off. One warm-up
+    // serve fills the cache so both measured passes run warm.
+    let was_enabled = ron_obs::enabled();
+    ron_obs::set_enabled(false);
+    let base_space = Space::new(gen::uniform_cube(n, 2, 1));
+    let mut base_overlay = DirectoryOverlay::build(&base_space);
+    base_overlay.publish_batch(&base_space, &publish_items);
+    let base_cell = EpochCell::new(Snapshot::capture(&base_space, &base_overlay));
+    let base_engine = QueryEngine::new(&base_space, &base_cell);
+    let _warm = base_engine.serve(&queries, &config);
+    let off = base_engine.serve(&queries, &config);
+
+    // Observed pass: the same pipeline, every layer recording.
+    ron_obs::set_enabled(true);
+    ron_obs::reset();
+
+    // Construction — dense backend end to end, sparse backend through
+    // the net ladder, so the oracle rows compare the two per stage.
+    let space = Space::new(gen::uniform_cube(n, 2, 1));
+    let sparse = Space::new_sparse(gen::uniform_cube(n, 2, 1));
+    let _sparse_nets = NestedNets::build(&sparse);
+    let mut overlay = DirectoryOverlay::build(&space);
+    overlay.publish_batch(&space, &publish_items);
+
+    // Serving through the engine (worker latency, cache shards, lookup
+    // hop/probe histograms).
+    let cell = EpochCell::new(Snapshot::capture(&space, &overlay));
+    let engine = QueryEngine::new(&space, &cell);
+    let _warm = engine.serve(&queries, &config);
+    let on = engine.serve(&queries, &config);
+
+    // A leave wave and the repair epoch (plan-phase timings).
+    for k in 0..(n / 16).max(2) {
+        overlay.leave(Node::new((k * 11 + 3) % n));
+    }
+    let _repair = overlay.repair(&space);
+
+    // A small sim slice: gram-type counts, per-phase deliveries, the
+    // event-queue depth high-water mark.
+    let mut sim = Simulator::new(
+        DirectoryNode::fleet(&space, &overlay),
+        |u, v| space.dist(u, v),
+        MetricLatency {
+            scale: 1.0,
+            floor: 0.01,
+        },
+        SimConfig::default(),
+    );
+    sim.mark_phase(0.0, "steady");
+    let sim_lookups = n.min(512);
+    for q in 0..sim_lookups {
+        let origin = Node::new((q * 53 + 7) % n);
+        let obj = ObjectId((q * 97 + 13) as u64 % objects as u64);
+        sim.inject(q as f64 * 0.05, origin, DirectoryMsg::Lookup { obj });
+    }
+    let _sim_report = sim.run();
+
+    let registry = ron_obs::drain();
+    ron_obs::set_enabled(was_enabled);
+
+    // Every layer must actually have landed in the registry.
+    assert!(
+        registry
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("oracle.") && k.contains(".dense")),
+        "dense oracle calls must record"
+    );
+    assert!(
+        registry
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("oracle.") && k.contains(".sparse")),
+        "sparse oracle calls must record"
+    );
+    assert!(
+        registry.histogram("lookup.hops").is_some(),
+        "engine lookups must record hop histograms"
+    );
+    assert!(
+        registry.histogram("repair.plan.covering/repair").is_some()
+            || registry.histogram("repair.plan.covering").is_some(),
+        "repair plan phases must record"
+    );
+    assert!(
+        registry.counter_prefix_sum("sim.gram") > 0,
+        "sim gram counts must record"
+    );
+    assert!(
+        on.throughput() >= off.throughput() * 0.5,
+        "obs-on throughput {:.0}/s collapsed against obs-off {:.0}/s",
+        on.throughput(),
+        off.throughput()
+    );
+
+    // The throughput overhead row first: the claim the tentpole makes
+    // ("cheap when on, free when off"), measured.
+    let ratio = on.throughput() / off.throughput().max(1e-9);
+    t.rows.push(vec![
+        "engine.serve.throughput".into(),
+        "k-lookups/s off -> on".into(),
+        queries.len().to_string(),
+        f(off.throughput() / 1000.0),
+        f(on.throughput() / 1000.0),
+        format!("obs-on/off ratio {ratio:.3}"),
+    ]);
+
+    // Histogram rows, one per composed key, restricted to the metric
+    // families the acceptance list names (construction oracles and
+    // stage spans, lookups, engine, repair).
+    let shown = [
+        "construct.",
+        "directory.",
+        "engine.",
+        "lookup.",
+        "oracle.",
+        "publish.",
+        "repair.",
+    ];
+    for (key, h) in &registry.histograms {
+        if !shown.iter().any(|p| key.starts_with(p)) {
+            continue;
+        }
+        t.rows.push(vec![
+            key.clone(),
+            "hist".into(),
+            h.count().to_string(),
+            f(h.mean()),
+            h.quantile_lower_bound(0.99).unwrap_or(0).to_string(),
+            h.render_compact(),
+        ]);
+    }
+
+    // Per-shard cache hit ratios, derived from the counter triples the
+    // engine publishes.
+    let hit_keys: Vec<String> = registry
+        .counters
+        .keys()
+        .filter(|k| k.starts_with("engine.cache.hit/"))
+        .cloned()
+        .collect();
+    for key in hit_keys {
+        let shard = key.trim_start_matches("engine.cache.hit/").to_string();
+        let hits = registry.counter(&key);
+        let misses = registry.counter(&format!("engine.cache.miss/{shard}"));
+        let stale = registry.counter(&format!("engine.cache.stale/{shard}"));
+        let probes = hits + misses + stale;
+        t.rows.push(vec![
+            format!("engine.cache.ratio/{shard}"),
+            "ratio".into(),
+            probes.to_string(),
+            format!("{:.1}%", hits as f64 / probes.max(1) as f64 * 100.0),
+            "-".into(),
+            format!("{hits} hit / {misses} miss / {stale} stale-epoch"),
+        ]);
+    }
+
+    // Counter and gauge rows: lookups that missed, sim gram types,
+    // per-phase deliveries, queue depth.
+    for (key, v) in &registry.counters {
+        if key.starts_with("lookup.") || key.starts_with("sim.") {
+            t.rows.push(vec![
+                key.clone(),
+                "counter".into(),
+                v.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+    }
+    for (key, v) in &registry.gauges {
+        t.rows.push(vec![
+            key.clone(),
+            "gauge (max)".into(),
+            v.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    (t, registry)
+}
+
+/// E-OBS: the observability layer exercised across all four
+/// instrumented layers, rendered as a table (see
+/// [`fig_obs_with_registry`]).
+#[must_use]
+pub fn fig_obs(n: usize) -> Table {
+    fig_obs_with_registry(n).0
 }
 
 #[cfg(test)]
@@ -1956,19 +2249,55 @@ mod tests {
     }
 
     #[test]
+    fn fig_obs_smoke() {
+        // fig_obs asserts its own wiring invariants (every layer's keys
+        // present, throughput sane); here we pin the projection: the
+        // overhead row leads, and each acceptance family has rows.
+        let (t, registry) = fig_obs_with_registry(64);
+        assert_eq!(t.rows[0][0], "engine.serve.throughput");
+        for family in [
+            "oracle.",
+            "construct.",
+            "lookup.",
+            "engine.cache.ratio/",
+            "repair.",
+            "sim.gram/",
+        ] {
+            assert!(
+                t.rows.iter().any(|r| r[0].starts_with(family)),
+                "no {family} row in E-OBS"
+            );
+        }
+        assert!(!registry.is_empty());
+        assert!(registry.to_json().starts_with("{\"counters\":{"));
+        // The run restores the disabled default (tests share the flag).
+        assert!(!ron_obs::enabled());
+    }
+
+    #[test]
     fn fig_avail_smoke() {
         // fig_avail asserts its own invariants (the pre-wave and
         // post-repair states serve at 100%, epoch availability >=
         // blocking when measurable, timeline sums matching run totals);
-        // here we pin the table shape: 2 modes x 4 windows + 10 sim
-        // timeline buckets + the whole-run summary.
+        // here we pin the table shape: 2 modes x 4 windows + at most 10
+        // sim timeline buckets (empty tail trimmed) + the whole-run
+        // summary.
         let t = fig_avail(64);
-        assert_eq!(t.rows.len(), 2 * 4 + 10 + 1);
+        assert!(t.rows.len() > 2 * 4 + 1 && t.rows.len() <= 2 * 4 + 10 + 1);
         assert_eq!(t.rows[0][0], "blocking");
         assert_eq!(t.rows[0][1], "steady");
         assert_eq!(t.rows[4][0], "epoch");
         assert_eq!(t.rows[8][0], "sim");
-        assert_eq!(t.rows[18][1], "whole run");
+        assert_eq!(t.rows.last().unwrap()[1], "whole run");
         assert_eq!(t.header[4], "avail %");
+        // The last timeline bucket has lookups — the empty tail the
+        // repair acks used to append is suppressed.
+        let last_bucket = &t.rows[t.rows.len() - 2];
+        assert_eq!(last_bucket[0], "sim");
+        assert_ne!(last_bucket[2], "0", "trailing empty buckets must go");
+        // The wave and repair marks label the buckets they land in.
+        let details: Vec<&str> = t.rows[8..].iter().map(|r| r[7].as_str()).collect();
+        assert!(details.iter().any(|d| d.contains("wave")), "{details:?}");
+        assert!(details.iter().any(|d| d.contains("repair")), "{details:?}");
     }
 }

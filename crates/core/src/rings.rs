@@ -111,6 +111,8 @@ impl RingFamily {
         nets: &NestedNets,
         ring_radius: impl Fn(usize, f64) -> Option<f64> + Sync,
     ) -> Self {
+        let _stage = ron_obs::stage("rings");
+        let _span = ron_obs::span("construct.rings");
         let n = space.len();
         let oracle = space.index();
         let mut per_node: Vec<Vec<Ring>> = (0..n).map(|_| Vec::new()).collect();

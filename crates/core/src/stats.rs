@@ -9,6 +9,15 @@
 //! is the `ceil(q * n)`-th smallest sample (1-indexed), i.e.
 //! `sorted[ceil(q * n) - 1]` — the smallest sample `x` such that at
 //! least a `q`-fraction of the samples are `<= x`.
+//!
+//! Histograms follow the same consolidation: the power-of-two bucket
+//! histogram every layer used to hand-roll (the simulator's per-node
+//! load, the observability registry's distributions) is
+//! [`ron_obs::Pow2Histogram`], re-exported here so stats consumers get
+//! one bucket convention (bucket 0 = value 0, bucket `k >= 1` =
+//! `[2^(k-1), 2^k)`) and one merge rule.
+
+pub use ron_obs::Pow2Histogram;
 
 /// Zero-based index of the nearest-rank `q`-quantile in a sorted sample
 /// of `count` elements: `ceil(q * count) - 1`, clamped into range.

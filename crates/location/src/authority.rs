@@ -396,6 +396,7 @@ impl RepairAuthority {
     /// registry and placements. The caller applies the plan (directly,
     /// or by fanning it out as messages).
     pub fn plan_repair(&mut self, oracle: &dyn RepairOracle) -> RepairPlan {
+        let _stage = ron_obs::stage("repair");
         let levels = self.levels();
         let n = self.len();
         let mut plan = RepairPlan {
@@ -412,6 +413,7 @@ impl RepairAuthority {
 
         // Covering pass: promote uncovered alive nodes, coarse-compatible
         // (a node promoted to level j joins every finer level too).
+        let t_covering = ron_obs::start();
         for j in 1..levels {
             for i in 0..n {
                 let u = Node::new(i);
@@ -436,8 +438,11 @@ impl RepairAuthority {
             }
         }
 
+        ron_obs::finish("repair.plan.covering", t_covering);
+
         // Homes pass: re-home objects whose home died to the nearest
         // alive node.
+        let t_homes = ron_obs::start();
         for idx in 0..self.objects.len() {
             let obj = self.objects[idx];
             let home = self.homes[&obj];
@@ -453,9 +458,12 @@ impl RepairAuthority {
             plan.node_repairs[b].adopt.push(obj);
         }
 
+        ron_obs::finish("repair.plan.homes", t_homes);
+
         // Pointer pass: reconcile each object whose rings or chain could
         // have changed (see `DirectoryOverlay::repair_pointers` for the
         // skip-test argument).
+        let t_pointers = ron_obs::start();
         for idx in 0..self.objects.len() {
             let obj = self.objects[idx];
             let home = self.homes[&obj];
@@ -531,6 +539,8 @@ impl RepairAuthority {
             self.placements.insert(obj, placement.clone());
             plan.placements.push((obj, placement));
         }
+
+        ron_obs::finish("repair.plan.pointers", t_pointers);
 
         for (j, touched) in self.touched.iter_mut().enumerate() {
             plan.touched_levels[j] = !touched.is_empty();

@@ -138,6 +138,7 @@ impl DirectoryOverlay {
     /// The message-passing simulator runs the *same* planner at its
     /// coordinator node and applies the same plan as a message fan-out.
     pub fn repair<M: Metric, I: BallOracle>(&mut self, space: &Space<M, I>) -> RepairReport {
+        let _span = ron_obs::span("repair.epoch");
         let mut authority = self.control_plane();
         let plan = authority.plan_repair(space);
         self.apply_plan(&plan)
@@ -159,6 +160,8 @@ impl DirectoryOverlay {
     /// repaired state visible atomically (see
     /// [`repair_published`](DirectoryOverlay::repair_published)).
     pub fn apply_plan(&mut self, plan: &RepairPlan) -> RepairReport {
+        let _stage = ron_obs::stage("repair");
+        let t = ron_obs::start();
         self.epoch += 1;
         let mut report = plan.report_base();
         for nr in &plan.node_repairs {
@@ -191,6 +194,7 @@ impl DirectoryOverlay {
         for touched in &mut self.touched {
             touched.clear();
         }
+        ron_obs::finish("repair.apply", t);
         report
     }
 

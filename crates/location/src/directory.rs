@@ -128,6 +128,8 @@ impl DirectoryOverlay {
         // The publish rings are exactly the net rings of Theorem 2.1 shape
         // with radius `ring_factor * r_j`.
         let rings = RingFamily::from_nets(space, &nets, |_, r| Some(ring_factor * r));
+        let _stage = ron_obs::stage("directory");
+        let _span = ron_obs::span("construct.directory");
         Self::from_structures(space.len(), nets, rings, ring_factor)
     }
 

@@ -33,7 +33,7 @@ use ron_routing::PathStats;
 
 use crate::directory::{DirectoryOverlay, ObjectId};
 use crate::lookup::{locate_view, LookupView};
-use crate::stats::{BatchReport, LatencySummary};
+use crate::stats::{BatchReport, CacheShardStats, LatencySummary};
 
 /// An immutable, owned serving view of a [`DirectoryOverlay`]: the
 /// per-node, per-level fingers are precomputed so a lookup is a pure
@@ -69,6 +69,7 @@ impl Snapshot {
         space: &Space<M, I>,
         overlay: &DirectoryOverlay,
     ) -> Self {
+        let _span = ron_obs::span("directory.capture");
         let n = overlay.len();
         let levels = overlay.levels();
         let mut fingers = Vec::with_capacity(n * levels);
@@ -165,6 +166,9 @@ struct LruCache {
     slots: Vec<LruSlot>,
     head: usize, // most recently used
     tail: usize, // least recently used
+    /// Hit/miss/stale accounting; lives under the shard lock, so plain
+    /// fields suffice.
+    stats: CacheShardStats,
 }
 
 #[derive(Debug)]
@@ -186,6 +190,7 @@ impl LruCache {
             slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
+            stats: CacheShardStats::default(),
         }
     }
 
@@ -216,14 +221,22 @@ impl LruCache {
     }
 
     fn get(&mut self, key: (Node, ObjectId), epoch: u64) -> Option<CachedHit> {
-        let &i = self.map.get(&key)?;
+        let Some(&i) = self.map.get(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
         if self.slots[i].epoch != epoch {
-            return None; // cached against a superseded publication
+            // Cached against a superseded publication: distinct from a
+            // plain miss in the accounting, since it measures how much
+            // of the cache each publish invalidates.
+            self.stats.stale += 1;
+            return None;
         }
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
         }
+        self.stats.hits += 1;
         Some(self.slots[i].value)
     }
 
@@ -311,6 +324,14 @@ impl ShardedCache {
             .expect("cache lock")
             .insert(key, value, epoch);
     }
+
+    /// The per-shard hit/miss/stale accounting, in shard order.
+    fn stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").stats)
+            .collect()
+    }
 }
 
 /// Engine configuration.
@@ -391,10 +412,20 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
         let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
         let chunk = queries.len().div_ceil(workers);
         let start = Instant::now();
+        let cache_ref = &cache;
         let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk.max(1))
-                .map(|slice| scope.spawn(|| self.serve_chunk(slice, &cache)))
+                .enumerate()
+                .map(|(w, slice)| {
+                    scope.spawn(move || {
+                        let out = self.serve_chunk(w, slice, cache_ref);
+                        // Merge this worker's observability records before
+                        // the scope can consider the thread finished.
+                        ron_obs::flush();
+                        out
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -416,10 +447,32 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
             nanos.extend(w.latencies_ns);
         }
         report.latency = LatencySummary::from_nanos(nanos);
+        if config.cache_capacity > 0 {
+            report.cache_shards = cache.stats();
+        }
+        if ron_obs::enabled() {
+            for (i, s) in report.cache_shards.iter().enumerate() {
+                let shard = ron_obs::label(&format!("shard{i}"));
+                ron_obs::count_labeled("engine.cache.hit", shard, s.hits);
+                ron_obs::count_labeled("engine.cache.miss", shard, s.misses);
+                ron_obs::count_labeled("engine.cache.stale", shard, s.stale);
+            }
+        }
         report
     }
 
-    fn serve_chunk(&self, queries: &[(Node, ObjectId)], cache: &ShardedCache) -> WorkerResult {
+    fn serve_chunk(
+        &self,
+        worker: usize,
+        queries: &[(Node, ObjectId)],
+        cache: &ShardedCache,
+    ) -> WorkerResult {
+        // Intern the worker label once per chunk, off the per-query path.
+        let wlabel = if ron_obs::enabled() {
+            Some(ron_obs::label(&format!("w{worker}")))
+        } else {
+            None
+        };
         let mut out = WorkerResult::default();
         for &(origin, obj) in queries {
             let t0 = Instant::now();
@@ -447,6 +500,11 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
                 },
             };
             let elapsed = t0.elapsed().as_nanos() as u64;
+            if let Some(w) = wlabel {
+                // Reuses the latency measurement the report already
+                // takes — no extra clock reads on the hot path.
+                ron_obs::observe_labeled("engine.worker.latency_ns", w, elapsed);
+            }
             out.latencies_ns.push(elapsed);
             out.served += 1;
             match result {

@@ -157,6 +157,7 @@ pub(crate) fn locate_view<V: LookupView, M: Metric, I>(
     let mut path = vec![origin];
     let mut cur = origin;
     let mut length = 0.0f64;
+    let mut probes = 0u64;
     let mut hop = |path: &mut Vec<Node>, cur: &mut Node, to: Node| {
         if *cur != to {
             length += space.dist(*cur, to);
@@ -168,6 +169,7 @@ pub(crate) fn locate_view<V: LookupView, M: Metric, I>(
         let Some(f) = fingers(origin, j) else {
             continue; // level emptied by churn; keep climbing
         };
+        probes += 1;
         hop(&mut path, &mut cur, f);
         let Some(first) = view.entry(cur, j, obj) else {
             continue;
@@ -200,13 +202,20 @@ pub(crate) fn locate_view<V: LookupView, M: Metric, I>(
                     level,
                 })?;
         }
-        return Ok(LookupOutcome {
+        let outcome = LookupOutcome {
             home: cur,
             path,
             length,
             found_level: j,
-        });
+        };
+        if ron_obs::enabled() {
+            ron_obs::observe("lookup.hops", outcome.hops() as u64);
+            ron_obs::observe("lookup.probes", probes);
+            ron_obs::observe("lookup.found_level", j as u64);
+        }
+        return Ok(outcome);
     }
+    ron_obs::count("lookup.not_found", 1);
     Err(LocateError::NotFound { obj, origin })
 }
 

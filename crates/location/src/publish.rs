@@ -27,6 +27,7 @@ impl DirectoryOverlay {
         obj: ObjectId,
         home: Node,
     ) -> usize {
+        let _stage = ron_obs::stage("publish");
         let plan = self.plan_publish(space, home);
         self.install(obj, home, plan)
     }
@@ -50,6 +51,8 @@ impl DirectoryOverlay {
         space: &Space<M, I>,
         items: &[(ObjectId, Node)],
     ) -> usize {
+        let _stage = ron_obs::stage("publish");
+        let _span = ron_obs::span("directory.publish_batch");
         let plans = par::map(items.len(), |k| self.plan_publish(space, items[k].1));
         let mut writes = 0usize;
         for ((obj, home), plan) in items.iter().zip(plans) {
@@ -95,6 +98,9 @@ impl DirectoryOverlay {
         self.objects.push(obj);
         self.homes.insert(obj, home);
         self.placements.insert(obj, placement);
+        // The publish fan-out: how many ring members one object's
+        // pointers reach across all levels.
+        ron_obs::observe("publish.fanout", writes as u64);
         writes
     }
 

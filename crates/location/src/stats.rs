@@ -42,6 +42,37 @@ impl LatencySummary {
     }
 }
 
+/// Hit/miss accounting for one shard of the engine's LRU result cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups absent from this shard (cold keys and evicted entries).
+    pub misses: u64,
+    /// Lookups that found the key but cached against a superseded
+    /// publication epoch — rejected, never served.
+    pub stale: u64,
+}
+
+impl CacheShardStats {
+    /// Hit fraction among this shard's gets (1.0 when never probed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Compact `hits/misses/stale` cell for tables.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}/{}/{}", self.hits, self.misses, self.stale)
+    }
+}
+
 /// The outcome of serving one batch through the query engine.
 #[derive(Clone, Debug, Default)]
 pub struct BatchReport {
@@ -59,6 +90,9 @@ pub struct BatchReport {
     pub latency: LatencySummary,
     /// Hops/stretch statistics over the successful lookups.
     pub paths: PathStats,
+    /// Per-shard cache accounting for the batch, in shard order (empty
+    /// when the cache is disabled).
+    pub cache_shards: Vec<CacheShardStats>,
 }
 
 impl BatchReport {
@@ -81,6 +115,22 @@ impl BatchReport {
         } else {
             self.successes as f64 / self.served as f64
         }
+    }
+
+    /// Compact per-shard cache summary for table detail cells:
+    /// `h/m/st 12/8/0 11/9/1 ...` in shard order, or `-` when the
+    /// cache was disabled.
+    #[must_use]
+    pub fn render_cache_shards(&self) -> String {
+        if self.cache_shards.is_empty() {
+            return "-".to_string();
+        }
+        let cells: Vec<String> = self
+            .cache_shards
+            .iter()
+            .map(CacheShardStats::render)
+            .collect();
+        format!("h/m/st {}", cells.join(" "))
     }
 }
 

@@ -396,40 +396,55 @@ impl<M: Metric> BallOracle for NetTreeIndex<M> {
     }
 
     fn for_each_in_ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(f64, Node)) {
+        let t = ron_obs::start();
         for (d, v) in self.sorted_ball(u, r) {
             visit(d, v);
         }
+        ron_obs::finish("oracle.ball.sparse", t);
     }
 
     fn ball(&self, u: Node, r: f64) -> Vec<(f64, Node)> {
-        self.sorted_ball(u, r)
+        let t = ron_obs::start();
+        let out = self.sorted_ball(u, r);
+        ron_obs::finish("oracle.ball.sparse", t);
+        out
     }
 
     fn ball_size(&self, u: Node, r: f64) -> usize {
+        let t = ron_obs::start();
         let mut count = 0usize;
         self.descend(u, r, &mut |_, _| count += 1);
+        ron_obs::finish("oracle.ball_size.sparse", t);
         count
     }
 
     fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
+        let t = ron_obs::start();
         let leaf_radius = self.levels.last().expect("nonempty").radius;
         let mut r = leaf_radius;
         let mut prev_r = -1.0f64;
-        loop {
+        let out = loop {
             let ball = self.sorted_ball(u, r);
+            let mut found = None;
             for &(d, v) in &ball {
                 // Nodes at d <= prev_r were already offered to the
                 // predicate in an earlier (smaller) ring.
                 if d > prev_r && pred(v) {
-                    return Some((d, v));
+                    found = Some((d, v));
+                    break;
                 }
             }
+            if found.is_some() {
+                break found;
+            }
             if ball.len() == self.n {
-                return None;
+                break None;
             }
             prev_r = r;
             r *= 2.0;
-        }
+        };
+        ron_obs::finish("oracle.nearest.sparse", t);
+        out
     }
 
     fn radius_for_count(&self, u: Node, k: usize) -> f64 {
@@ -438,11 +453,22 @@ impl<M: Metric> BallOracle for NetTreeIndex<M> {
             "count {k} out of range 1..={}",
             self.n
         );
+        let t = ron_obs::start();
         let mut r = self.levels.last().expect("nonempty").radius;
-        while self.ball_size(u, r) < k {
+        let mut size = 0usize;
+        loop {
+            // Inlined ball_size so the inner probes do not double-count
+            // as oracle calls of their own.
+            self.descend(u, r, &mut |_, _| size += 1);
+            if size >= k {
+                break;
+            }
+            size = 0;
             r *= 2.0;
         }
-        self.sorted_ball(u, r)[k - 1].0
+        let out = self.sorted_ball(u, r)[k - 1].0;
+        ron_obs::finish("oracle.radius.sparse", t);
+        out
     }
 }
 

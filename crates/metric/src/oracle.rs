@@ -137,25 +137,39 @@ impl BallOracle for crate::MetricIndex {
     }
 
     fn for_each_in_ball(&self, u: Node, r: f64, visit: &mut dyn FnMut(f64, Node)) {
+        let t = ron_obs::start();
         for &(d, v) in crate::MetricIndex::ball(self, u, r) {
             visit(d, v);
         }
+        ron_obs::finish("oracle.ball.dense", t);
     }
 
     fn ball(&self, u: Node, r: f64) -> Vec<(f64, Node)> {
-        crate::MetricIndex::ball(self, u, r).to_vec()
+        let t = ron_obs::start();
+        let out = crate::MetricIndex::ball(self, u, r).to_vec();
+        ron_obs::finish("oracle.ball.dense", t);
+        out
     }
 
     fn ball_size(&self, u: Node, r: f64) -> usize {
-        crate::MetricIndex::ball_size(self, u, r)
+        let t = ron_obs::start();
+        let out = crate::MetricIndex::ball_size(self, u, r);
+        ron_obs::finish("oracle.ball_size.dense", t);
+        out
     }
 
     fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
-        crate::MetricIndex::nearest_where(self, u, pred)
+        let t = ron_obs::start();
+        let out = crate::MetricIndex::nearest_where(self, u, pred);
+        ron_obs::finish("oracle.nearest.dense", t);
+        out
     }
 
     fn radius_for_count(&self, u: Node, k: usize) -> f64 {
-        crate::MetricIndex::radius_for_count(self, u, k)
+        let t = ron_obs::start();
+        let out = crate::MetricIndex::radius_for_count(self, u, k);
+        ron_obs::finish("oracle.radius.dense", t);
+        out
     }
 
     fn r_fraction(&self, u: Node, eps: f64) -> f64 {

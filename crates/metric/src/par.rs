@@ -78,7 +78,14 @@ pub fn map_with<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                scope.spawn(move || {
+                    let out = (lo..hi).map(f).collect::<Vec<T>>();
+                    // Merge this worker's pending observability records
+                    // before the scope can see the thread as finished;
+                    // the TLS-drop flush alone races the joiner's drain.
+                    ron_obs::flush();
+                    out
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(n);

@@ -43,6 +43,8 @@ impl<M: Metric> Space<M> {
     /// Panics if the metric is empty.
     #[must_use]
     pub fn new(metric: M) -> Self {
+        let _stage = ron_obs::stage("index");
+        let _span = ron_obs::span("construct.index.dense");
         let index = MetricIndex::build(&metric);
         Space { metric, index }
     }
@@ -57,6 +59,8 @@ impl<M: Metric + Clone> Space<M, NetTreeIndex<M>> {
     /// Panics if the metric is empty.
     #[must_use]
     pub fn new_sparse(metric: M) -> Self {
+        let _stage = ron_obs::stage("index");
+        let _span = ron_obs::span("construct.index.sparse");
         let index = NetTreeIndex::build(metric.clone());
         Space { metric, index }
     }

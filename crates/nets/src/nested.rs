@@ -48,6 +48,8 @@ impl NestedNets {
     /// both satisfy every net invariant.
     #[must_use]
     pub fn build<M: Metric, I: BallOracle>(space: &Space<M, I>) -> Self {
+        let _stage = ron_obs::stage("nets");
+        let _span = ron_obs::span("construct.nets");
         let min_dist = space.index().min_distance();
         let top = distance_levels(space.index().aspect_ratio());
         let mut nets_rev: Vec<Net> = Vec::with_capacity(top + 1);

@@ -1,0 +1,112 @@
+//! Chrome-trace export: spans captured as complete (`"ph":"X"`) events
+//! and dumped in the Chrome trace-event JSON array format — one event
+//! per line — loadable in `chrome://tracing`, Perfetto, or Speedscope.
+//!
+//! Capture is opt-in (`RON_TRACE=chrome` or [`set_chrome`]) on top of
+//! metric recording, because trace events cost memory per span rather
+//! than per distinct name. Only the coarse [`span`](crate::span) guards
+//! emit trace events; the hot-path [`start`](crate::start)/
+//! [`finish`](crate::finish) timers feed histograms only.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::registry::{self, Label};
+
+/// One complete span event, timestamps in ns since the process epoch.
+#[derive(Clone, Debug)]
+pub(crate) struct ChromeEvent {
+    pub name: &'static str,
+    pub label: Label,
+    pub tid: u32,
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// Pins the process epoch; called when Chrome capture is enabled so
+/// timestamps are relative to enablement, not to the first span.
+pub(crate) fn init_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+/// Nanoseconds since the process epoch.
+pub(crate) fn epoch_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Buffers a finished span as a trace event on the calling thread.
+pub(crate) fn push_event(name: &'static str, label: Label, ts_ns: u64, dur_ns: u64) {
+    registry::with_collector(|c| {
+        if c.tid == u32::MAX {
+            c.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        }
+        let tid = c.tid;
+        c.chrome.push(ChromeEvent {
+            name,
+            label,
+            tid,
+            ts_ns,
+            dur_ns,
+        });
+    });
+}
+
+fn render_event(e: &ChromeEvent) -> String {
+    let name = match e.label {
+        Label::None => e.name.to_string(),
+        Label::Static(s) => format!("{}/{s}", e.name),
+        l @ Label::Dyn(_) => match crate::label_name(l) {
+            Some(s) => format!("{}/{s}", e.name),
+            None => e.name.to_string(),
+        },
+    };
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"ron\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        e.tid,
+        e.ts_ns as f64 / 1e3,
+        e.dur_ns as f64 / 1e3,
+    )
+}
+
+/// Serializes and drains the buffered trace events (calling thread
+/// flushed first) as a Chrome trace-event JSON array, one event per
+/// line. Returns the empty array `"[]"` when nothing was captured.
+#[must_use]
+pub fn chrome_trace_json() -> String {
+    let events = registry::take_chrome_events();
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&render_event(e));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`, returning the number of
+/// events written.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
+    let events = registry::take_chrome_events();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(b"[")?;
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            file.write_all(b",")?;
+        }
+        file.write_all(b"\n")?;
+        file.write_all(render_event(e).as_bytes())?;
+    }
+    file.write_all(b"\n]\n")?;
+    file.flush()?;
+    Ok(events.len())
+}

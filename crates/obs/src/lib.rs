@@ -1,0 +1,304 @@
+//! # ron-obs — zero-dependency observability for the rings stack
+//!
+//! A hand-rolled (no registry access, like the `rand`/`proptest`
+//! shims) metrics and tracing layer the whole workspace sits on:
+//!
+//! * **[`Registry`]** — named counters, high-water-mark gauges, and
+//!   [`Pow2Histogram`]s, recorded through thread-local collectors and
+//!   drained into a deterministic label-sorted snapshot.
+//! * **Spans** — [`span()`]`("directory.lookup")` (or the
+//!   [`span!`](crate::span!) macro) returns a guard that records its
+//!   scope's duration into a histogram; [`start`]/[`finish`] are the
+//!   hot-path variant. [`stage`] attributes everything recorded inside
+//!   a scope — across `par` worker threads — to a named stage.
+//! * **Exporters** — [`Registry::render`] (aligned text),
+//!   [`Registry::to_json`] (folded into `BENCH_report.json` by
+//!   `ron-bench`), and an opt-in Chrome-trace dump
+//!   ([`write_chrome_trace`], enabled by `RON_TRACE=chrome`).
+//!
+//! Everything is **off by default**: each instrumentation point costs
+//! one relaxed atomic load until [`set_enabled`]/[`init_from_env`]
+//! turns recording on, and recording never influences protocol logic,
+//! RNG draws, or event ordering — the simulator's trace fingerprints
+//! are byte-identical with observability on or off (property-tested in
+//! `ron-sim`).
+//!
+//! ```
+//! ron_obs::reset();
+//! ron_obs::set_enabled(true);
+//! {
+//!     let _stage = ron_obs::stage("nets");
+//!     ron_obs::count("oracle.ball.sparse", 3);
+//!     ron_obs::observe("directory.publish.fanout", 17);
+//! }
+//! let reg = ron_obs::drain();
+//! assert_eq!(reg.counter("oracle.ball.sparse/nets"), 3);
+//! assert_eq!(reg.histogram("directory.publish.fanout/nets").unwrap().count(), 1);
+//! ron_obs::set_enabled(false);
+//! ```
+
+mod chrome;
+mod hist;
+mod registry;
+mod span;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use hist::Pow2Histogram;
+pub use registry::{
+    chrome_enabled, count, count_labeled, drain, enabled, flush, gauge_max, init_from_env, label,
+    observe, observe_labeled, reset, set_chrome, set_enabled, Label, Registry,
+};
+pub use span::{finish, span, span_labeled, stage, start, SpanGuard, StageGuard};
+
+pub(crate) use registry::label_text as label_name;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The registry is process-global state; tests that enable it must
+    // not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        guard
+    }
+
+    fn done(guard: MutexGuard<'static, ()>) {
+        set_enabled(false);
+        reset();
+        drop(guard);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let guard = exclusive();
+        set_enabled(false);
+        count("c", 1);
+        gauge_max("g", 9);
+        observe("h", 3);
+        let _span = span("s");
+        drop(_span);
+        assert!(drain().is_empty());
+        done(guard);
+    }
+
+    #[test]
+    fn drain_is_identical_no_matter_which_threads_recorded() {
+        let guard = exclusive();
+        // Everything on one thread.
+        for i in 0..10u64 {
+            count("work.calls", 1);
+            observe("work.size", i);
+        }
+        gauge_max("work.peak", 7);
+        let single = drain();
+        // The same records spread over four threads.
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..10u64 {
+                        if i % 4 == t {
+                            count("work.calls", 1);
+                            observe("work.size", i);
+                        }
+                    }
+                    if t == 2 {
+                        gauge_max("work.peak", 7);
+                    }
+                    // Flush before the closure returns: scope() can
+                    // observe a thread as finished before its TLS
+                    // destructors run, so the drop-flush alone would
+                    // race the spawner's drain.
+                    flush();
+                });
+            }
+        });
+        let sharded = drain();
+        assert_eq!(single, sharded);
+        assert_eq!(single.counter("work.calls"), 10);
+        assert_eq!(single.gauges["work.peak"], 7);
+        assert_eq!(single.histograms["work.size"].count(), 10);
+        done(guard);
+    }
+
+    #[test]
+    fn stage_and_label_compose_into_sorted_keys() {
+        let guard = exclusive();
+        let shard = label("shard3");
+        {
+            let _s = stage("publish");
+            count("oracle.ball", 2);
+            count_labeled("cache.hit", shard, 5);
+        }
+        count("oracle.ball", 1); // no stage
+        count_labeled("cache.hit", Label::Static("w0"), 4);
+        let reg = drain();
+        let keys: Vec<&str> = reg.counters.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "cache.hit/publish/shard3",
+                "cache.hit/w0",
+                "oracle.ball",
+                "oracle.ball/publish"
+            ]
+        );
+        assert_eq!(reg.counter_prefix_sum("oracle.ball"), 3);
+        assert_eq!(reg.counter_prefix_sum("cache.hit"), 9);
+        done(guard);
+    }
+
+    #[test]
+    fn spans_record_durations_and_registry_merge_is_deterministic() {
+        let guard = exclusive();
+        {
+            let _g = span!("unit.span");
+            std::hint::black_box(0u64);
+        }
+        finish("unit.hot", start());
+        let a = drain();
+        assert_eq!(a.histograms["unit.span"].count(), 1);
+        assert_eq!(a.histograms["unit.hot"].count(), 1);
+
+        count("m", 1);
+        observe("d", 4);
+        let b = drain();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "registry merge must be order-independent");
+        assert_eq!(ab.counter("m"), 1);
+        assert_eq!(ab.histograms["unit.span"].count(), 1);
+        done(guard);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let guard = exclusive();
+        count("a.calls", 3);
+        gauge_max("b.depth", 12);
+        observe("c.lat", 0);
+        observe("c.lat", 900);
+        let reg = drain();
+        let json = reg.to_json();
+        assert_json_object(&json);
+        assert!(json.contains("\"a.calls\":3"));
+        assert!(json.contains("\"b.depth\":12"));
+        assert!(json.contains("\"count\":2"));
+        done(guard);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_json() {
+        let guard = exclusive();
+        set_chrome(true);
+        {
+            let _a = span("trace.outer");
+            let _b = span_labeled("trace.inner", label("phase1"));
+        }
+        let json = chrome_trace_json();
+        set_chrome(false);
+        // An array of one-object-per-line complete events.
+        assert_json_array_of_objects(&json, 2);
+        assert!(json.contains("\"name\":\"trace.inner/phase1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Draining consumed the events.
+        assert_eq!(chrome_trace_json().trim(), "[\n]");
+        done(guard);
+    }
+
+    /// Minimal JSON checker: validates one value and returns the rest.
+    fn skip_json_value(s: &str) -> &str {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next().map(|(_, c)| c) {
+            Some('{') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(r) = rest.strip_prefix('}') {
+                    return r;
+                }
+                loop {
+                    rest = rest.trim_start();
+                    assert!(
+                        rest.starts_with('"'),
+                        "object key must be a string: {rest:.40}"
+                    );
+                    rest = skip_json_value(rest);
+                    rest = rest.trim_start();
+                    rest = rest.strip_prefix(':').expect("missing ':' in object");
+                    rest = skip_json_value(rest);
+                    rest = rest.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r;
+                    } else {
+                        return rest.strip_prefix('}').expect("missing '}'");
+                    }
+                }
+            }
+            Some('[') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(r) = rest.strip_prefix(']') {
+                    return r;
+                }
+                loop {
+                    rest = skip_json_value(rest);
+                    rest = rest.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r;
+                    } else {
+                        return rest.strip_prefix(']').expect("missing ']'");
+                    }
+                }
+            }
+            Some('"') => {
+                let mut escaped = false;
+                for (i, c) in chars {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        return &s[i + 1..];
+                    }
+                }
+                panic!("unterminated string");
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+                    .unwrap_or(s.len());
+                s[..end].parse::<f64>().expect("bad number");
+                &s[end..]
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if let Some(r) = s.strip_prefix(lit) {
+                        return r;
+                    }
+                }
+                panic!("unrecognised JSON value: {s:.40}");
+            }
+        }
+    }
+
+    fn assert_json_object(s: &str) {
+        assert!(s.trim_start().starts_with('{'));
+        assert!(skip_json_value(s).trim().is_empty(), "trailing garbage");
+    }
+
+    fn assert_json_array_of_objects(s: &str, expected: usize) {
+        assert!(s.trim_start().starts_with('['));
+        assert!(skip_json_value(s).trim().is_empty(), "trailing garbage");
+        let events = s
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .count();
+        assert_eq!(events, expected, "expected {expected} events in {s}");
+    }
+}

@@ -463,6 +463,19 @@ pub enum DirectoryMsg {
 impl SimNode for DirectoryNode {
     type Msg = DirectoryMsg;
 
+    fn gram_type(msg: &DirectoryMsg) -> &'static str {
+        match msg {
+            DirectoryMsg::Lookup { .. } => "lookup",
+            DirectoryMsg::Climb { .. } => "climb",
+            DirectoryMsg::Descend { .. } => "descend",
+            DirectoryMsg::Publish { .. } => "publish",
+            DirectoryMsg::Install { .. } => "install",
+            DirectoryMsg::Repair { .. } => "repair",
+            DirectoryMsg::RepairGram { .. } => "repair_gram",
+            DirectoryMsg::RepairAck { .. } => "repair_ack",
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, DirectoryMsg>, msg: DirectoryMsg) {
         match msg {
             DirectoryMsg::Lookup { obj } => {

@@ -70,6 +70,13 @@ pub trait SimNode {
     /// channel to the outside world: send messages, resolve the query,
     /// query the distance oracle.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, msg: Self::Msg);
+
+    /// A short static name for the gram (message) variant, used only by
+    /// the observability layer to count traffic by type. The default
+    /// lumps everything under `"gram"`; drivers override it per variant.
+    fn gram_type(_msg: &Self::Msg) -> &'static str {
+        "gram"
+    }
 }
 
 /// The handler-side view of the simulator during one delivery.
@@ -247,6 +254,10 @@ pub struct Simulator<'a, N: SimNode> {
     node_received: Vec<u64>,
     phase_marks: Vec<PhaseMark>,
     trace: u64,
+    /// Interned label of the most recent phase mark, attached to
+    /// delivery counts when observability is on. Never read by the
+    /// protocol or the trace fingerprint.
+    phase_label: ron_obs::Label,
 }
 
 impl<'a, N: SimNode> Simulator<'a, N> {
@@ -280,6 +291,7 @@ impl<'a, N: SimNode> Simulator<'a, N> {
             node_received: vec![0; n],
             phase_marks: Vec::new(),
             trace: FNV_OFFSET,
+            phase_label: ron_obs::Label::None,
         }
     }
 
@@ -419,6 +431,9 @@ impl<'a, N: SimNode> Simulator<'a, N> {
     pub fn run(&mut self) -> SimReport {
         while let Some(Reverse(ev)) = self.heap.pop() {
             self.now = self.now.max(ev.time);
+            // High-water mark of the event queue; purely observational
+            // (gauge_max is a no-op unless the registry is enabled).
+            ron_obs::gauge_max("sim.queue.depth", self.heap.len() as u64 + 1);
             match ev.kind {
                 EventKind::Crash { node } => {
                     fnv(&mut self.trace, 1);
@@ -437,6 +452,10 @@ impl<'a, N: SimNode> Simulator<'a, N> {
                     fnv(&mut self.trace, ev.time.to_bits());
                     for byte in name.bytes() {
                         fnv(&mut self.trace, u64::from(byte));
+                    }
+                    if ron_obs::enabled() {
+                        // Intern once per mark, not per delivery.
+                        self.phase_label = ron_obs::label(&name);
                     }
                     self.phase_marks.push(PhaseMark {
                         name,
@@ -484,6 +503,14 @@ impl<'a, N: SimNode> Simulator<'a, N> {
                     self.counts.delivered += 1;
                     self.node_received[dst.index()] += 1;
                     self.queries[qid as usize].hops += 1;
+                    if ron_obs::enabled() {
+                        ron_obs::count_labeled(
+                            "sim.gram",
+                            ron_obs::Label::Static(N::gram_type(&msg)),
+                            1,
+                        );
+                        ron_obs::count_labeled("sim.deliveries", self.phase_label, 1);
+                    }
                     self.handle(dst, qid, msg);
                 }
             }

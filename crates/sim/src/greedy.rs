@@ -64,6 +64,10 @@ pub struct GreedyPacket {
 impl SimNode for GreedyNode {
     type Msg = GreedyPacket;
 
+    fn gram_type(_msg: &GreedyPacket) -> &'static str {
+        "greedy"
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, GreedyPacket>, msg: GreedyPacket) {
         if self.me == msg.target {
             ctx.complete(self.me, 0);

@@ -65,6 +65,10 @@ impl BasicPacket {
 impl SimNode for BasicOverlayNode {
     type Msg = BasicPacket;
 
+    fn gram_type(_msg: &BasicPacket) -> &'static str {
+        "basic"
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, BasicPacket>, msg: BasicPacket) {
         if self.state.node() == msg.label.node() {
             ctx.complete(self.state.node(), 0);
@@ -124,6 +128,10 @@ pub struct SimplePacket {
 
 impl SimNode for SimpleOverlayNode {
     type Msg = SimplePacket;
+
+    fn gram_type(_msg: &SimplePacket) -> &'static str {
+        "simple"
+    }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SimplePacket>, msg: SimplePacket) {
         if self.state.node() == msg.target {

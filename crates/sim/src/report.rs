@@ -333,14 +333,46 @@ impl SimReport {
             .collect()
     }
 
-    /// Renders [`availability_timeline`](SimReport::availability_timeline)
-    /// as an aligned text block, one line per bucket.
+    /// The availability timeline with empty trailing windows removed.
+    /// The run's end-of-run bookkeeping (final repair acks, deadline
+    /// flushes) often pushes `end_time` well past the last injection,
+    /// which would otherwise render as trailing rows of "0 injected"
+    /// noise. Leading and interior empty windows are kept — a mid-run
+    /// gap is signal — and at least one window always survives.
+    #[must_use]
+    pub fn availability_timeline_trimmed(&self, buckets: usize) -> Vec<AvailabilityBucket> {
+        let mut timeline = self.availability_timeline(buckets);
+        while timeline.len() > 1 && timeline.last().is_some_and(|b| b.injected == 0) {
+            timeline.pop();
+        }
+        timeline
+    }
+
+    /// Renders the [trimmed](SimReport::availability_timeline_trimmed)
+    /// availability timeline as an aligned text block, one line per
+    /// bucket. Windows containing a phase boundary recorded by
+    /// `Simulator::mark_phase` (a churn wave, a repair round) are
+    /// annotated with the phase names, so a success-rate dip can be
+    /// read against the event that caused it.
     #[must_use]
     pub fn render_availability(&self, buckets: usize) -> String {
+        let timeline = self.availability_timeline_trimmed(buckets);
+        let width = timeline[0].end - timeline[0].start;
+        let mut marks: Vec<Vec<&str>> = vec![Vec::new(); timeline.len()];
+        for mark in &self.phases {
+            // Same bucketing rule as the records, clamped so marks in
+            // the trimmed tail annotate the last visible window.
+            let k = if width > 0.0 {
+                ((mark.start / width) as usize).min(timeline.len() - 1)
+            } else {
+                0
+            };
+            marks[k].push(mark.name.as_str());
+        }
         let mut out = String::new();
-        for b in self.availability_timeline(buckets) {
+        for (b, names) in timeline.iter().zip(&marks) {
             out.push_str(&format!(
-                "avail [{:>9.2}, {:>9.2})  {:>6} injected, {:>6} completed ({:>6}), p99 {:.3}\n",
+                "avail [{:>9.2}, {:>9.2})  {:>6} injected, {:>6} completed ({:>6}), p99 {:.3}",
                 b.start,
                 b.end,
                 b.injected,
@@ -348,6 +380,10 @@ impl SimReport {
                 render_rate(b.success_rate()),
                 b.p99_latency,
             ));
+            if !names.is_empty() {
+                out.push_str(&format!("  <- {}", names.join(", ")));
+            }
+            out.push('\n');
         }
         out
     }
@@ -546,6 +582,54 @@ mod tests {
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("0.0%"), "{text}");
         assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn trimmed_timeline_drops_empty_tail_and_labels_phases() {
+        let mut r = report_with_loads(vec![0, 0]);
+        // Injections stop at t=3; the run's bookkeeping tail stretches
+        // end_time to 10, which untrimmed renders as empty windows.
+        r.end_time = 10.0;
+        let mk = |t: f64| QueryRecord {
+            origin: Node::new(0),
+            injected_at: t,
+            resolved_at: t + 0.5,
+            resolution: Resolution::Delivered {
+                at: Node::new(1),
+                detail: 0,
+            },
+            hops: 1,
+        };
+        r.records = vec![mk(0.5), mk(1.5), mk(3.0)];
+        r.queries = 3;
+        r.completed = 3;
+        r.phases = vec![
+            PhaseMark {
+                name: String::from("wave1"),
+                start: 1.0,
+                received_before: vec![0, 0],
+            },
+            PhaseMark {
+                name: String::from("repair"),
+                start: 9.0,
+                received_before: vec![0, 0],
+            },
+        ];
+        assert_eq!(r.availability_timeline(10).len(), 10);
+        let trimmed = r.availability_timeline_trimmed(10);
+        assert_eq!(trimmed.len(), 4, "buckets past the last injection go");
+        assert_eq!(trimmed.iter().map(|b| b.injected).sum::<usize>(), 3);
+        let text = r.render_availability(10);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("<- wave1"), "{text}");
+        assert!(
+            text.lines().last().unwrap().contains("<- repair"),
+            "marks in the trimmed tail clamp to the last window: {text}"
+        );
+        // An empty run still renders (one empty window, no panic).
+        let empty = report_with_loads(vec![0]);
+        assert_eq!(empty.availability_timeline_trimmed(5).len(), 1);
+        assert_eq!(empty.render_availability(5).lines().count(), 1);
     }
 
     #[test]

@@ -274,6 +274,42 @@ fn trace_fingerprint_is_identical_across_thread_counts_and_reruns() {
     assert_ne!(single, other_seed, "the seed must actually matter");
 }
 
+/// Acceptance: observability is provably non-perturbing. With metrics
+/// recording enabled the trace fingerprint is byte-identical to the
+/// disabled run, across reruns and thread counts — the instrumentation
+/// counts the schedule but never steers it — and the obs registry
+/// actually saw the run (gram counters match is checked loosely via
+/// non-emptiness; exact accounting lives in the engine's own tests).
+#[test]
+fn obs_instrumentation_does_not_perturb_the_trace() {
+    let baseline = fingerprint_run(91);
+    ron_obs::set_enabled(true);
+    ron_obs::reset();
+    let observed = fingerprint_run(91);
+    let observed_parallel = par::with_threads(4, || fingerprint_run(91));
+    let registry = ron_obs::drain();
+    ron_obs::set_enabled(false);
+    ron_obs::reset();
+    let after = fingerprint_run(91);
+    assert_eq!(
+        baseline, observed,
+        "enabling obs must not change the event schedule"
+    );
+    assert_eq!(
+        observed, observed_parallel,
+        "obs + RON_THREADS must not change the trace"
+    );
+    assert_eq!(baseline, after, "disabling obs must restore silence");
+    assert!(
+        registry.counter_prefix_sum("sim.gram") > 0,
+        "the observed runs must actually have recorded gram counts"
+    );
+    assert!(
+        registry.counter_prefix_sum("sim.deliveries") > 0,
+        "per-phase delivery counters must have recorded"
+    );
+}
+
 /// Acceptance: simulated greedy hop counts grow like O(log n) across
 /// n in {256, 1024, 4096} — each size stays under a fixed multiple of
 /// log2 n, at message level with every route completing.

@@ -22,6 +22,11 @@ const LOOKUPS: usize = 10_000;
 const SEED: u64 = 1105;
 
 fn main() {
+    // Observability is opt-in: RON_TRACE=chrome dumps a Chrome trace,
+    // RON_OBS=1 prints the metrics registry at the end. Off by default,
+    // and provably non-perturbing either way.
+    rings_of_neighbors::obs::init_from_env();
+
     // 1. A 4096-point doubling metric and the directory overlay: nested
     //    nets, factor-2 publish rings, empty pointer tables.
     let t0 = Instant::now();
@@ -177,6 +182,20 @@ fn main() {
         report.successes, report.served,
         "repaired overlay must serve every lookup"
     );
+
+    // 6. Export what observability collected, if it was on.
+    if rings_of_neighbors::obs::enabled() {
+        println!("\nobservability registry:");
+        print!("{}", rings_of_neighbors::obs::drain().render());
+    }
+    if rings_of_neighbors::obs::chrome_enabled() {
+        let path =
+            std::env::var("RON_TRACE_PATH").unwrap_or_else(|_| String::from("ron_trace.json"));
+        match rings_of_neighbors::obs::write_chrome_trace(std::path::Path::new(&path)) {
+            Ok(events) => println!("wrote {events} trace events to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }
 
 /// Median out-degree from a degree histogram.

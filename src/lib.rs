@@ -21,6 +21,7 @@ pub use ron_location as location;
 pub use ron_measure as measure;
 pub use ron_metric as metric;
 pub use ron_nets as nets;
+pub use ron_obs as obs;
 pub use ron_routing as routing;
 pub use ron_sim as sim;
 pub use ron_smallworld as smallworld;
