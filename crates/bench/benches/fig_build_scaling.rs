@@ -4,8 +4,11 @@
 //! `RON_SCALING_N` nodes (default 65 536 — a size whose dense `O(n^2)`
 //! index cannot be held, which is the point), once single-threaded and
 //! once on every available core, asserts the outputs are bit-identical,
-//! and prints the per-stage wall times. `RON_THREADS` overrides the
-//! parallel worker count.
+//! and prints the per-stage wall times plus the resident bytes per node.
+//! `RON_THREADS` overrides the parallel worker count; set
+//! `RON_SCALING_CURVE=131072,262144,...` to append the sparse-only
+//! scaling-curve table (two-worker bit-identity and the bytes-per-node
+//! budget asserted at every size).
 //!
 //! The table is also written to `BENCH_report.json` so CI can archive the
 //! perf trajectory; a smaller timed probe (nets + rings at n = 4096)
@@ -25,8 +28,17 @@ fn bench(c: &mut Criterion) {
     let table = ron_bench::fig_build_scaling(n);
     let table_ms = start.elapsed().as_secs_f64() * 1e3;
     println!("{}", table.render());
+    let mut tables = vec![(table, table_ms)];
+    let curve = ron_bench::scaling_curve();
+    if !curve.is_empty() {
+        let start = Instant::now();
+        let curve_table = ron_bench::fig_build_scaling_curve(&curve);
+        let curve_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!("{}", curve_table.render());
+        tables.push((curve_table, curve_ms));
+    }
     let path = ron_bench::report_json_path();
-    if let Err(e) = ron_bench::write_report_json(&path, &[(table, table_ms)]) {
+    if let Err(e) = ron_bench::write_report_json(&path, &tables) {
         eprintln!("could not write {path}: {e}");
     } else {
         println!("wrote {path}");

@@ -41,6 +41,10 @@ fn main() {
     run(&mut || ron_bench::fig_churn(sim_n));
     run(&mut || ron_bench::fig_avail(sim_n));
     run(&mut || ron_bench::fig_build_scaling(scaling_n));
+    let curve = ron_bench::scaling_curve();
+    if !curve.is_empty() {
+        run(&mut || ron_bench::fig_build_scaling_curve(&curve));
+    }
 
     // E-OBS last: it toggles the recording flag around its own passes,
     // and its drained registry rides into the JSON as the "obs" block.

@@ -20,7 +20,7 @@ use ron_location::{
     ChurnConfig, ChurnSchedule, DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine,
     Snapshot,
 };
-use ron_metric::{gen, BallOracle, LineMetric, Metric, Node, Space};
+use ron_metric::{gen, BallOracle, HeapBytes, LineMetric, Metric, NetTreeIndex, Node, Space};
 use ron_nets::NestedNets;
 use ron_routing::{BasicScheme, FullTableBaseline, SimpleScheme, StretchStats, TwoModeScheme};
 use ron_smallworld::{
@@ -906,6 +906,21 @@ pub fn fig_scaling() -> Table {
 /// and says so instead of thrashing.
 pub const DENSE_NODE_CAP: usize = 8192;
 
+/// Largest `n` at which [`fig_build_scaling`] times the one-node-at-a-time
+/// incremental tree growth as its own row: each insert is cheap, but a
+/// from-scratch incremental build is strictly worse than the batch pass
+/// (that is not its job — it exists so churn does not pay for a rebuild),
+/// so past this size the row would only stretch the wall clock.
+pub const INCREMENTAL_TIMING_CAP: usize = 16_384;
+
+/// Heap budget for the built structures — sparse index plus directory
+/// overlay with its nets, rings and pointer tables — in bytes per node.
+/// The compact-id arenas hold the whole ladder within this on the 2-d
+/// uniform cube at every benchmarked size up to `2^20`; the scaling
+/// figures assert it so a layout regression fails loudly instead of
+/// silently doubling the footprint.
+pub const BYTES_PER_NODE_BUDGET: usize = 4096;
+
 /// The instance size for [`fig_build_scaling`]: `RON_SCALING_N` when set,
 /// else the acceptance target of 65 536 nodes.
 #[must_use]
@@ -924,6 +939,23 @@ pub fn scaling_n_or(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// The extra instance sizes for [`fig_build_scaling_curve`]:
+/// `RON_SCALING_CURVE` as a comma-separated list of node counts
+/// (`"131072,262144,524288,1048576"`), empty when unset — the curve is
+/// opt-in because its larger sizes take minutes, not seconds.
+#[must_use]
+pub fn scaling_curve() -> Vec<usize> {
+    std::env::var("RON_SCALING_CURVE")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 2)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// One timed construction pass over a 2-d uniform cube of `n` points:
 /// ball index, net ladder, publish rings, directory assembly, and a
 /// batched publish of `n / 16` objects.
@@ -933,6 +965,7 @@ struct BuildTimings {
     rings_ms: f64,
     directory_ms: f64,
     publish_ms: f64,
+    struct_bytes: usize,
     fingerprint: u64,
 }
 
@@ -983,7 +1016,7 @@ fn fingerprint_overlay(rings: &RingFamily, overlay: &DirectoryOverlay) -> u64 {
 fn timed_build<M, I>(space: &Space<M, I>, index_ms: f64) -> BuildTimings
 where
     M: Metric,
-    I: BallOracle,
+    I: BallOracle + HeapBytes,
 {
     let n = space.len();
     let start = Instant::now();
@@ -1021,6 +1054,9 @@ where
         rings_ms,
         directory_ms,
         publish_ms,
+        // The overlay owns its net ladder, ring arena and pointer
+        // tables, so index + overlay is the whole resident structure.
+        struct_bytes: space.index().heap_bytes() + overlay.heap_bytes(),
         fingerprint: fingerprint_overlay(&rings, &overlay),
     }
 }
@@ -1051,6 +1087,7 @@ pub fn fig_build_scaling(n: usize) -> Table {
             "directory ms",
             "publish ms",
             "total ms",
+            "bytes/node",
             "fingerprint",
         ]
         .iter()
@@ -1070,6 +1107,7 @@ pub fn fig_build_scaling(n: usize) -> Table {
             f(b.directory_ms),
             f(b.publish_ms),
             f(b.total_ms()),
+            (b.struct_bytes / n).to_string(),
             format!("{:016x}", b.fingerprint),
         ]);
     };
@@ -1105,8 +1143,32 @@ pub fn fig_build_scaling(n: usize) -> Table {
             "-".into(),
             "-".into(),
             format!("{:.2}x", serial.total_ms() / parallel.total_ms().max(1e-9)),
+            "-".into(),
             "bit-identical".into(),
         ]);
+    }
+
+    if n <= INCREMENTAL_TIMING_CAP {
+        // Grow the net tree one insert at a time instead of batch-building
+        // it; the index column is the sum of all n inserts. The grown tree
+        // must answer every oracle query identically, so the pass ends in
+        // the same rings, pointers and homes — the fingerprint proves it.
+        let incremental = par::with_threads(1, || {
+            let metric = gen::uniform_cube(n, 2, 42);
+            let start = Instant::now();
+            let mut tree = NetTreeIndex::incremental(metric.clone());
+            for i in 0..n {
+                tree.insert(Node::new(i));
+            }
+            let index_ms = ms(start);
+            let space = Space::from_parts(metric, tree);
+            timed_build(&space, index_ms)
+        });
+        assert_eq!(
+            incremental.fingerprint, serial.fingerprint,
+            "incrementally grown tree must place every pointer identically"
+        );
+        push(&mut t, "sparse incremental", 1, &incremental);
     }
 
     if n <= DENSE_NODE_CAP {
@@ -1127,6 +1189,76 @@ pub fn fig_build_scaling(n: usize) -> Table {
             "-".into(),
             "-".into(),
             "-".into(),
+            "-".into(),
+        ]);
+    }
+    t
+}
+
+/// E-BSC: the sparse-backend scaling curve — one row per instance size,
+/// up to the million-node target `2^20`.
+///
+/// Each size runs the full construction pipeline single-threaded, then
+/// again under a forced two-worker split (so the check runs even on a
+/// one-core box), asserts the two fingerprints are bit-identical, and
+/// asserts the resident structures fit [`BYTES_PER_NODE_BUDGET`]. The
+/// row reports the serial per-stage times and the measured bytes per
+/// node. Opt in through `RON_SCALING_CURVE` (see [`scaling_curve`]).
+#[must_use]
+pub fn fig_build_scaling_curve(ns: &[usize]) -> Table {
+    let mut t = Table {
+        title: "E-BSC: sparse construction curve, build time and bytes per node".into(),
+        header: [
+            "n",
+            "index ms",
+            "nets ms",
+            "rings ms",
+            "directory ms",
+            "publish ms",
+            "total ms",
+            "bytes/node",
+            "fingerprint",
+            "2-worker check",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
+        rows: Vec::new(),
+        backend: "sparse net-tree".into(),
+    };
+    for &n in ns {
+        let serial = par::with_threads(1, || {
+            let start = Instant::now();
+            let space = Space::new_sparse(gen::uniform_cube(n, 2, 42));
+            let index_ms = ms(start);
+            timed_build(&space, index_ms)
+        });
+        let dual = par::with_threads(2, || {
+            let start = Instant::now();
+            let space = Space::new_sparse(gen::uniform_cube(n, 2, 42));
+            let index_ms = ms(start);
+            timed_build(&space, index_ms)
+        });
+        assert_eq!(
+            dual.fingerprint, serial.fingerprint,
+            "n = {n}: two-worker construction must be bit-identical to single-threaded"
+        );
+        let bytes_per_node = serial.struct_bytes / n;
+        assert!(
+            bytes_per_node <= BYTES_PER_NODE_BUDGET,
+            "n = {n}: {bytes_per_node} bytes/node exceeds the {BYTES_PER_NODE_BUDGET}-byte budget"
+        );
+        t.rows.push(vec![
+            n.to_string(),
+            f(serial.index_ms),
+            f(serial.nets_ms),
+            f(serial.rings_ms),
+            f(serial.directory_ms),
+            f(serial.publish_ms),
+            f(serial.total_ms()),
+            bytes_per_node.to_string(),
+            format!("{:016x}", serial.fingerprint),
+            "bit-identical".into(),
         ]);
     }
     t
@@ -2224,6 +2356,46 @@ mod tests {
         assert!(t.to_json().contains("\"backend\":\"dense\""));
         t.backend = "per-row".into();
         assert!(t.to_json().contains("\"backend\":\"per-row\""));
+    }
+
+    #[test]
+    fn fig_build_scaling_smoke() {
+        // fig_build_scaling asserts its own bit-identity invariants
+        // (parallel and incremental fingerprints equal the serial one);
+        // here we pin the extended table shape: the bytes/node column,
+        // the incremental row below the cap, and the dense row.
+        let t = fig_build_scaling(192);
+        assert_eq!(t.header[9], "bytes/node");
+        let sparse = &t.rows[0];
+        assert_eq!(sparse[0], "sparse net-tree");
+        let bytes: usize = sparse[9].parse().expect("bytes/node is an integer");
+        assert!(
+            0 < bytes && bytes <= BYTES_PER_NODE_BUDGET,
+            "{bytes} bytes/node out of budget"
+        );
+        let inc = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "sparse incremental")
+            .expect("incremental row below INCREMENTAL_TIMING_CAP");
+        assert_eq!(inc[10], sparse[10], "fingerprints must match");
+        assert!(t.rows.iter().any(|r| r[0] == "dense index"));
+    }
+
+    #[test]
+    fn fig_build_scaling_curve_smoke() {
+        // The curve asserts its own invariants (two-worker bit-identity
+        // and the bytes/node budget at every size); here we pin one row
+        // per requested size and that bytes/node is populated.
+        let t = fig_build_scaling_curve(&[96, 160]);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let bytes: usize = row[7].parse().expect("bytes/node is an integer");
+            assert!(bytes > 0);
+            assert_eq!(row[9], "bit-identical");
+        }
+        assert_eq!(t.rows[0][0], "96");
+        assert_eq!(t.rows[1][0], "160");
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod stats;
 pub mod zoom;
 
 pub use enumeration::{Enumeration, TranslationFn};
-pub use rings::{NodeRings, Ring, RingFamily};
+pub use rings::{NodeRings, Ring, RingFamily, RingView};
 pub use ron_metric::par;

@@ -1,14 +1,28 @@
 //! The rings-of-neighbors data structure itself.
 //!
-//! A [`RingFamily`] stores, for every node `u`, a list of [`Ring`]s: the
+//! A [`RingFamily`] stores, for every node `u`, a list of rings: the
 //! `i`-th ring contains pointers to nodes inside a ball `B_i` around `u`.
 //! The structure is an overlay network; [`RingFamily::out_degree`] and
 //! friends report the quantities the paper's theorem statements bound.
+//!
+//! # Memory layout
+//!
+//! The family is a compact-id CSR arena, not a vec-of-vec-of-rings: one
+//! global `(level, radius)` table (rings are built at the same scales for
+//! every node), one offset array, and one flat 4-byte-per-pointer member
+//! arena. Accessors hand out borrowing [`RingView`]s; per-node owned
+//! [`Ring`]s exist only where a node genuinely owns its slice
+//! ([`RingFamily::partition`] → [`NodeRings`], the simulator's
+//! distributed state). [`HeapBytes`] accounts the exact footprint.
 
-use ron_metric::{par, BallOracle, Metric, Node, Space};
+use ron_metric::mem::vec_capacity_bytes;
+use ron_metric::{par, BallOracle, CompactId, HeapBytes, Metric, Node, Space};
 use ron_nets::NestedNets;
 
-/// One ring of a node: the neighbors at one scale.
+/// One owned ring of a node: the neighbors at one scale.
+///
+/// The borrowing equivalent — what [`RingFamily`]'s accessors return —
+/// is [`RingView`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Ring {
     /// The scale index of this ring (application-specific; e.g. the net
@@ -58,7 +72,55 @@ impl Ring {
     }
 }
 
-/// Rings of neighbors for every node of a space.
+/// A borrowed view of one ring inside a [`RingFamily`] arena: the same
+/// read surface as [`Ring`], without owning the members.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RingView<'a> {
+    /// The scale index of this ring.
+    pub level: usize,
+    /// Radius of the ball this ring is contained in.
+    pub radius: f64,
+    members: &'a [CompactId],
+}
+
+impl<'a> RingView<'a> {
+    /// The neighbor pointers, in node-id order. The borrow is tied to the
+    /// family, not this view, so the slice outlives the `RingView` value.
+    #[must_use]
+    pub fn members(&self) -> &'a [Node] {
+        CompactId::as_nodes(self.members)
+    }
+
+    /// Number of neighbors in this ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `v` is in this ring.
+    #[must_use]
+    pub fn contains(&self, v: Node) -> bool {
+        self.members.binary_search(&CompactId::from(v)).is_ok()
+    }
+
+    /// An owning copy of this ring.
+    #[must_use]
+    pub fn to_ring(&self) -> Ring {
+        Ring {
+            level: self.level,
+            radius: self.radius,
+            members: self.members().to_vec(),
+        }
+    }
+}
+
+/// Rings of neighbors for every node of a space, in one compact arena.
 ///
 /// # Example
 ///
@@ -72,9 +134,7 @@ impl Ring {
 ///
 /// let space = Space::new(LineMetric::uniform(32)?);
 /// let nets = NestedNets::build(&space);
-/// let rings = RingFamily::from_nets(&space, &nets, |j, net_radius| {
-///     Some(4.0 * net_radius * (1 << 0) as f64 * (j as f64 + 1.0) / (j as f64 + 1.0))
-/// });
+/// let rings = RingFamily::from_nets(&space, &nets, |_, net_radius| Some(4.0 * net_radius));
 /// let u = Node::new(0);
 /// for ring in rings.rings_of(u) {
 ///     for &v in ring.members() {
@@ -85,7 +145,17 @@ impl Ring {
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct RingFamily {
-    per_node: Vec<Vec<Ring>>,
+    n: usize,
+    /// Global `(scale index, radius)` per built level, in build order —
+    /// the same for every node.
+    levels: Vec<(usize, f64)>,
+    /// CSR offsets into `members`, level-major: the ring of node `u` at
+    /// built-level position `j` is `members[start[j * (n + 1) + u] ..
+    /// start[j * (n + 1) + u + 1]]`.
+    start: Vec<u32>,
+    /// Flat pointer arena, 4 bytes per ring entry; each ring's slice is
+    /// sorted by node id.
+    members: Vec<CompactId>,
 }
 
 impl RingFamily {
@@ -115,7 +185,9 @@ impl RingFamily {
         let _span = ron_obs::span("construct.rings");
         let n = space.len();
         let oracle = space.index();
-        let mut per_node: Vec<Vec<Ring>> = (0..n).map(|_| Vec::new()).collect();
+        let mut levels: Vec<(usize, f64)> = Vec::new();
+        let mut start: Vec<u32> = Vec::new();
+        let mut arena: Vec<CompactId> = Vec::new();
         for (j, net) in nets.iter() {
             let Some(r) = ring_radius(j, net.radius()) else {
                 continue;
@@ -126,55 +198,119 @@ impl RingFamily {
                 oracle.for_each_in_ball(members[i], r, &mut |_, v| hit.push(v));
                 hit
             });
-            let mut ring_members: Vec<Vec<Node>> = (0..n).map(|_| Vec::new()).collect();
-            for (i, hit) in reached.into_iter().enumerate() {
+            // Counting-sort scatter into this level's CSR block. Members
+            // are scanned in ascending id order, so each node's ring
+            // arrives already sorted.
+            let base = arena.len();
+            let mut counts = vec![0u32; n + 1];
+            for hit in &reached {
                 for v in hit {
-                    // Members are scanned in ascending id order, so each
-                    // node's ring arrives already sorted.
-                    ring_members[v.index()].push(members[i]);
+                    counts[v.index() + 1] += 1;
                 }
             }
-            for (v, members_of_v) in ring_members.into_iter().enumerate() {
-                per_node[v].push(Ring::new(j, r, members_of_v));
+            for i in 1..counts.len() {
+                counts[i] += counts[i - 1];
             }
+            let total = counts[n] as usize;
+            let level_start: Vec<u32> = counts
+                .iter()
+                .map(|&c| u32::try_from(base + c as usize).expect("ring arena exceeds u32"))
+                .collect();
+            let mut cursor = counts;
+            arena.resize(base + total, CompactId::default());
+            for (i, hit) in reached.iter().enumerate() {
+                for v in hit {
+                    arena[base + cursor[v.index()] as usize] = CompactId::from(members[i]);
+                    cursor[v.index()] += 1;
+                }
+            }
+            levels.push((j, r));
+            start.extend_from_slice(&level_start[..n]);
+            start.push(level_start[n]);
         }
-        RingFamily { per_node }
+        RingFamily {
+            n,
+            levels,
+            start,
+            members: arena,
+        }
     }
 
     /// Builds a family from explicit per-node rings (for sampled
-    /// constructions; see the small-world crate).
+    /// constructions).
     ///
     /// # Panics
     ///
-    /// Panics if `per_node` is empty.
+    /// Panics if `per_node` is empty, or if the nodes do not share the
+    /// same `(level, radius)` sequence (the arena layout stores the scale
+    /// table once, globally — which every in-tree construction satisfies).
     #[must_use]
     pub fn from_rings(per_node: Vec<Vec<Ring>>) -> Self {
         assert!(!per_node.is_empty(), "ring family needs at least one node");
-        RingFamily { per_node }
+        let n = per_node.len();
+        let levels: Vec<(usize, f64)> = per_node[0]
+            .iter()
+            .map(|ring| (ring.level, ring.radius))
+            .collect();
+        for (i, rings) in per_node.iter().enumerate() {
+            let got: Vec<(usize, f64)> = rings.iter().map(|r| (r.level, r.radius)).collect();
+            assert!(
+                got == levels,
+                "node {i} has level sequence {got:?}, expected the global {levels:?}"
+            );
+        }
+        let mut start: Vec<u32> = Vec::with_capacity(levels.len() * (n + 1));
+        let mut arena: Vec<CompactId> = Vec::new();
+        for j in 0..levels.len() {
+            for rings in &per_node {
+                start.push(u32::try_from(arena.len()).expect("ring arena exceeds u32"));
+                arena.extend(rings[j].members().iter().map(|&v| CompactId::from(v)));
+            }
+            start.push(u32::try_from(arena.len()).expect("ring arena exceeds u32"));
+        }
+        RingFamily {
+            n,
+            levels,
+            start,
+            members: arena,
+        }
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.per_node.len()
+        self.n
     }
 
     /// Whether the family is empty (never true: construction panics).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.per_node.is_empty()
+        self.n == 0
     }
 
-    /// The rings of node `u`.
-    #[must_use]
-    pub fn rings_of(&self, u: Node) -> &[Ring] {
-        &self.per_node[u.index()]
+    /// The ring at built-level position `idx` (not scale index) of `u`.
+    fn view_at(&self, u: Node, idx: usize) -> RingView<'_> {
+        let (level, radius) = self.levels[idx];
+        let base = idx * (self.n + 1) + u.index();
+        let lo = self.start[base] as usize;
+        let hi = self.start[base + 1] as usize;
+        RingView {
+            level,
+            radius,
+            members: &self.members[lo..hi],
+        }
+    }
+
+    /// The rings of node `u`, one [`RingView`] per built level.
+    pub fn rings_of(&self, u: Node) -> impl Iterator<Item = RingView<'_>> + '_ {
+        (0..self.levels.len()).map(move |idx| self.view_at(u, idx))
     }
 
     /// The ring of `u` with the given scale index, if present.
     #[must_use]
-    pub fn ring(&self, u: Node, level: usize) -> Option<&Ring> {
-        self.per_node[u.index()].iter().find(|r| r.level == level)
+    pub fn ring(&self, u: Node, level: usize) -> Option<RingView<'_>> {
+        let idx = self.levels.iter().position(|&(l, _)| l == level)?;
+        Some(self.view_at(u, idx))
     }
 
     /// All distinct neighbors of `u` across rings (sorted by node id).
@@ -189,11 +325,7 @@ impl RingFamily {
     /// (allocation-free when `buf` has capacity).
     fn collect_neighbors(&self, u: Node, buf: &mut Vec<Node>) {
         buf.clear();
-        buf.extend(
-            self.per_node[u.index()]
-                .iter()
-                .flat_map(|r| r.members().iter().copied()),
-        );
+        buf.extend(self.rings_of(u).flat_map(|r| r.members().iter().copied()));
         buf.sort_unstable();
         buf.dedup();
     }
@@ -239,18 +371,15 @@ impl RingFamily {
     /// distributed structure.
     #[must_use]
     pub fn total_pointers(&self) -> usize {
-        self.per_node
-            .iter()
-            .flat_map(|rings| rings.iter().map(Ring::len))
-            .sum()
+        self.members.len()
     }
 
     /// Largest single ring cardinality (the paper's `K`).
     #[must_use]
     pub fn max_ring_size(&self) -> usize {
-        self.per_node
-            .iter()
-            .flat_map(|rings| rings.iter().map(Ring::len))
+        self.start
+            .chunks(self.n + 1)
+            .flat_map(|level_start| level_start.windows(2).map(|w| (w[1] - w[0]) as usize))
             .max()
             .unwrap_or(0)
     }
@@ -264,12 +393,13 @@ impl RingFamily {
     /// simulated node may touch only its own [`NodeRings`].
     #[must_use]
     pub fn partition(&self) -> Vec<NodeRings> {
-        self.per_node
-            .iter()
-            .enumerate()
-            .map(|(i, rings)| NodeRings {
-                node: Node::new(i),
-                rings: rings.clone(),
+        (0..self.n)
+            .map(|i| {
+                let u = Node::new(i);
+                NodeRings {
+                    node: u,
+                    rings: self.rings_of(u).map(|v| v.to_ring()).collect(),
+                }
             })
             .collect()
     }
@@ -292,6 +422,14 @@ impl RingFamily {
             }
         }
         None
+    }
+}
+
+impl HeapBytes for RingFamily {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.levels)
+            + vec_capacity_bytes(&self.start)
+            + vec_capacity_bytes(&self.members)
     }
 }
 
@@ -422,10 +560,16 @@ mod tests {
         for (i, slice) in slices.iter().enumerate() {
             let u = Node::new(i);
             assert_eq!(slice.node(), u);
-            assert_eq!(slice.rings(), rings.rings_of(u));
+            let views: Vec<RingView<'_>> = rings.rings_of(u).collect();
+            assert_eq!(slice.rings().len(), views.len());
+            for (owned, view) in slice.rings().iter().zip(&views) {
+                assert_eq!(owned.level, view.level);
+                assert_eq!(owned.radius, view.radius);
+                assert_eq!(owned.members(), view.members());
+            }
             assert_eq!(
                 slice.entries(),
-                rings.rings_of(u).iter().map(Ring::len).sum::<usize>()
+                views.iter().map(RingView::len).sum::<usize>()
             );
             for ring in slice.rings() {
                 assert_eq!(slice.ring(ring.level), Some(ring));
@@ -433,6 +577,34 @@ mod tests {
         }
         let total: usize = slices.iter().map(NodeRings::entries).sum();
         assert_eq!(total, rings.total_pointers());
+    }
+
+    #[test]
+    fn from_rings_round_trips_through_the_arena() {
+        let (_, rings) = family();
+        let per_node: Vec<Vec<Ring>> = (0..rings.len())
+            .map(|i| rings.rings_of(Node::new(i)).map(|v| v.to_ring()).collect())
+            .collect();
+        let rebuilt = RingFamily::from_rings(per_node);
+        assert_eq!(rebuilt, rings);
+    }
+
+    #[test]
+    #[should_panic(expected = "level sequence")]
+    fn from_rings_rejects_ragged_levels() {
+        let a = vec![Ring::new(0, 1.0, vec![Node::new(0)])];
+        let b = vec![Ring::new(1, 2.0, vec![Node::new(1)])];
+        let _ = RingFamily::from_rings(vec![a, b]);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_the_arena() {
+        let (_, rings) = family();
+        let bytes = rings.heap_bytes();
+        assert!(bytes >= rings.total_pointers() * 4);
+        // Shrunk-to-fit arena stays within a small constant of the raw
+        // pointer payload plus offsets.
+        assert!(bytes < (rings.total_pointers() + rings.len() * 16) * 32);
     }
 
     #[test]

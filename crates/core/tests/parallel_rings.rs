@@ -2,7 +2,7 @@
 //! identical across ball-query backends at matching ladder radii.
 
 use ron_core::{par, RingFamily};
-use ron_metric::{gen, Space};
+use ron_metric::{gen, Metric, Space};
 use ron_nets::NestedNets;
 
 #[test]
@@ -36,28 +36,43 @@ fn sparse_backend_rings_match_dense_at_same_radii() {
     for u in dense.nodes() {
         for j in 0..shared {
             assert_eq!(
-                a.ring(u, j).map(ron_core::Ring::members),
-                b.ring(u, j).map(ron_core::Ring::members),
+                a.ring(u, j).map(|ring| ring.members()),
+                b.ring(u, j).map(|ring| ring.members()),
                 "ring({u}, {j})"
             );
         }
     }
 }
 
-#[test]
-fn inverted_construction_matches_definition() {
-    // The member-centric construction must equal the textbook per-node
-    // filter `B_u(r) ∩ G_j`.
-    let space = Space::new(gen::clustered(56, 2, 4, 0.03, 5));
-    let nets = NestedNets::build(&space);
-    let rings = RingFamily::from_nets(&space, &nets, |_, r| Some(3.0 * r));
+/// The member-centric CSR-arena construction must equal the textbook
+/// per-node filter `B_u(r) ∩ G_j`, and survive a round trip through the
+/// owned per-node representation.
+fn assert_rings_match_definition<M: Metric>(space: &Space<M>) {
+    let nets = NestedNets::build(space);
+    let rings = RingFamily::from_nets(space, &nets, |_, r| Some(3.0 * r));
     for u in space.nodes() {
         for (j, net) in nets.iter() {
             let r = 3.0 * net.radius();
-            let mut expected = net.members_in_ball(&space, u, r);
+            let mut expected = net.members_in_ball(space, u, r);
             expected.sort_unstable();
             let ring = rings.ring(u, j).expect("every level built");
             assert_eq!(ring.members(), &expected[..], "ring({u}, {j})");
         }
     }
+    // Splitting into owned per-node rings and re-assembling the arena is
+    // the identity: the compact layout stores exactly the same structure.
+    let per_node: Vec<Vec<ron_core::Ring>> = rings
+        .partition()
+        .into_iter()
+        .map(|nr| nr.rings().to_vec())
+        .collect();
+    assert_eq!(RingFamily::from_rings(per_node), rings);
+}
+
+#[test]
+fn inverted_construction_matches_definition_on_all_families() {
+    assert_rings_match_definition(&Space::new(gen::uniform_cube(56, 2, 3)));
+    assert_rings_match_definition(&Space::new(gen::clustered(56, 2, 4, 0.03, 5)));
+    assert_rings_match_definition(&Space::new(gen::perturbed_grid(6, 2, 0.3, 4)));
+    assert_rings_match_definition(&Space::new(gen::exponential_line(14)));
 }

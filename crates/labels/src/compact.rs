@@ -133,7 +133,7 @@ impl CompactScheme {
         let levels = system.levels();
         let delta = system.delta();
         let nets = system.nets();
-        let diameter = space.index().diameter();
+        let diameter = space.index().diameter_ub();
         let min_dist = space.index().min_distance();
         let codec = DistanceCodec::for_delta(delta);
 

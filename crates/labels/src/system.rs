@@ -66,7 +66,7 @@ impl NeighborSystem {
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
         let n = space.len();
         let levels = cardinality_levels(n);
-        let diameter = space.index().diameter();
+        let diameter = space.index().diameter_ub();
         let counting = NodeMeasure::counting(n);
         let nets = NestedNets::build(space);
 

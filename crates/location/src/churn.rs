@@ -108,9 +108,7 @@ impl DirectoryOverlay {
                 self.level_dirty[j] = true;
             }
         }
-        for table in &mut self.tables[v.index()] {
-            table.clear();
-        }
+        self.tables.clear_node(v);
     }
 
     fn insert_member(&mut self, level: usize, v: Node) {
@@ -170,15 +168,14 @@ impl DirectoryOverlay {
                 self.level_dirty[level] = true;
             }
             for op in &nr.ops {
-                let table = &mut self.tables[nr.node.index()][op.level];
                 match op.target {
                     Some(target) => {
-                        if table.insert(op.obj, target) != Some(target) {
+                        if self.tables.insert(nr.node, op.level, op.obj, target) != Some(target) {
                             report.pointer_writes += 1;
                         }
                     }
                     None => {
-                        if table.remove(&op.obj).is_some() {
+                        if self.tables.remove(nr.node, op.level, op.obj).is_some() {
                             report.pointer_deletes += 1;
                         }
                     }

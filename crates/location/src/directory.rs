@@ -12,8 +12,11 @@
 use std::collections::HashMap;
 
 use ron_core::RingFamily;
-use ron_metric::{BallOracle, Metric, Node, Space};
+use ron_metric::mem::{nested_vec_bytes, vec_capacity_bytes};
+use ron_metric::{BallOracle, HeapBytes, Metric, Node, Space};
 use ron_nets::NestedNets;
+
+use crate::tables::PointerTables;
 
 /// Identifier of a published object.
 ///
@@ -93,8 +96,9 @@ pub struct DirectoryOverlay {
     pub(crate) touched: Vec<Vec<Node>>,
     pub(crate) alive: Vec<bool>,
     pub(crate) alive_count: usize,
-    /// `tables[v][j]`: the level-`j` pointer entries stored at node `v`.
-    pub(crate) tables: Vec<Vec<HashMap<ObjectId, Node>>>,
+    /// Per-node directory pointer entries, keyed by `(level, object)` in
+    /// one sorted compact array per node.
+    pub(crate) tables: PointerTables,
     /// Published objects in publish order (deterministic iteration).
     pub(crate) objects: Vec<ObjectId>,
     pub(crate) homes: HashMap<ObjectId, Node>,
@@ -172,7 +176,7 @@ impl DirectoryOverlay {
             touched: vec![Vec::new(); levels],
             alive: vec![true; n],
             alive_count: n,
-            tables: (0..n).map(|_| vec![HashMap::new(); levels]).collect(),
+            tables: PointerTables::new(n),
             objects: Vec::new(),
             homes: HashMap::new(),
             placements: HashMap::new(),
@@ -274,16 +278,13 @@ impl DirectoryOverlay {
     /// Total directory entries currently installed across all nodes.
     #[must_use]
     pub fn total_entries(&self) -> usize {
-        self.tables
-            .iter()
-            .flat_map(|levels| levels.iter().map(HashMap::len))
-            .sum()
+        self.tables.total()
     }
 
     /// Directory entries stored at `v` (its share of the serving load).
     #[must_use]
     pub fn entries_at(&self, v: Node) -> usize {
-        self.tables[v.index()].iter().map(HashMap::len).sum()
+        self.tables.entries_at(v)
     }
 
     /// Nodes whose level-`level` membership changed since the last
@@ -329,7 +330,27 @@ impl DirectoryOverlay {
     /// Looks up the level-`level` entry for `obj` at node `v`.
     #[must_use]
     pub(crate) fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
-        self.tables[v.index()][level].get(&obj).copied()
+        self.tables.get(v, level, obj)
+    }
+}
+
+impl HeapBytes for DirectoryOverlay {
+    /// The overlay's structural heap footprint: ladder radii, dynamic
+    /// membership, touched sets, the ring arena and the pointer tables.
+    /// The per-object registry (`homes`, `placements`) scales with the
+    /// published object count, not with `n`, and `HashMap` capacity is not
+    /// observable — it is deliberately left out, so the accounted value is
+    /// the bytes-per-*node* quantity the scaling benchmark budgets.
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.radii)
+            + nested_vec_bytes(&self.member)
+            + vec_capacity_bytes(&self.level_dirty)
+            + nested_vec_bytes(&self.touched)
+            + vec_capacity_bytes(&self.alive)
+            + vec_capacity_bytes(&self.objects)
+            + self.nets.heap_bytes()
+            + self.rings.heap_bytes()
+            + self.tables.heap_bytes()
     }
 }
 

@@ -28,12 +28,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use ron_core::publish::EpochCell;
-use ron_metric::{BallOracle, Metric, Node, Space};
+use ron_metric::mem::vec_capacity_bytes;
+use ron_metric::{BallOracle, HeapBytes, Metric, Node, Space};
 use ron_routing::PathStats;
 
 use crate::directory::{DirectoryOverlay, ObjectId};
 use crate::lookup::{locate_view, LookupView};
 use crate::stats::{BatchReport, CacheShardStats, LatencySummary};
+use crate::tables::PointerTables;
 
 /// An immutable, owned serving view of a [`DirectoryOverlay`]: the
 /// per-node, per-level fingers are precomputed so a lookup is a pure
@@ -57,8 +59,9 @@ pub struct Snapshot {
     fingers: Vec<Option<Node>>,
     alive: Vec<bool>,
     homes: HashMap<ObjectId, Node>,
-    /// `tables[v][j]`: the level-`j` pointer entries stored at node `v`.
-    tables: Vec<Vec<HashMap<ObjectId, Node>>>,
+    /// Per-node directory pointer entries (compact sorted arrays; see
+    /// [`PointerTables`]).
+    tables: PointerTables,
 }
 
 impl Snapshot {
@@ -112,6 +115,17 @@ impl Snapshot {
     }
 }
 
+impl HeapBytes for Snapshot {
+    /// The serving state's heap footprint (fingers, liveness, pointer
+    /// tables; the object registry is size-of-catalogue, not size-of-`n`,
+    /// and `HashMap` capacity is not observable — left out).
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.fingers)
+            + vec_capacity_bytes(&self.alive)
+            + self.tables.heap_bytes()
+    }
+}
+
 impl LookupView for Snapshot {
     fn levels(&self) -> usize {
         self.levels
@@ -126,7 +140,7 @@ impl LookupView for Snapshot {
     }
 
     fn entry(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
-        self.tables[v.index()][level].get(&obj).copied()
+        self.tables.get(v, level, obj)
     }
 }
 

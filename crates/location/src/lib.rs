@@ -55,6 +55,7 @@ mod lookup;
 mod partition;
 mod publish;
 pub mod stats;
+mod tables;
 
 pub use authority::{NodeRepair, PointerOp, RepairAuthority, RepairOracle, RepairPlan, ScanOracle};
 pub use churn::{

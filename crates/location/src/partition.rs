@@ -186,10 +186,13 @@ impl DirectoryOverlay {
                     rings: (0..levels)
                         .map(|j| self.ring_members(space, v, j))
                         .collect(),
-                    tables: self.tables[i]
-                        .iter()
-                        .map(|t| t.iter().map(|(&o, &n)| (o, n)).collect())
-                        .collect(),
+                    tables: {
+                        let mut tables = vec![BTreeMap::new(); levels];
+                        for (level, obj, target) in self.tables.node_entries(v) {
+                            tables[level].insert(obj, target);
+                        }
+                        tables
+                    },
                     homed: std::mem::take(&mut homed[i]),
                 }
             })

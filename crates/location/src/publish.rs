@@ -8,7 +8,6 @@
 //! chain exactly as routing descends a target's chain in Theorem 2.1.
 
 use ron_core::par;
-use ron_core::zoom::ZoomSequence;
 use ron_metric::{BallOracle, Metric, Node, Space};
 
 use crate::directory::{DirectoryOverlay, ObjectId, Placement};
@@ -90,7 +89,7 @@ impl DirectoryOverlay {
         for (j, ring) in rings.into_iter().enumerate() {
             let target = if j == 0 { home } else { chain[j - 1] };
             for w in ring {
-                self.tables[w.index()][j].insert(obj, target);
+                self.tables.insert(w, j, obj, target);
                 placement.entries.push((j, w));
                 writes += 1;
             }
@@ -116,7 +115,7 @@ impl DirectoryOverlay {
         let placement = self.placements.remove(&obj).unwrap_or_default();
         let mut deletes = 0usize;
         for (level, w) in placement.entries {
-            if self.alive[w.index()] && self.tables[w.index()][level].remove(&obj).is_some() {
+            if self.alive[w.index()] && self.tables.remove(w, level, obj).is_some() {
                 deletes += 1;
             }
         }
@@ -128,14 +127,19 @@ impl DirectoryOverlay {
     /// The home's zooming chain against the *current* net membership:
     /// `chain[j]` is the nearest alive level-`j` member to `home`.
     ///
-    /// On a pristine overlay this is computed via
-    /// [`ZoomSequence::towards`] over the static ladder (the net radii are
-    /// exactly the ladder's scales); once any level diverged it falls back
-    /// to dynamic fingers. A level emptied by churn (possible between a
-    /// `leave` and the next repair) contributes the home itself, so
-    /// entries above it forward straight to the home instead of into a
-    /// void — the descent recognises arrival at the home (see
-    /// `locate_with`) and such a publish still serves.
+    /// On a pristine overlay the stored rings subsume the zooming
+    /// sequence (the paper's point): covering puts the nearest level-`j`
+    /// member within `r_j <= ring_factor * r_j`, so it is already a
+    /// member of the publish ring and a linear scan of that `O(1)`-sized
+    /// slice replaces an oracle search whose expanding frontier grows
+    /// with `n` at the coarse levels. The scan improves on strict `<`
+    /// over the id-sorted members, matching the oracle's
+    /// distance-then-id order bit for bit. Once any level diverged the
+    /// chain falls back to dynamic fingers. A level emptied by churn
+    /// (possible between a `leave` and the next repair) contributes the
+    /// home itself, so entries above it forward straight to the home
+    /// instead of into a void — the descent recognises arrival at the
+    /// home (see `locate_with`) and such a publish still serves.
     pub(crate) fn desired_chain<M: Metric, I: BallOracle>(
         &self,
         space: &Space<M, I>,
@@ -146,9 +150,22 @@ impl DirectoryOverlay {
                 .map(|j| self.finger(space, home, j).map_or(home, |(_, f)| f))
                 .collect()
         } else {
-            ZoomSequence::towards(space, &self.nets, home, &self.radii)
-                .points()
-                .to_vec()
+            (0..self.levels())
+                .map(|j| {
+                    let ring = self
+                        .rings
+                        .ring(home, j)
+                        .expect("overlay builds every level");
+                    let mut best: Option<(f64, Node)> = None;
+                    for &v in ring.members() {
+                        let d = space.dist(home, v);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, v));
+                        }
+                    }
+                    best.map_or(home, |(_, f)| f)
+                })
+                .collect()
         }
     }
 

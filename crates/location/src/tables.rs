@@ -1,0 +1,191 @@
+//! Compact per-node directory pointer tables.
+//!
+//! The overlay used to hold `tables[v][j]: HashMap<ObjectId, Node>` — an
+//! `n x levels` grid of hash maps. Each `HashMap` costs ~48 bytes of
+//! header *empty*, so at `n = 2^20` nodes and ~20 ladder levels the grid
+//! burned a gigabyte before the first publish. [`PointerTables`] replaces
+//! the grid with one sorted compact array per node: entries keyed by
+//! `(level, object)`, 16 bytes each, found by binary search. Per-node
+//! tables are small (a node holds one entry per object whose publish ring
+//! it sits in, per level), so sorted-insert beats hashing on both memory
+//! and cache behaviour.
+
+use ron_metric::mem::vec_capacity_bytes;
+use ron_metric::{CompactId, HeapBytes, Node};
+
+use crate::directory::ObjectId;
+
+/// One directory entry resident at a node: the level-`level` pointer for
+/// `obj`, forwarding to `target`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PointerEntry {
+    level: u32,
+    obj: ObjectId,
+    target: CompactId,
+}
+
+impl PointerEntry {
+    fn key(&self) -> (u32, ObjectId) {
+        (self.level, self.obj)
+    }
+}
+
+/// All nodes' directory pointer tables: `entries[v]` is node `v`'s table,
+/// sorted by `(level, object)`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PointerTables {
+    entries: Vec<Vec<PointerEntry>>,
+}
+
+impl PointerTables {
+    /// Empty tables for `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        PointerTables {
+            entries: vec![Vec::new(); n],
+        }
+    }
+
+    /// The entry for `obj` at `(v, level)`, if installed.
+    pub(crate) fn get(&self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
+        let table = &self.entries[v.index()];
+        table
+            .binary_search_by_key(&(level as u32, obj), PointerEntry::key)
+            .ok()
+            .map(|i| table[i].target.node())
+    }
+
+    /// Installs (or retargets) the entry for `obj` at `(v, level)`,
+    /// returning the previous target — `HashMap::insert` semantics, so
+    /// repair's did-the-table-change accounting carries over unchanged.
+    pub(crate) fn insert(
+        &mut self,
+        v: Node,
+        level: usize,
+        obj: ObjectId,
+        target: Node,
+    ) -> Option<Node> {
+        let table = &mut self.entries[v.index()];
+        let entry = PointerEntry {
+            level: level as u32,
+            obj,
+            target: CompactId::from(target),
+        };
+        match table.binary_search_by_key(&entry.key(), PointerEntry::key) {
+            Ok(i) => Some(std::mem::replace(&mut table[i], entry).target.node()),
+            Err(i) => {
+                table.insert(i, entry);
+                None
+            }
+        }
+    }
+
+    /// Deletes the entry for `obj` at `(v, level)`, returning the removed
+    /// target if one was present.
+    pub(crate) fn remove(&mut self, v: Node, level: usize, obj: ObjectId) -> Option<Node> {
+        let table = &mut self.entries[v.index()];
+        table
+            .binary_search_by_key(&(level as u32, obj), PointerEntry::key)
+            .ok()
+            .map(|i| table.remove(i).target.node())
+    }
+
+    /// Drops every entry stored at `v` (the node left; its state is
+    /// lost), releasing the memory.
+    pub(crate) fn clear_node(&mut self, v: Node) {
+        self.entries[v.index()] = Vec::new();
+    }
+
+    /// Entries resident at `v` — its share of the serving load.
+    pub(crate) fn entries_at(&self, v: Node) -> usize {
+        self.entries[v.index()].len()
+    }
+
+    /// Total entries across all nodes.
+    pub(crate) fn total(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `v`'s entries as `(level, object, target)` in
+    /// `(level, object)` order (partitioning into per-node slices).
+    pub(crate) fn node_entries(
+        &self,
+        v: Node,
+    ) -> impl Iterator<Item = (usize, ObjectId, Node)> + '_ {
+        self.entries[v.index()]
+            .iter()
+            .map(|e| (e.level as usize, e.obj, e.target.node()))
+    }
+}
+
+impl HeapBytes for PointerTables {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.entries)
+            + self.entries.iter().map(vec_capacity_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = PointerTables::new(4);
+        let v = Node::new(2);
+        assert_eq!(t.insert(v, 1, ObjectId(7), Node::new(3)), None);
+        assert_eq!(t.insert(v, 0, ObjectId(7), Node::new(1)), None);
+        assert_eq!(t.get(v, 1, ObjectId(7)), Some(Node::new(3)));
+        assert_eq!(t.get(v, 0, ObjectId(7)), Some(Node::new(1)));
+        assert_eq!(t.get(v, 1, ObjectId(8)), None);
+        assert_eq!(t.get(Node::new(0), 1, ObjectId(7)), None);
+        // Retarget returns the previous pointer.
+        assert_eq!(
+            t.insert(v, 1, ObjectId(7), Node::new(0)),
+            Some(Node::new(3))
+        );
+        assert_eq!(t.entries_at(v), 2);
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.remove(v, 1, ObjectId(7)), Some(Node::new(0)));
+        assert_eq!(t.remove(v, 1, ObjectId(7)), None);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn node_entries_iterate_in_key_order() {
+        let mut t = PointerTables::new(2);
+        let v = Node::new(1);
+        t.insert(v, 2, ObjectId(5), Node::new(0));
+        t.insert(v, 0, ObjectId(9), Node::new(1));
+        t.insert(v, 0, ObjectId(2), Node::new(1));
+        let got: Vec<_> = t.node_entries(v).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, ObjectId(2), Node::new(1)),
+                (0, ObjectId(9), Node::new(1)),
+                (2, ObjectId(5), Node::new(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_node_releases_the_table() {
+        let mut t = PointerTables::new(2);
+        t.insert(Node::new(0), 0, ObjectId(1), Node::new(1));
+        t.insert(Node::new(1), 0, ObjectId(1), Node::new(0));
+        t.clear_node(Node::new(0));
+        assert_eq!(t.entries_at(Node::new(0)), 0);
+        assert_eq!(t.get(Node::new(0), 0, ObjectId(1)), None);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn heap_bytes_counts_entries() {
+        let mut t = PointerTables::new(8);
+        let empty = t.heap_bytes();
+        for i in 0..16u64 {
+            t.insert(Node::new(3), 0, ObjectId(i), Node::new(0));
+        }
+        assert!(t.heap_bytes() >= empty + 16 * std::mem::size_of::<PointerEntry>());
+    }
+}

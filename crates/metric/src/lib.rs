@@ -48,6 +48,7 @@ pub mod gen;
 mod grid;
 mod index;
 mod line;
+pub mod mem;
 mod nettree;
 mod node;
 mod oracle;
@@ -59,10 +60,11 @@ pub use error::MetricError;
 pub use euclidean::EuclideanMetric;
 pub use explicit::ExplicitMetric;
 pub use grid::GridMetric;
-pub use index::MetricIndex;
+pub use index::{MetricIndex, DENSE_NODE_CAP};
 pub use line::LineMetric;
+pub use mem::HeapBytes;
 pub use nettree::NetTreeIndex;
-pub use node::Node;
+pub use node::{CompactId, Node};
 pub use oracle::BallOracle;
 pub use space::Space;
 pub use traits::{Metric, MetricExt};

@@ -1,0 +1,63 @@
+//! Heap-memory accounting for the construction pipeline.
+//!
+//! Every arena-backed layer of the reproduction — the sparse net tree,
+//! the ring family, the directory pointer tables — implements
+//! [`HeapBytes`] so the scaling benchmarks can report a measured
+//! bytes-per-node figure instead of estimating one. The accounting is
+//! *capacity*-based (what the allocator actually handed out), counts only
+//! heap payloads (inline struct fields are excluded), and is additive:
+//! a container's `heap_bytes` is the sum of its parts.
+
+/// Bytes of heap memory owned by a value (capacity-based, additive).
+pub trait HeapBytes {
+    /// Heap bytes currently owned by `self`, excluding the inline size
+    /// of the value itself.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Heap bytes of a vector of plain elements, including unused capacity.
+#[must_use]
+pub fn vec_capacity_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Heap bytes of a vector of vectors of plain elements: the outer
+/// spine plus every inner buffer's capacity.
+#[must_use]
+pub fn nested_vec_bytes<T>(v: &Vec<Vec<T>>) -> usize {
+    v.capacity() * std::mem::size_of::<Vec<T>>() + v.iter().map(vec_capacity_bytes).sum::<usize>()
+}
+
+impl<T> HeapBytes for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_vec_accounts_capacity() {
+        let mut v: Vec<u32> = Vec::with_capacity(8);
+        v.push(1);
+        assert_eq!(vec_capacity_bytes(&v), 8 * 4);
+        assert_eq!(v.heap_bytes(), 8 * 4);
+    }
+
+    #[test]
+    fn nested_vec_accounts_spine_and_buffers() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(4), Vec::with_capacity(2)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u8>>() + 4 + 2;
+        assert_eq!(nested_vec_bytes(&v), expected);
+    }
+
+    #[test]
+    fn empty_containers_own_nothing() {
+        let v: Vec<u64> = Vec::new();
+        assert_eq!(v.heap_bytes(), 0);
+        let vv: Vec<Vec<u64>> = Vec::new();
+        assert_eq!(nested_vec_bytes(&vv), 0);
+    }
+}

@@ -16,33 +16,112 @@
 //!   *marking* the open ball of every accepted member, with candidate
 //!   nodes located through the already-built coarser levels — no
 //!   all-pairs pass anywhere);
-//! * memory: `O(n log Delta)` words — no `n^2` anything;
+//! * memory: `O(n log Delta)` **words of 4 bytes** — members, parents and
+//!   child links are all [`CompactId`]/`u32` arenas in struct-of-arrays
+//!   CSR layout, accounted exactly by
+//!   [`HeapBytes`](crate::HeapBytes)::`heap_bytes`;
 //! * queries: `O(|B_u(r)| + log Delta)`-ish, by descent with the `2 r_k`
-//!   slack.
+//!   slack. Descent reuses thread-local scratch frontiers (no per-query
+//!   allocation), and the doubling searches behind
+//!   [`nearest_where`](crate::BallOracle::nearest_where) and
+//!   [`radius_for_count`](crate::BallOracle::radius_for_count) keep
+//!   per-level heaps across rounds so each `(level, member)` distance is
+//!   evaluated **at most once per query**.
 //!
 //! The answers are **exact** and match the dense
 //! [`MetricIndex`](crate::MetricIndex) bit for bit (property-tested on
 //! every generator family): the hierarchy only steers the search, every
 //! reported distance is a fresh `metric.dist` evaluation, and ties are
 //! broken by node id exactly like the dense index. The one deliberate
-//! approximation is [`diameter`](crate::BallOracle::diameter), reported
-//! as the upper bound `2 * ecc(v0)` (computing the exact diameter needs
-//! `Omega(n^2)` in general); every consumer only needs a covering radius.
+//! approximation is [`diameter_ub`](crate::BallOracle::diameter_ub),
+//! reported as the upper bound `2 * ecc(v0)` (computing the exact
+//! diameter needs `Omega(n^2)` in general); every consumer only needs a
+//! covering radius.
+//!
+//! # Canonical levels
+//!
+//! Every level stores its members **sorted by node id**, and membership
+//! of level `k` is exactly the insertion-order-free rule: a node is a
+//! member iff it is a member of level `k-1` (a *seed* — nets are nested),
+//! or no seed lies strictly within the radius and no smaller-id non-seed
+//! member lies strictly within the radius. The batch marking construction
+//! implements this rule directly, which is what lets the incremental
+//! [`insert`](NetTreeIndex::insert) path reproduce batch membership
+//! bit-for-bit under any insertion order.
 
-use crate::{BallOracle, Metric, Node};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
 
-/// One net of the hierarchy.
+use crate::mem::vec_capacity_bytes;
+use crate::{BallOracle, CompactId, HeapBytes, Metric, Node};
+
+/// One net of the hierarchy. All arrays are compact (4-byte entries) and
+/// `members` is always sorted by node id (see the module docs).
 #[derive(Clone, Debug)]
 struct TreeLevel {
     /// Net radius at this level (halves per level).
     radius: f64,
-    /// Net members, in the order the greedy construction accepted them.
-    members: Vec<Node>,
+    /// Net members, sorted by node id.
+    members: Vec<CompactId>,
+    /// Parent **node id** in the previous level for each member; empty at
+    /// level 0. The covering invariant `d(parent, member) <= r_{k-1}`
+    /// always holds.
+    parent: Vec<CompactId>,
     /// CSR offsets into `children`; empty for the last (all-nodes) level.
     child_start: Vec<u32>,
-    /// Positions into the **next** level's `members`: the members assigned
-    /// to each member of this level (each within this level's radius).
+    /// Positions into the **next** level's `members`: the members
+    /// assigned to each member of this level (each within this level's
+    /// radius), ascending within each parent's range.
     children: Vec<u32>,
+}
+
+impl TreeLevel {
+    /// Position of `v` in this level's id-sorted members, if a member.
+    fn position_of(&self, v: Node) -> Option<u32> {
+        self.members
+            .binary_search(&CompactId::from(v))
+            .ok()
+            .map(|p| p as u32)
+    }
+}
+
+/// Min-heap entry of the expanding query frontier: a member of some level
+/// at distance `d` from the query point, identified by its position in
+/// that level's member array.
+#[derive(Copy, Clone, PartialEq)]
+struct Cand {
+    d: f64,
+    pos: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap pops the smallest (distance, position)
+        // first. Position order equals id order (members are id-sorted),
+        // so ties break exactly like the dense index.
+        other
+            .d
+            .total_cmp(&self.d)
+            .then_with(|| other.pos.cmp(&self.pos))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+thread_local! {
+    /// Reusable descent frontiers: ball queries at every level of the
+    /// pipeline are hot (see the `oracle.ball.sparse` histograms), so the
+    /// candidate vectors are kept per thread instead of allocated per
+    /// query. Taken out (not borrowed across) the descent so re-entrant
+    /// queries from inside a visitor stay sound.
+    static SCRATCH: RefCell<(Vec<u32>, Vec<u32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// The sparse ball-query backend (see the module-level docs above for
@@ -68,9 +147,14 @@ struct TreeLevel {
 #[derive(Clone, Debug)]
 pub struct NetTreeIndex<M> {
     metric: M,
+    /// Number of nodes currently indexed (equals `metric.len()` after a
+    /// batch build; grows one per [`insert`](NetTreeIndex::insert) on the
+    /// incremental path).
     n: usize,
     diameter_ub: f64,
     min_dist: f64,
+    /// Which nodes of the metric's universe are indexed.
+    present: Vec<bool>,
     levels: Vec<TreeLevel>,
 }
 
@@ -85,35 +169,36 @@ impl<M: Metric> NetTreeIndex<M> {
     pub fn build(metric: M) -> Self {
         let n = metric.len();
         assert!(n > 0, "cannot index an empty metric");
-        let v0 = Node::new(0);
-        let mut ecc0 = 0.0f64;
-        for j in 1..n {
-            ecc0 = ecc0.max(metric.dist(v0, Node::new(j)));
-        }
+        let ecc0 = eccentricity_of_v0(&metric);
 
         // Top level: greedy net at radius ecc(v0) over all nodes, brute
-        // force — its cardinality is bounded by the doubling constant.
+        // force in id order — its cardinality is bounded by the doubling
+        // constant, and id-order acceptance makes it id-sorted for free.
         let top_radius = ecc0;
-        let mut members: Vec<Node> = Vec::new();
+        let mut members: Vec<CompactId> = Vec::new();
         for j in 0..n {
             let u = Node::new(j);
-            if members.iter().all(|&m| metric.dist(m, u) >= top_radius) {
-                members.push(u);
+            if members
+                .iter()
+                .all(|&m| metric.dist(m.node(), u) >= top_radius)
+            {
+                members.push(CompactId::from(u));
             }
         }
-        // First accepted member within the radius, per node.
+        // First member (in canonical id order) within the radius, per node.
         let mut assign: Vec<u32> = (0..n)
             .map(|j| {
                 let u = Node::new(j);
                 members
                     .iter()
-                    .position(|&m| metric.dist(m, u) <= top_radius)
+                    .position(|&m| metric.dist(m.node(), u) <= top_radius)
                     .expect("greedy net covers the space") as u32
             })
             .collect();
         let mut levels = vec![TreeLevel {
             radius: top_radius,
             members,
+            parent: Vec::new(),
             child_start: Vec::new(),
             children: Vec::new(),
         }];
@@ -124,13 +209,39 @@ impl<M: Metric> NetTreeIndex<M> {
                 levels.len() < 4096,
                 "net-tree ladder failed to terminate (radius underflow?)"
             );
-            let (next_members, next_assign) = build_level(&metric, n, &levels, &assign);
-            link_children(&metric, &mut levels, &next_members, &assign);
-            let radius = levels.last().expect("nonempty").radius / 2.0;
+            let (members_acc, assign_acc) = build_level(&metric, n, &levels, &assign);
+            // Canonicalize: re-sort the accepted members by id and remap
+            // the coverage assignment through the permutation.
+            let mut perm: Vec<u32> = (0..members_acc.len() as u32).collect();
+            perm.sort_unstable_by_key(|&p| members_acc[p as usize]);
+            let mut inv = vec![0u32; perm.len()];
+            for (newpos, &oldpos) in perm.iter().enumerate() {
+                inv[oldpos as usize] = newpos as u32;
+            }
+            let next_members: Vec<CompactId> = perm
+                .iter()
+                .map(|&p| CompactId::from(members_acc[p as usize]))
+                .collect();
+            let next_assign: Vec<u32> = assign_acc.iter().map(|&a| inv[a as usize]).collect();
+
+            let prev = levels.last_mut().expect("nonempty");
+            // Parent of each new member: the previous-level member that
+            // covers it (within the previous radius).
+            let parent_pos: Vec<u32> = next_members.iter().map(|&m| assign[m.index()]).collect();
+            let parent: Vec<CompactId> = parent_pos
+                .iter()
+                .map(|&p| prev.members[p as usize])
+                .collect();
+            debug_assert!(next_members.iter().zip(&parent).all(|(&m, &p)| {
+                metric.dist(p.node(), m.node()) <= prev.radius * (1.0 + 1e-12)
+            }));
+            fill_csr(prev, &parent_pos);
+            let radius = prev.radius / 2.0;
             assign = next_assign;
             levels.push(TreeLevel {
                 radius,
                 members: next_members,
+                parent,
                 child_start: Vec::new(),
                 children: Vec::new(),
             });
@@ -141,6 +252,7 @@ impl<M: Metric> NetTreeIndex<M> {
             n,
             diameter_ub: 2.0 * ecc0,
             min_dist: 1.0,
+            present: vec![true; n],
             levels,
         };
         if n >= 2 {
@@ -153,6 +265,378 @@ impl<M: Metric> NetTreeIndex<M> {
             tree.min_dist = nearest.into_iter().fold(f64::INFINITY, f64::min);
         }
         tree
+    }
+
+    /// Starts an **incremental** index over `metric`'s node universe with
+    /// no nodes inserted yet; grow it one node at a time with
+    /// [`insert`](NetTreeIndex::insert).
+    ///
+    /// The ladder radii are anchored at the eccentricity of node 0 over
+    /// the *full* universe (one linear pass here), so inserting every
+    /// node — in **any order** — converges to exactly the canonical
+    /// per-level membership the batch [`build`](NetTreeIndex::build)
+    /// produces, and all oracle answers (including predicate call order)
+    /// match bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is empty.
+    #[must_use]
+    pub fn incremental(metric: M) -> Self {
+        let universe = metric.len();
+        assert!(universe > 0, "cannot index an empty metric");
+        let ecc0 = eccentricity_of_v0(&metric);
+        NetTreeIndex {
+            metric,
+            n: 0,
+            diameter_ub: 2.0 * ecc0,
+            min_dist: 1.0,
+            present: vec![false; universe],
+            levels: Vec::new(),
+        }
+    }
+
+    /// Whether `v` has been inserted (always true after a batch build).
+    #[must_use]
+    pub fn contains(&self, v: Node) -> bool {
+        self.present.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Inserts `v` by threading it down the existing ladder: only the
+    /// levels (and members) actually perturbed are touched, instead of
+    /// rebuilding from scratch. Each level's membership is re-decided by
+    /// the canonical id-order rule on an ascending-id worklist seeded
+    /// from the previous level's changes, so the resulting tree answers
+    /// queries identically to a batch build over the same node set.
+    ///
+    /// Cost per insert on a doubling metric: `O(polylog)` distance
+    /// evaluations for the membership cascade, plus `O(|level|)` word
+    /// work per touched level to splice the compact arrays — far below
+    /// the `O(n log Delta)` distance evaluations of a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the metric's universe or already
+    /// inserted.
+    pub fn insert(&mut self, v: Node) {
+        assert!(
+            v.index() < self.metric.len(),
+            "{v} outside the metric universe"
+        );
+        assert!(!self.present[v.index()], "{v} already inserted");
+        if self.n == 0 {
+            self.levels.push(TreeLevel {
+                radius: self.diameter_ub / 2.0,
+                members: vec![CompactId::from(v)],
+                parent: Vec::new(),
+                child_start: Vec::new(),
+                children: Vec::new(),
+            });
+            self.present[v.index()] = true;
+            self.n = 1;
+            return;
+        }
+        // Nearest already-inserted node, before the tree mutates.
+        let dmin = self
+            .nearest_where(v, &mut |_| true)
+            .expect("tree is nonempty")
+            .0;
+        self.min_dist = if self.n == 1 {
+            dmin
+        } else {
+            self.min_dist.min(dmin)
+        };
+
+        let mut changed_prev: Vec<u32> = Vec::new();
+        let mut leaf_drops: Vec<CompactId> = Vec::new();
+        for k in 0..self.levels.len() {
+            let (adds, drops) = self.decide_level(k, v, &changed_prev);
+            changed_prev = adds
+                .iter()
+                .chain(drops.iter())
+                .map(|&c| c.index() as u32)
+                .collect();
+            changed_prev.sort_unstable();
+            if k + 1 == self.levels.len() {
+                leaf_drops.clone_from(&drops);
+            }
+            self.apply_level(k, &adds, &drops);
+        }
+        self.present[v.index()] = true;
+        self.n += 1;
+
+        // Extend the ladder until the leaf level holds every inserted
+        // node again (v and any members the insert displaced).
+        let mut missing: Vec<u32> = leaf_drops.iter().map(|&c| c.index() as u32).collect();
+        if self
+            .levels
+            .last()
+            .expect("nonempty")
+            .position_of(v)
+            .is_none()
+        {
+            missing.push(v.index() as u32);
+        }
+        missing.sort_unstable();
+        while !missing.is_empty() {
+            missing = self.extend_level(&missing);
+        }
+    }
+
+    /// Recomputes level `k`'s membership after the universe gained `v`
+    /// and the previous level changed by `changed_prev` (node ids,
+    /// sorted). Read-only: returns the members to add and drop, both
+    /// ascending by id. Levels above `k` are already updated; `k` and
+    /// below are stale (which is exactly what the stale-candidate scan
+    /// wants).
+    fn decide_level(
+        &self,
+        k: usize,
+        v: Node,
+        changed_prev: &[u32],
+    ) -> (Vec<CompactId>, Vec<CompactId>) {
+        let r = self.levels[k].radius;
+        let mut work: BTreeSet<u32> = BTreeSet::new();
+        work.insert(v.index() as u32);
+        for &y in changed_prev {
+            work.insert(y);
+            // A changed seed can flip the membership of anything it
+            // strictly covers, regardless of id order.
+            self.descend(Node::new(y as usize), r, &mut |d, w| {
+                if d < r {
+                    work.insert(w.index() as u32);
+                }
+            });
+        }
+        let mut adds: Vec<CompactId> = Vec::new();
+        let mut drops: Vec<CompactId> = Vec::new();
+        while let Some(uid) = work.pop_first() {
+            let u = Node::new(uid as usize);
+            let uc = CompactId::from(u);
+            let was = self.levels[k].position_of(u).is_some();
+            let is_seed = k > 0 && self.levels[k - 1].position_of(u).is_some();
+            let now = if is_seed {
+                true
+            } else {
+                // Covered by a seed (= updated previous-level member, any
+                // id), or by a smaller-id member of this level under the
+                // pending adds/drops?
+                let seed_cover = k > 0
+                    && coarse_members_within(&self.metric, &self.levels[..k], u, r)
+                        .iter()
+                        .any(|&(_, d)| d < r);
+                let covered = seed_cover
+                    || coarse_members_within(&self.metric, &self.levels[..=k], u, r)
+                        .iter()
+                        .any(|&(pos, d)| {
+                            let m = self.levels[k].members[pos as usize];
+                            d < r && m < uc && drops.binary_search(&m).is_err()
+                        })
+                    || adds
+                        .iter()
+                        .any(|&a| a < uc && self.metric.dist(a.node(), u) < r);
+                !covered
+            };
+            if was == now {
+                continue;
+            }
+            if now {
+                adds.push(uc);
+            } else {
+                drops.push(uc);
+            }
+            // The flip ripples only to larger ids (decisions read only
+            // smaller-id members and seeds, and seed changes arrived via
+            // `changed_prev`).
+            self.descend(u, r, &mut |d, w| {
+                if d < r && w > u {
+                    work.insert(w.index() as u32);
+                }
+            });
+        }
+        (adds, drops)
+    }
+
+    /// Commits `decide_level`'s verdict: splices the id-sorted member
+    /// array, reparents as needed, and rebuilds the CSR links on both
+    /// sides of level `k` so descent stays valid for the next level's
+    /// decision pass.
+    fn apply_level(&mut self, k: usize, adds: &[CompactId], drops: &[CompactId]) {
+        if adds.is_empty() && drops.is_empty() {
+            return;
+        }
+        let old = &self.levels[k];
+        let mut members: Vec<CompactId> =
+            Vec::with_capacity(old.members.len() + adds.len() - drops.len());
+        let mut ai = adds.iter().peekable();
+        for &m in &old.members {
+            if drops.binary_search(&m).is_ok() {
+                continue;
+            }
+            while let Some(&&a) = ai.peek() {
+                if a < m {
+                    members.push(a);
+                    ai.next();
+                } else {
+                    break;
+                }
+            }
+            members.push(m);
+        }
+        members.extend(ai.copied());
+
+        // Parents for the updated level-k members. Kept members keep
+        // theirs (apply at k-1 already healed any whose parent dropped
+        // there); new members parent to themselves if they are previous-
+        // level members, else to any previous member covering them.
+        let parent: Vec<CompactId> = if k == 0 {
+            Vec::new()
+        } else {
+            let prev = &self.levels[k - 1];
+            members
+                .iter()
+                .map(|&m| {
+                    if let Some(pos) = old.position_of(m.node()) {
+                        old.parent[pos as usize]
+                    } else if prev.position_of(m.node()).is_some() {
+                        m
+                    } else {
+                        let hits = coarse_members_within(
+                            &self.metric,
+                            &self.levels[..k],
+                            m.node(),
+                            prev.radius,
+                        );
+                        let (pos, _) = hits.first().expect("previous net covers every node");
+                        prev.members[*pos as usize]
+                    }
+                })
+                .collect()
+        };
+        self.levels[k].members = members;
+        self.levels[k].parent = parent;
+        if k > 0 {
+            let parent_pos: Vec<u32> = self.levels[k]
+                .parent
+                .iter()
+                .map(|&p| {
+                    self.levels[k - 1]
+                        .position_of(p.node())
+                        .expect("parent is a previous-level member")
+                })
+                .collect();
+            let (upper, _) = self.levels.split_at_mut(k);
+            fill_csr(&mut upper[k - 1], &parent_pos);
+        }
+
+        // Heal the level below: members whose parent dropped from level
+        // k get a surviving coverer, and the CSR is rebuilt against the
+        // spliced member positions.
+        if k + 1 < self.levels.len() {
+            let r_k = self.levels[k].radius;
+            let next_parent: Vec<CompactId> = self.levels[k + 1]
+                .members
+                .iter()
+                .zip(&self.levels[k + 1].parent)
+                .map(|(&m, &p)| {
+                    if drops.binary_search(&p).is_err() {
+                        p
+                    } else if self.levels[k].position_of(m.node()).is_some() {
+                        m
+                    } else {
+                        let hits =
+                            coarse_members_within(&self.metric, &self.levels[..=k], m.node(), r_k);
+                        let (pos, _) = hits.first().expect("updated net covers every node");
+                        self.levels[k].members[*pos as usize]
+                    }
+                })
+                .collect();
+            let next_parent_pos: Vec<u32> = next_parent
+                .iter()
+                .map(|&p| {
+                    self.levels[k]
+                        .position_of(p.node())
+                        .expect("parent is a level-k member")
+                })
+                .collect();
+            self.levels[k + 1].parent = next_parent;
+            let (upper, _) = self.levels.split_at_mut(k + 1);
+            fill_csr(&mut upper[k], &next_parent_pos);
+        }
+    }
+
+    /// Appends one half-radius level: all current leaf members seed it,
+    /// and the `missing` nodes (inserted but strictly covered out of the
+    /// leaf) join in id order by the canonical rule. Returns the nodes
+    /// still missing (covered again), for the next round.
+    fn extend_level(&mut self, missing: &[u32]) -> Vec<u32> {
+        assert!(
+            self.levels.len() < 4096,
+            "net-tree ladder failed to terminate (radius underflow?)"
+        );
+        let prev_radius = self.levels.last().expect("nonempty").radius;
+        let radius = prev_radius / 2.0;
+        let mut joiners: Vec<CompactId> = Vec::new();
+        let mut remaining: Vec<u32> = Vec::new();
+        for &uid in missing {
+            let u = Node::new(uid as usize);
+            let seed_cover = coarse_members_within(&self.metric, &self.levels, u, radius)
+                .iter()
+                .any(|&(_, d)| d < radius);
+            let joiner_cover = joiners
+                .iter()
+                .any(|&a| self.metric.dist(a.node(), u) < radius);
+            if seed_cover || joiner_cover {
+                remaining.push(uid);
+            } else {
+                joiners.push(CompactId::new(uid as usize));
+            }
+        }
+        let prev = self.levels.last().expect("nonempty");
+        let mut members: Vec<CompactId> = Vec::with_capacity(prev.members.len() + joiners.len());
+        let mut ji = joiners.iter().peekable();
+        for &m in &prev.members {
+            while let Some(&&a) = ji.peek() {
+                if a < m {
+                    members.push(a);
+                    ji.next();
+                } else {
+                    break;
+                }
+            }
+            members.push(m);
+        }
+        members.extend(ji.copied());
+        let parent: Vec<CompactId> = members
+            .iter()
+            .map(|&m| {
+                if prev.position_of(m.node()).is_some() {
+                    m
+                } else {
+                    let hits =
+                        coarse_members_within(&self.metric, &self.levels, m.node(), prev_radius);
+                    let (pos, _) = hits.first().expect("previous net covers every node");
+                    prev.members[*pos as usize]
+                }
+            })
+            .collect();
+        let parent_pos: Vec<u32> = parent
+            .iter()
+            .map(|&p| {
+                prev.position_of(p.node())
+                    .expect("parent is a previous-level member")
+            })
+            .collect();
+        let last = self.levels.len() - 1;
+        fill_csr(&mut self.levels[last], &parent_pos);
+        self.levels.push(TreeLevel {
+            radius,
+            members,
+            parent,
+            child_start: Vec::new(),
+            children: Vec::new(),
+        });
+        remaining
     }
 
     /// The metric the index answers queries about.
@@ -168,8 +652,9 @@ impl<M: Metric> NetTreeIndex<M> {
     }
 
     /// Total stored member slots across all levels — the index's memory
-    /// footprint in words, `O(n log Delta)` (versus the dense backend's
-    /// `n^2`).
+    /// footprint in (4-byte) words, `O(n log Delta)` (versus the dense
+    /// backend's `n^2`). See [`HeapBytes::heap_bytes`] for the exact
+    /// byte accounting.
     #[must_use]
     pub fn stored_entries(&self) -> usize {
         self.levels
@@ -179,16 +664,20 @@ impl<M: Metric> NetTreeIndex<M> {
     }
 
     /// Descends the hierarchy and emits `(d, v)` for every node of the
-    /// closed ball `B_q(r)`, in **unsorted** order.
+    /// closed ball `B_q(r)`, in **unsorted** order. Frontier vectors are
+    /// thread-local scratch: no allocation on the hot path.
     fn descend(&self, q: Node, r: f64, emit: &mut impl FnMut(f64, Node)) {
+        let (mut cands, mut next_cands) = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        cands.clear();
+        next_cands.clear();
+
         let last = self.levels.len() - 1;
         let top = &self.levels[0];
-        let mut cands: Vec<u32> = Vec::new();
         for (pos, &m) in top.members.iter().enumerate() {
-            let d = self.metric.dist(q, m);
+            let d = self.metric.dist(q, m.node());
             if last == 0 {
                 if d <= r {
-                    emit(d, m);
+                    emit(d, m.node());
                 }
             } else if d <= r + 2.0 * top.radius {
                 cands.push(pos as u32);
@@ -199,12 +688,12 @@ impl<M: Metric> NetTreeIndex<M> {
             let next = &self.levels[k + 1];
             let at_leaf = k + 1 == last;
             let slack = 2.0 * next.radius;
-            let mut next_cands = Vec::new();
+            next_cands.clear();
             for &pos in &cands {
                 let lo = level.child_start[pos as usize] as usize;
                 let hi = level.child_start[pos as usize + 1] as usize;
                 for &cpos in &level.children[lo..hi] {
-                    let m = next.members[cpos as usize];
+                    let m = next.members[cpos as usize].node();
                     let d = self.metric.dist(q, m);
                     if at_leaf {
                         if d <= r {
@@ -215,8 +704,10 @@ impl<M: Metric> NetTreeIndex<M> {
                     }
                 }
             }
-            cands = next_cands;
+            std::mem::swap(&mut cands, &mut next_cands);
         }
+
+        SCRATCH.with(|s| *s.borrow_mut() = (cands, next_cands));
     }
 
     /// The closed ball `B_q(r)` sorted by `(distance, id)` — the exact
@@ -227,6 +718,78 @@ impl<M: Metric> NetTreeIndex<M> {
         out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out
     }
+
+    /// Fresh per-level frontier heaps for an expanding query from `q`,
+    /// seeded with the top level.
+    fn new_frontier(&self, q: Node) -> Vec<BinaryHeap<Cand>> {
+        let mut heaps: Vec<BinaryHeap<Cand>> =
+            (0..self.levels.len()).map(|_| BinaryHeap::new()).collect();
+        for (pos, &m) in self.levels[0].members.iter().enumerate() {
+            heaps[0].push(Cand {
+                d: self.metric.dist(q, m.node()),
+                pos: pos as u32,
+            });
+        }
+        heaps
+    }
+
+    /// Expands the frontier to radius `r`: internal-level entries within
+    /// the descent threshold are popped and their children's distances
+    /// evaluated (once, ever — entries beyond the threshold stay queued
+    /// for a later, larger `r`), then leaf entries with `d <= r` are
+    /// popped in ascending `(distance, id)` order and offered to `emit`.
+    /// Returns the first leaf for which `emit` returns `true`.
+    fn expand_frontier(
+        &self,
+        q: Node,
+        heaps: &mut [BinaryHeap<Cand>],
+        r: f64,
+        emit: &mut impl FnMut(f64, Node) -> bool,
+    ) -> Option<(f64, Node)> {
+        let last = self.levels.len() - 1;
+        for k in 0..last {
+            let slack = 2.0 * self.levels[k].radius;
+            while let Some(&Cand { d, pos }) = heaps[k].peek() {
+                // Every node below this member lies within 2 r_k of it.
+                if d > r + slack {
+                    break;
+                }
+                heaps[k].pop();
+                let level = &self.levels[k];
+                let next = &self.levels[k + 1];
+                let lo = level.child_start[pos as usize] as usize;
+                let hi = level.child_start[pos as usize + 1] as usize;
+                for &cpos in &level.children[lo..hi] {
+                    let m = next.members[cpos as usize].node();
+                    heaps[k + 1].push(Cand {
+                        d: self.metric.dist(q, m),
+                        pos: cpos,
+                    });
+                }
+            }
+        }
+        while let Some(&Cand { d, pos }) = heaps[last].peek() {
+            if d > r {
+                break;
+            }
+            heaps[last].pop();
+            let v = self.levels[last].members[pos as usize].node();
+            if emit(d, v) {
+                return Some((d, v));
+            }
+        }
+        None
+    }
+}
+
+/// Eccentricity of node 0 over the whole metric, by one linear pass.
+fn eccentricity_of_v0<M: Metric>(metric: &M) -> f64 {
+    let v0 = Node::new(0);
+    let mut ecc0 = 0.0f64;
+    for j in 1..metric.len() {
+        ecc0 = ecc0.max(metric.dist(v0, Node::new(j)));
+    }
+    ecc0
 }
 
 /// Builds the next (half-radius) net level by greedy marking: members of
@@ -234,7 +797,13 @@ impl<M: Metric> NetTreeIndex<M> {
 /// unless an accepted member has already marked them as strictly within
 /// the new radius. Candidate nodes near a new member are located through
 /// the previous level's coverage buckets, found by descending the
-/// completed levels.
+/// completed levels. The seed phase — the bulk of the distance
+/// evaluations — runs in parallel; the merge is sequential in seed order,
+/// so the result is bit-identical to a sequential pass.
+///
+/// Returns the accepted members (seeds first, then id-order joiners) and
+/// each node's first-covering member position, both in acceptance order;
+/// the caller canonicalizes to id order.
 fn build_level<M: Metric>(
     metric: &M,
     n: usize,
@@ -255,49 +824,59 @@ fn build_level<M: Metric>(
     let mut covered = vec![false; n];
     let mut next_assign: Vec<u32> = vec![u32::MAX; n];
     let reach = radius + prev.radius;
-    let add = |m: Node,
-               members: &mut Vec<Node>,
-               is_member: &mut Vec<bool>,
-               covered: &mut Vec<bool>,
-               next_assign: &mut Vec<u32>| {
-        let pos = members.len() as u32;
-        is_member[m.index()] = true;
-        members.push(m);
-        for p in coarse_members_within(metric, levels, m, reach) {
+
+    // Seed phase, parallel: each previous member's hits (candidate nodes
+    // within the new radius) are gathered independently...
+    let seed_hits: Vec<Vec<(u32, f64)>> = crate::par::map(prev.members.len(), |i| {
+        let m = prev.members[i].node();
+        let mut hits = Vec::new();
+        for (p, _) in coarse_members_within(metric, levels, m, reach) {
             for &v in &buckets[p as usize] {
                 let d = metric.dist(m, v);
                 if d <= radius {
-                    if d < radius {
-                        covered[v.index()] = true;
-                    }
-                    if next_assign[v.index()] == u32::MAX {
-                        next_assign[v.index()] = pos;
-                    }
+                    hits.push((v.index() as u32, d));
                 }
             }
         }
-    };
-    // Seeds: the previous level's members are pairwise >= 2 * radius
-    // apart, so they all belong to the finer net (nesting).
-    for &s in &prev.members {
-        add(
-            s,
-            &mut members,
-            &mut is_member,
-            &mut covered,
-            &mut next_assign,
-        );
+        hits
+    });
+    // ...and merged sequentially in seed order, reproducing the
+    // sequential marking exactly.
+    for (i, hits) in seed_hits.iter().enumerate() {
+        let s = prev.members[i].node();
+        is_member[s.index()] = true;
+        members.push(s);
+        for &(v, d) in hits {
+            if d < radius {
+                covered[v as usize] = true;
+            }
+            if next_assign[v as usize] == u32::MAX {
+                next_assign[v as usize] = i as u32;
+            }
+        }
     }
+
+    // Joiner phase, sequential by construction (each acceptance depends
+    // on the marks of all earlier ones).
     for j in 0..n {
         let u = Node::new(j);
         if !is_member[j] && !covered[j] {
-            add(
-                u,
-                &mut members,
-                &mut is_member,
-                &mut covered,
-                &mut next_assign,
-            );
+            let pos = members.len() as u32;
+            is_member[j] = true;
+            members.push(u);
+            for (p, _) in coarse_members_within(metric, levels, u, reach) {
+                for &v in &buckets[p as usize] {
+                    let d = metric.dist(u, v);
+                    if d <= radius {
+                        if d < radius {
+                            covered[v.index()] = true;
+                        }
+                        if next_assign[v.index()] == u32::MAX {
+                            next_assign[v.index()] = pos;
+                        }
+                    }
+                }
+            }
         }
     }
     debug_assert!(
@@ -307,18 +886,23 @@ fn build_level<M: Metric>(
     (members, next_assign)
 }
 
-/// Positions of the finest *completed* level's members within `x` of `q`,
-/// by descent over the completed levels.
-fn coarse_members_within<M: Metric>(metric: &M, levels: &[TreeLevel], q: Node, x: f64) -> Vec<u32> {
+/// `(position, distance)` of the finest *completed* level's members
+/// within `x` of `q`, by descent over the completed levels.
+fn coarse_members_within<M: Metric>(
+    metric: &M,
+    levels: &[TreeLevel],
+    q: Node,
+    x: f64,
+) -> Vec<(u32, f64)> {
     let last = levels.len() - 1;
     let top = &levels[0];
     let mut cands: Vec<u32> = Vec::new();
-    let mut out: Vec<u32> = Vec::new();
+    let mut out: Vec<(u32, f64)> = Vec::new();
     for (pos, &m) in top.members.iter().enumerate() {
-        let d = metric.dist(q, m);
+        let d = metric.dist(q, m.node());
         if last == 0 {
             if d <= x {
-                out.push(pos as u32);
+                out.push((pos as u32, d));
             }
         } else if d <= x + 2.0 * top.radius {
             cands.push(pos as u32);
@@ -334,10 +918,10 @@ fn coarse_members_within<M: Metric>(metric: &M, levels: &[TreeLevel], q: Node, x
             let lo = level.child_start[pos as usize] as usize;
             let hi = level.child_start[pos as usize + 1] as usize;
             for &cpos in &level.children[lo..hi] {
-                let d = metric.dist(q, next.members[cpos as usize]);
+                let d = metric.dist(q, next.members[cpos as usize].node());
                 if at_leaf {
                     if d <= x {
-                        out.push(cpos);
+                        out.push((cpos, d));
                     }
                 } else if d <= x + slack {
                     next_cands.push(cpos);
@@ -349,37 +933,43 @@ fn coarse_members_within<M: Metric>(metric: &M, levels: &[TreeLevel], q: Node, x
     out
 }
 
-/// Fills the previous level's child CSR: each new member is attached to
-/// the previous-level member that covers it (within the previous radius).
-fn link_children<M: Metric>(
-    metric: &M,
-    levels: &mut [TreeLevel],
-    next_members: &[Node],
-    assign: &[u32],
-) {
-    let prev = levels.last_mut().expect("at least the top level exists");
+/// Rebuilds `prev`'s child CSR from `parent_pos` (the position in
+/// `prev.members` of each next-level member's parent, indexed by
+/// next-level position). Counting sort keeps each parent's child range
+/// ascending by position, hence by node id.
+fn fill_csr(prev: &mut TreeLevel, parent_pos: &[u32]) {
     let mut counts = vec![0u32; prev.members.len() + 1];
-    for &m in next_members {
-        counts[assign[m.index()] as usize + 1] += 1;
+    for &p in parent_pos {
+        counts[p as usize + 1] += 1;
     }
     for i in 1..counts.len() {
         counts[i] += counts[i - 1];
     }
-    let child_start = counts.clone();
+    prev.child_start = counts.clone();
     let mut cursor = counts;
-    let mut children = vec![0u32; next_members.len()];
-    for (pos, &m) in next_members.iter().enumerate() {
-        let p = assign[m.index()] as usize;
-        children[cursor[p] as usize] = pos as u32;
-        cursor[p] += 1;
+    let mut children = vec![0u32; parent_pos.len()];
+    for (newpos, &p) in parent_pos.iter().enumerate() {
+        children[cursor[p as usize] as usize] = newpos as u32;
+        cursor[p as usize] += 1;
     }
-    debug_assert!(next_members.iter().enumerate().all(|(pos, &m)| {
-        let p = assign[m.index()] as usize;
-        let _ = pos;
-        metric.dist(prev.members[p], m) <= prev.radius * (1.0 + 1e-12)
-    }));
-    prev.child_start = child_start;
     prev.children = children;
+}
+
+impl<M: Metric> HeapBytes for NetTreeIndex<M> {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.levels)
+            + vec_capacity_bytes(&self.present)
+            + self
+                .levels
+                .iter()
+                .map(|l| {
+                    vec_capacity_bytes(&l.members)
+                        + vec_capacity_bytes(&l.parent)
+                        + vec_capacity_bytes(&l.child_start)
+                        + vec_capacity_bytes(&l.children)
+                })
+                .sum::<usize>()
+    }
 }
 
 impl<M: Metric> BallOracle for NetTreeIndex<M> {
@@ -387,7 +977,7 @@ impl<M: Metric> BallOracle for NetTreeIndex<M> {
         self.n
     }
 
-    fn diameter(&self) -> f64 {
+    fn diameter_ub(&self) -> f64 {
         self.diameter_ub
     }
 
@@ -420,27 +1010,20 @@ impl<M: Metric> BallOracle for NetTreeIndex<M> {
 
     fn nearest_where(&self, u: Node, pred: &mut dyn FnMut(Node) -> bool) -> Option<(f64, Node)> {
         let t = ron_obs::start();
-        let leaf_radius = self.levels.last().expect("nonempty").radius;
-        let mut r = leaf_radius;
-        let mut prev_r = -1.0f64;
+        let mut heaps = self.new_frontier(u);
+        let mut r = self.levels.last().expect("nonempty").radius;
+        let mut offered = 0usize;
         let out = loop {
-            let ball = self.sorted_ball(u, r);
-            let mut found = None;
-            for &(d, v) in &ball {
-                // Nodes at d <= prev_r were already offered to the
-                // predicate in an earlier (smaller) ring.
-                if d > prev_r && pred(v) {
-                    found = Some((d, v));
-                    break;
-                }
+            let hit = self.expand_frontier(u, &mut heaps, r, &mut |_, v| {
+                offered += 1;
+                pred(v)
+            });
+            if hit.is_some() {
+                break hit;
             }
-            if found.is_some() {
-                break found;
-            }
-            if ball.len() == self.n {
+            if offered == self.n {
                 break None;
             }
-            prev_r = r;
             r *= 2.0;
         };
         ron_obs::finish("oracle.nearest.sparse", t);
@@ -454,21 +1037,26 @@ impl<M: Metric> BallOracle for NetTreeIndex<M> {
             self.n
         );
         let t = ron_obs::start();
+        let mut heaps = self.new_frontier(u);
         let mut r = self.levels.last().expect("nonempty").radius;
-        let mut size = 0usize;
+        let mut kth = 0.0f64;
+        let mut emitted = 0usize;
         loop {
-            // Inlined ball_size so the inner probes do not double-count
-            // as oracle calls of their own.
-            self.descend(u, r, &mut |_, _| size += 1);
-            if size >= k {
+            // Leaf pops arrive in globally ascending (distance, id)
+            // order across rounds, so the k-th pop is the k-th smallest
+            // distance — exactly the dense answer.
+            let done = self.expand_frontier(u, &mut heaps, r, &mut |d, _| {
+                emitted += 1;
+                kth = d;
+                emitted >= k
+            });
+            if done.is_some() {
                 break;
             }
-            size = 0;
             r *= 2.0;
         }
-        let out = self.sorted_ball(u, r)[k - 1].0;
         ron_obs::finish("oracle.radius.sparse", t);
-        out
+        kth
     }
 }
 
@@ -525,11 +1113,32 @@ mod tests {
     }
 
     #[test]
+    fn nearest_where_offers_each_node_once_in_dense_order() {
+        let cube = gen::uniform_cube(48, 2, 11);
+        let dense = MetricIndex::build(&cube);
+        let tree = NetTreeIndex::build(cube);
+        for i in 0..48 {
+            let u = Node::new(i);
+            let mut dense_order = Vec::new();
+            let _ = MetricIndex::nearest_where(&dense, u, |v| {
+                dense_order.push(v);
+                false
+            });
+            let mut tree_order = Vec::new();
+            let _ = BallOracle::nearest_where(&tree, u, &mut |v| {
+                tree_order.push(v);
+                false
+            });
+            assert_eq!(tree_order, dense_order, "predicate call order from {u}");
+        }
+    }
+
+    #[test]
     fn extremes_match_dense_conventions() {
         let (dense, tree) = both(40);
         assert_eq!(tree.min_distance(), dense.min_distance());
-        assert!(BallOracle::diameter(&tree) >= MetricIndex::diameter(&dense));
-        assert!(BallOracle::diameter(&tree) <= 2.0 * MetricIndex::diameter(&dense));
+        assert!(BallOracle::diameter_ub(&tree) >= MetricIndex::diameter(&dense));
+        assert!(BallOracle::diameter_ub(&tree) <= 2.0 * MetricIndex::diameter(&dense));
         assert!(!BallOracle::is_empty(&tree));
         assert_eq!(BallOracle::len(&tree), 40);
     }
@@ -573,11 +1182,219 @@ mod tests {
             "stored {} entries",
             tree.stored_entries()
         );
+        // And heap_bytes agrees with the 4-byte-per-slot layout, within
+        // Vec over-allocation and the parent arrays.
+        assert!(tree.heap_bytes() < 512 * 512);
+    }
+
+    #[test]
+    fn levels_are_canonical() {
+        let cube = gen::uniform_cube(256, 3, 13);
+        let tree = NetTreeIndex::build(cube);
+        for (k, level) in tree.levels.iter().enumerate() {
+            assert!(
+                level.members.windows(2).all(|w| w[0] < w[1]),
+                "level {k} members not id-sorted"
+            );
+            if k > 0 {
+                assert_eq!(level.parent.len(), level.members.len());
+                let prev = &tree.levels[k - 1];
+                for (&m, &p) in level.members.iter().zip(&level.parent) {
+                    assert!(prev.members.binary_search(&p).is_ok());
+                    assert!(
+                        tree.metric.dist(p.node(), m.node()) <= prev.radius * (1.0 + 1e-12),
+                        "covering invariant violated at level {k}"
+                    );
+                }
+            }
+            if k + 1 < tree.levels.len() {
+                let next = &tree.levels[k + 1];
+                assert_eq!(level.child_start.len(), level.members.len() + 1);
+                assert_eq!(level.children.len(), next.members.len());
+                // Each child range is ascending; each next-level member
+                // appears exactly once.
+                let mut seen = vec![false; next.members.len()];
+                for (pos, _) in level.members.iter().enumerate() {
+                    let lo = level.child_start[pos] as usize;
+                    let hi = level.child_start[pos + 1] as usize;
+                    assert!(level.children[lo..hi].windows(2).all(|w| w[0] < w[1]));
+                    for &c in &level.children[lo..hi] {
+                        assert!(!seen[c as usize]);
+                        seen[c as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
     }
 
     #[test]
     fn metric_accessor_returns_the_metric() {
         let tree = NetTreeIndex::build(LineMetric::uniform(4).unwrap());
         assert_eq!(tree.metric().len(), 4);
+    }
+
+    /// Deterministic permutation of `0..n` (multiplicative LCG walk).
+    fn permutation(n: usize, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn assert_answers_match<M: Metric>(
+        inc: &NetTreeIndex<M>,
+        batch: &NetTreeIndex<M>,
+        n: usize,
+        label: &str,
+    ) {
+        assert_eq!(
+            inc.min_distance(),
+            batch.min_distance(),
+            "{label}: min_dist"
+        );
+        assert_eq!(
+            BallOracle::diameter_ub(inc),
+            BallOracle::diameter_ub(batch),
+            "{label}: diameter_ub"
+        );
+        for i in 0..n {
+            let u = Node::new(i);
+            for r in [0.0, batch.min_distance(), batch.diameter_ub / 3.0] {
+                assert_eq!(
+                    BallOracle::ball(inc, u, r),
+                    BallOracle::ball(batch, u, r),
+                    "{label}: ball({u}, {r})"
+                );
+            }
+            for k in [1, n / 2 + 1, n] {
+                assert_eq!(
+                    inc.radius_for_count(u, k),
+                    batch.radius_for_count(u, k),
+                    "{label}: radius_for_count({u}, {k})"
+                );
+            }
+            // Predicate call order, the strictest part of the contract.
+            let mut inc_order = Vec::new();
+            let _ = BallOracle::nearest_where(inc, u, &mut |v| {
+                inc_order.push(v);
+                false
+            });
+            let mut batch_order = Vec::new();
+            let _ = BallOracle::nearest_where(batch, u, &mut |v| {
+                batch_order.push(v);
+                false
+            });
+            assert_eq!(inc_order, batch_order, "{label}: call order from {u}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_the_line() {
+        let n = 24;
+        for seed in 0..3u64 {
+            let order = permutation(n, seed);
+            let mut inc = NetTreeIndex::incremental(LineMetric::uniform(n).unwrap());
+            for &j in &order {
+                inc.insert(Node::new(j));
+            }
+            let batch = NetTreeIndex::build(LineMetric::uniform(n).unwrap());
+            assert_answers_match(&inc, &batch, n, &format!("line seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_a_cube() {
+        let n = 64;
+        for seed in 0..2u64 {
+            let order = permutation(n, 100 + seed);
+            let cube = gen::uniform_cube(n, 2, 9);
+            let mut inc = NetTreeIndex::incremental(cube.clone());
+            for &j in &order {
+                inc.insert(Node::new(j));
+                assert!(inc.contains(Node::new(j)));
+            }
+            let batch = NetTreeIndex::build(cube);
+            assert_answers_match(&inc, &batch, n, &format!("cube seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_the_exponential_line() {
+        let n = 14;
+        let order = permutation(n, 7);
+        let mut inc = NetTreeIndex::incremental(LineMetric::exponential(n).unwrap());
+        for &j in &order {
+            inc.insert(Node::new(j));
+        }
+        let batch = NetTreeIndex::build(LineMetric::exponential(n).unwrap());
+        assert_answers_match(&inc, &batch, n, "exponential line");
+    }
+
+    #[test]
+    fn incremental_membership_matches_batch_per_level() {
+        // Stronger than answer equality: the canonical id-order rule
+        // makes per-level membership insertion-order independent, so the
+        // shared radii of the two ladders hold identical member sets.
+        let n = 48;
+        let cube = gen::uniform_cube(n, 3, 17);
+        let order = permutation(n, 5);
+        let mut inc = NetTreeIndex::incremental(cube.clone());
+        for &j in &order {
+            inc.insert(Node::new(j));
+        }
+        let batch = NetTreeIndex::build(cube);
+        assert!(inc.depth() >= batch.depth());
+        for (k, b) in batch.levels.iter().enumerate() {
+            assert_eq!(inc.levels[k].radius, b.radius, "radius at level {k}");
+            assert_eq!(inc.levels[k].members, b.members, "members at level {k}");
+        }
+        // Any extra incremental levels hold every node (answers are
+        // unaffected; batch just stops at the first complete level).
+        for extra in &inc.levels[batch.depth()..] {
+            assert_eq!(extra.members.len(), n);
+        }
+    }
+
+    #[test]
+    fn incremental_mid_build_answers_are_exact_on_the_prefix() {
+        let n = 40;
+        let order = permutation(n, 11);
+        let cube = gen::uniform_cube(n, 2, 23);
+        let mut inc = NetTreeIndex::incremental(cube.clone());
+        for (step, &j) in order.iter().enumerate() {
+            inc.insert(Node::new(j));
+            if step % 7 != 3 {
+                continue;
+            }
+            // Against a brute-force scan of the inserted prefix.
+            let members: Vec<Node> = order[..=step].iter().map(|&i| Node::new(i)).collect();
+            let q = Node::new(j);
+            let r = inc.diameter_ub / 4.0;
+            let mut expect: Vec<(f64, Node)> = members
+                .iter()
+                .map(|&w| (cube.dist(q, w), w))
+                .filter(|&(d, _)| d <= r)
+                .collect();
+            expect.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(BallOracle::ball(&inc, q, r), expect, "step {step}");
+            assert_eq!(BallOracle::len(&inc), step + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already inserted")]
+    fn insert_rejects_duplicates() {
+        let mut inc = NetTreeIndex::incremental(LineMetric::uniform(4).unwrap());
+        inc.insert(Node::new(2));
+        inc.insert(Node::new(2));
     }
 }

@@ -16,6 +16,7 @@ use std::fmt;
 /// assert_eq!(format!("{u}"), "v3");
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
 pub struct Node(u32);
 
 impl Node {
@@ -45,6 +46,84 @@ impl Node {
 impl fmt::Display for Node {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "v{}", self.0)
+    }
+}
+
+/// Compact 4-byte node id used inside arena-backed structures.
+///
+/// Everything below the [`Space`](crate::Space) API line — net-tree
+/// levels, ring arenas, directory pointer tables — stores node ids as
+/// `CompactId` in struct-of-arrays / CSR layouts, keeping hot structures
+/// at 4 bytes per entry. Both `CompactId` and [`Node`] are
+/// `repr(transparent)` over `u32`, so a compact arena slice can be viewed
+/// as a `&[Node]` without copying (see [`CompactId::as_nodes`]); the
+/// separate type keeps arena positions and public node ids from mixing.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
+pub struct CompactId(u32);
+
+impl CompactId {
+    /// Creates a compact id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        CompactId(u32::try_from(index).expect("compact id exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this id.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The public [`Node`] this id denotes.
+    #[must_use]
+    pub const fn node(self) -> Node {
+        Node(self.0)
+    }
+
+    /// Views a compact-id arena slice as public node ids, without
+    /// copying.
+    ///
+    /// Sound because both types are `repr(transparent)` wrappers over
+    /// `u32` with identical layout and no invalid bit patterns.
+    #[must_use]
+    pub fn as_nodes(ids: &[CompactId]) -> &[Node] {
+        // SAFETY: CompactId and Node are both repr(transparent) over u32.
+        unsafe { &*(std::ptr::from_ref::<[CompactId]>(ids) as *const [Node]) }
+    }
+}
+
+impl From<Node> for CompactId {
+    fn from(value: Node) -> Self {
+        CompactId(value.0)
+    }
+}
+
+impl From<CompactId> for Node {
+    fn from(value: CompactId) -> Self {
+        Node(value.0)
+    }
+}
+
+impl From<u32> for CompactId {
+    fn from(value: u32) -> Self {
+        CompactId(value)
+    }
+}
+
+impl From<CompactId> for u32 {
+    fn from(value: CompactId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for CompactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
     }
 }
 
@@ -94,5 +173,28 @@ mod tests {
     #[test]
     fn ordering_follows_index() {
         assert!(Node::new(1) < Node::new(2));
+    }
+
+    #[test]
+    fn compact_id_round_trips_with_node() {
+        let c = CompactId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.node(), Node::new(7));
+        assert_eq!(CompactId::from(Node::new(7)), c);
+        assert_eq!(Node::from(c), Node::new(7));
+        assert_eq!(u32::from(c), 7);
+        assert_eq!(CompactId::from(7u32), c);
+        assert_eq!(format!("{c}"), "c7");
+    }
+
+    #[test]
+    fn compact_slice_views_as_nodes() {
+        let ids: Vec<CompactId> = (0..5).map(CompactId::new).collect();
+        let nodes = CompactId::as_nodes(&ids);
+        assert_eq!(nodes.len(), 5);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(v, Node::new(i));
+        }
+        assert!(CompactId::as_nodes(&[]).is_empty());
     }
 }

@@ -40,10 +40,10 @@ use crate::Node;
 ///   `(k-1)`-th smallest distance from `u` under the same tie order;
 /// * [`min_distance`](BallOracle::min_distance) is the exact smallest
 ///   positive pairwise distance (`1.0` for a single node, matching the
-///   dense index's convention); [`diameter`](BallOracle::diameter) may be
-///   an **upper bound** within a factor of 2 of the true diameter (exact
-///   for the dense backend) — every use in the pipeline only needs a
-///   radius that covers the space.
+///   dense index's convention); [`diameter_ub`](BallOracle::diameter_ub)
+///   may be an **upper bound** within a factor of 2 of the true diameter
+///   (exact for the dense backend) — every use in the pipeline only needs
+///   a radius that covers the space.
 pub trait BallOracle: Sync {
     /// Number of nodes in the indexed space.
     fn len(&self) -> usize;
@@ -55,20 +55,36 @@ pub trait BallOracle: Sync {
     }
 
     /// Largest pairwise distance, or an upper bound within a factor of 2
-    /// (exact for [`MetricIndex`](crate::MetricIndex); see the trait docs).
-    fn diameter(&self) -> f64;
+    /// (exact for [`MetricIndex`](crate::MetricIndex); see the trait
+    /// docs). The `_ub` suffix is the contract: callers may only rely on
+    /// this covering the space, never on it being attained by a pair.
+    fn diameter_ub(&self) -> f64;
+
+    /// Former name of [`diameter_ub`](BallOracle::diameter_ub).
+    ///
+    /// The old name suggested an exact diameter, but the sparse backend
+    /// reports `2 * ecc(v0)`; the rename makes the upper-bound contract
+    /// visible at every call site.
+    #[deprecated(
+        since = "0.8.0",
+        note = "renamed to `diameter_ub`: the value may be an upper bound within a factor of 2, not the exact diameter"
+    )]
+    fn diameter(&self) -> f64 {
+        self.diameter_ub()
+    }
 
     /// Exact smallest positive pairwise distance (`1.0` for a single
     /// node).
     fn min_distance(&self) -> f64;
 
     /// Aspect ratio `Delta = diameter / min_distance`, at least `1.0`
-    /// (inherits [`diameter`](BallOracle::diameter)'s upper-bound slack).
+    /// (inherits [`diameter_ub`](BallOracle::diameter_ub)'s upper-bound
+    /// slack).
     fn aspect_ratio(&self) -> f64 {
         if self.len() < 2 {
             1.0
         } else {
-            (self.diameter() / self.min_distance()).max(1.0)
+            (self.diameter_ub() / self.min_distance()).max(1.0)
         }
     }
 
@@ -124,7 +140,7 @@ impl BallOracle for crate::MetricIndex {
         crate::MetricIndex::len(self)
     }
 
-    fn diameter(&self) -> f64 {
+    fn diameter_ub(&self) -> f64 {
         crate::MetricIndex::diameter(self)
     }
 

@@ -130,8 +130,8 @@ fn assert_oracle_equivalence<M: Metric + Clone>(metric: M) {
     let tree = NetTreeIndex::build(metric);
     assert_eq!(BallOracle::len(&tree), n);
     assert_eq!(tree.min_distance(), dense.min_distance(), "min distance");
-    assert!(BallOracle::diameter(&tree) >= dense.diameter());
-    assert!(BallOracle::diameter(&tree) <= 2.0 * dense.diameter() + 1e-12);
+    assert!(BallOracle::diameter_ub(&tree) >= dense.diameter());
+    assert!(BallOracle::diameter_ub(&tree) <= 2.0 * dense.diameter() + 1e-12);
     for i in 0..n {
         let u = Node::new(i);
         for k in 1..=n {

@@ -1,4 +1,5 @@
-use ron_metric::{distance_levels, BallOracle, Metric, Node, Space};
+use ron_metric::mem::vec_capacity_bytes;
+use ron_metric::{distance_levels, BallOracle, HeapBytes, Metric, Node, Space};
 
 use crate::Net;
 
@@ -43,7 +44,7 @@ impl NestedNets {
     /// one marking pass of [`Net::build`]).
     ///
     /// Note the sparse backend reports an upper-bound
-    /// [`diameter`](BallOracle::diameter), so its ladder may carry one
+    /// [`diameter_ub`](BallOracle::diameter_ub), so its ladder may carry one
     /// extra (coarser) level than the dense ladder over the same metric;
     /// both satisfy every net invariant.
     #[must_use]
@@ -124,6 +125,12 @@ impl NestedNets {
     }
 }
 
+impl HeapBytes for NestedNets {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.nets) + self.nets.iter().map(HeapBytes::heap_bytes).sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,7 +176,7 @@ mod tests {
     fn top_level_covers_with_one_ball() {
         let (space, nets) = ladder();
         let top = nets.net(nets.levels() - 1);
-        assert!(top.radius() >= space.index().diameter());
+        assert!(top.radius() >= space.index().diameter_ub());
         assert_eq!(top.len(), 1);
     }
 

@@ -1,7 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
-use ron_metric::{BallOracle, Metric, Node, Space};
+use ron_metric::mem::vec_capacity_bytes;
+use ron_metric::{BallOracle, HeapBytes, Metric, Node, Space};
 
 /// Errors raised when validating an [`Net`].
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +241,12 @@ impl Net {
             }
         }
         Ok(())
+    }
+}
+
+impl HeapBytes for Net {
+    fn heap_bytes(&self) -> usize {
+        vec_capacity_bytes(&self.members) + vec_capacity_bytes(&self.is_member)
     }
 }
 

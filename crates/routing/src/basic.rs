@@ -126,7 +126,7 @@ impl BasicScheme {
         if let Some((g, _)) = graph {
             assert_eq!(g.len(), n, "graph/space arity mismatch");
         }
-        let diameter = space.index().diameter();
+        let diameter = space.index().diameter_ub();
         let num_scales = distance_levels(space.index().aspect_ratio()) + 1;
         let nets = NestedNets::build(space);
         let scales: Vec<f64> = (0..num_scales)

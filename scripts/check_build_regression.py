@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Build-time regression guard for the construction-scaling benchmark.
+
+Usage: check_build_regression.py BASELINE.json FRESH.json [N] [FACTOR]
+
+Compares the single-threaded sparse-backend "total ms" of the E-BS
+construction-scaling table at the guarded size N (default 65536) between
+the committed baseline report and a freshly generated one, and fails if
+the fresh build is more than FACTOR (default 1.5) times slower.
+
+The guard is bootstrap-friendly: a baseline without a sparse row at the
+guarded size passes with a notice (the first report committed at that
+size becomes the baseline), while a *fresh* report missing the row is an
+error — the benchmark did not run at the guarded size.
+"""
+
+import json
+import sys
+
+
+def sparse_serial_total_ms(path, n):
+    """The (total ms, bytes/node or None) of the serial sparse row at n."""
+    with open(path) as f:
+        doc = json.load(f)
+    for table in doc.get("tables", doc if isinstance(doc, list) else []):
+        if not table.get("title", "").startswith("E-BS:"):
+            continue
+        header = table["header"]
+        col = {name: i for i, name in enumerate(header)}
+        for row in table["rows"]:
+            if (
+                row[col["backend"]] == "sparse net-tree"
+                and row[col["n"]] == str(n)
+                and row[col["threads"]] == "1"
+            ):
+                total = float(row[col["total ms"]])
+                bytes_per_node = (
+                    int(row[col["bytes/node"]]) if "bytes/node" in col else None
+                )
+                return total, bytes_per_node
+    return None, None
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    n = int(sys.argv[3]) if len(sys.argv) > 3 else 65536
+    factor = float(sys.argv[4]) if len(sys.argv) > 4 else 1.5
+
+    fresh, fresh_bytes = sparse_serial_total_ms(fresh_path, n)
+    if fresh is None:
+        sys.exit(f"error: {fresh_path} has no serial sparse E-BS row at n = {n}")
+    baseline, baseline_bytes = sparse_serial_total_ms(baseline_path, n)
+    if baseline is None:
+        print(
+            f"notice: {baseline_path} has no serial sparse E-BS row at "
+            f"n = {n}; fresh build {fresh:.0f} ms becomes the baseline"
+        )
+        return
+
+    limit = factor * baseline
+    verdict = "ok" if fresh <= limit else "REGRESSION"
+    print(
+        f"{verdict}: n = {n} sparse serial build {fresh:.0f} ms "
+        f"(baseline {baseline:.0f} ms, limit {limit:.0f} ms)"
+    )
+    if baseline_bytes is not None and fresh_bytes is not None:
+        print(f"bytes/node: fresh {fresh_bytes}, baseline {baseline_bytes}")
+    if fresh > limit:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
