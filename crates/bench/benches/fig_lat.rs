@@ -1,0 +1,58 @@
+//! E-LAT: per-query latency attribution from sampled flight records.
+//!
+//! Runs `ron_bench::fig_lat_with_series` at `RON_SIM_N` nodes (default
+//! 1024): constructs, publishes and serves with query tracing sampled
+//! at rate 2, proves the flight records structurally identical across
+//! worker splits, renders the E-LAT attribution table and folds the
+//! captured telemetry time series into `BENCH_report.json` as the
+//! `"timeseries"` block (plus `BENCH_timeseries.csv`). The timed probe
+//! measures the sampling gate itself — the single relaxed atomic load
+//! an untraced query pays when `RON_QTRACE` is unset.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = ron_bench::sim_n_or(1024);
+    let start = Instant::now();
+    let (table, series) = ron_bench::fig_lat_with_series(n);
+    let table_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", table.render());
+    let series_json = ron_obs::timeseries_json(&series);
+    let path = ron_bench::report_json_path();
+    if let Err(e) =
+        ron_bench::write_report_json_full(&path, &[(table, table_ms)], None, Some(&series_json))
+    {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+    let csv_path = ron_bench::timeseries_csv_path();
+    if let Err(e) = std::fs::write(&csv_path, ron_obs::timeseries_csv(&series)) {
+        eprintln!("could not write {csv_path}: {e}");
+    } else {
+        println!("wrote {csv_path} ({} telemetry points)", series.len());
+    }
+
+    // Timed probe: the untraced-query guarantee. With sampling off the
+    // gate is one relaxed load and a branch.
+    ron_obs::set_qtrace(0);
+    c.bench_function("fig_lat/unsampled_gate_checks_x1024", |b| {
+        b.iter(|| {
+            let mut sampled = 0u32;
+            for i in 0..1024u64 {
+                sampled += u32::from(ron_obs::qtrace_sampled(i));
+            }
+            black_box(sampled)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

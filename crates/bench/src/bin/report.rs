@@ -46,8 +46,24 @@ fn main() {
         run(&mut || ron_bench::fig_build_scaling_curve(&curve));
     }
 
-    // E-OBS last: it toggles the recording flag around its own passes,
-    // and its drained registry rides into the JSON as the "obs" block.
+    // E-LAT just before E-OBS: both toggle the recording flag around
+    // their own passes, and fig_obs resets the registry (and with it
+    // the time series) when it starts — so the flight-recorder run
+    // takes its telemetry points first.
+    let start = Instant::now();
+    let (lat_table, series) = ron_bench::fig_lat_with_series(sim_n);
+    let lat_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{}", lat_table.render());
+    tables.push((lat_table, lat_ms));
+    let series_json = ron_obs::timeseries_json(&series);
+    let csv_path = ron_bench::timeseries_csv_path();
+    match std::fs::write(&csv_path, ron_obs::timeseries_csv(&series)) {
+        Ok(()) => println!("wrote {csv_path} ({} telemetry points)", series.len()),
+        Err(e) => eprintln!("could not write {csv_path}: {e}"),
+    }
+
+    // E-OBS last: its drained registry rides into the JSON as the
+    // "obs" block.
     let start = Instant::now();
     let (obs_table, registry) = ron_bench::fig_obs_with_registry(sim_n);
     let obs_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -56,8 +72,11 @@ fn main() {
     let obs_json = registry.to_json();
 
     let path = ron_bench::report_json_path();
-    match ron_bench::write_report_json_with_obs(&path, &tables, Some(&obs_json)) {
-        Ok(()) => println!("wrote {path} ({} tables + obs block)", tables.len()),
+    match ron_bench::write_report_json_full(&path, &tables, Some(&obs_json), Some(&series_json)) {
+        Ok(()) => println!(
+            "wrote {path} ({} tables + obs and timeseries blocks)",
+            tables.len()
+        ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

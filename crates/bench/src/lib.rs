@@ -151,6 +151,20 @@ pub fn report_json(tables: &[(Table, f64)]) -> String {
 /// summarize.
 #[must_use]
 pub fn report_json_with_obs(tables: &[(Table, f64)], obs: Option<&str>) -> String {
+    report_json_full(tables, obs, None)
+}
+
+/// [`report_json`] with both optional trailing blocks: `"obs"` (a
+/// drained [`ron_obs::Registry`] as JSON) and `"timeseries"` (the
+/// captured [`ron_obs::timeseries_json`] array from
+/// [`fig_lat_with_series`]), so one document carries the tables, the
+/// final metric totals and the telemetry trajectory that led there.
+#[must_use]
+pub fn report_json_full(
+    tables: &[(Table, f64)],
+    obs: Option<&str>,
+    timeseries: Option<&str>,
+) -> String {
     let mut out = String::from("{\"schema\":\"ron-bench/1\",\"threads\":");
     out.push_str(&par::num_threads().to_string());
     out.push_str(",\"tables\":[");
@@ -169,6 +183,10 @@ pub fn report_json_with_obs(tables: &[(Table, f64)], obs: Option<&str>) -> Strin
     if let Some(obs) = obs {
         out.push_str(",\"obs\":");
         out.push_str(obs);
+    }
+    if let Some(series) = timeseries {
+        out.push_str(",\"timeseries\":");
+        out.push_str(series);
     }
     out.push('}');
     out
@@ -196,12 +214,35 @@ pub fn write_report_json_with_obs(
     std::fs::write(path, report_json_with_obs(tables, obs) + "\n")
 }
 
+/// [`write_report_json`] with both optional trailing blocks (`"obs"`
+/// and `"timeseries"`); see [`report_json_full`].
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_report_json_full(
+    path: &str,
+    tables: &[(Table, f64)],
+    obs: Option<&str>,
+    timeseries: Option<&str>,
+) -> std::io::Result<()> {
+    std::fs::write(path, report_json_full(tables, obs, timeseries) + "\n")
+}
+
 /// Workspace-root path for `BENCH_report.json`, independent of the
 /// working directory (`cargo bench` runs benches from the crate dir, the
 /// `report` binary usually runs from the root — CI uploads one path).
 #[must_use]
 pub fn report_json_path() -> String {
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json").to_string()
+}
+
+/// Workspace-root path for `BENCH_timeseries.csv`, the spreadsheet-ready
+/// dump of the telemetry time series captured during the report run
+/// (see [`ron_obs::timeseries_csv`] for the schema).
+#[must_use]
+pub fn timeseries_csv_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timeseries.csv").to_string()
 }
 
 fn f(x: f64) -> String {
@@ -2315,6 +2356,319 @@ pub fn fig_obs(n: usize) -> Table {
     fig_obs_with_registry(n).0
 }
 
+/// E-LAT: per-query latency attribution from sampled flight records,
+/// plus the captured telemetry time series. Returns the table and the
+/// [`ron_obs::TimePoint`]s so the report binary can dump them as the
+/// `"timeseries"` block and `BENCH_timeseries.csv`.
+///
+/// The run is self-asserting on the tentpole's determinism claims:
+///
+/// - the same batch served with 1 worker and 4 workers drains
+///   *structurally* bit-identical flight records (ids, epochs, shards,
+///   cache outcomes, levels, probes, hops — everything but wall time),
+///   because sampling is by batch index and shard choice is a pure
+///   key hash;
+/// - a doubled batch on one worker turns its entire second half into
+///   deterministic cache hits, so exactly half the traced records
+///   probe warm;
+/// - every traced lookup serves the same publication epoch (the one
+///   snapshot the engine pinned).
+///
+/// # Panics
+///
+/// Panics if any of those invariants fails, or if no telemetry points
+/// were captured.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn fig_lat_with_series(n: usize) -> (Table, Vec<ron_obs::TimePoint>) {
+    use ron_sim::directory::{DirectoryMsg, DirectoryNode};
+    use ron_sim::{MetricLatency, SimConfig, Simulator};
+
+    let n = n.clamp(64, DENSE_NODE_CAP);
+    let mut t = Table {
+        title: format!(
+            "E-LAT: per-query latency attribution from sampled flight records (n = {n})"
+        ),
+        backend: "dense".into(),
+        header: ["metric", "kind", "count", "mean/value", "p99~", "detail"]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        rows: Vec::new(),
+    };
+
+    let objects = (n / 4).max(8);
+    // Every (origin, object) pair distinct, so every cache probe in a
+    // single pass is a miss no matter how workers interleave inserts —
+    // the cold passes are deterministic by construction.
+    let q_count = 1024usize;
+    assert!(n * objects >= q_count, "unique query pool too small");
+    let queries: Vec<(Node, ObjectId)> = (0..q_count)
+        .map(|i| (Node::new(i % n), ObjectId((i / n) as u64)))
+        .collect();
+    let publish_items: Vec<(ObjectId, Node)> = (0..objects)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 31 + 1) % n)))
+        .collect();
+
+    let was_enabled = ron_obs::enabled();
+    let was_rate = ron_obs::qtrace_rate();
+    ron_obs::set_enabled(true);
+    ron_obs::reset();
+    ron_obs::set_qtrace(2);
+
+    // Construction ticks the time series on every stage exit; the
+    // publish batch leaves one flight record per sampled item.
+    let space = Space::new(gen::uniform_cube(n, 2, 1));
+    let mut overlay = DirectoryOverlay::build(&space);
+    overlay.publish_batch(&space, &publish_items);
+    let publish_traces = ron_obs::drain_query_traces();
+    assert!(
+        publish_traces.iter().all(|tr| tr.kind == "publish") && !publish_traces.is_empty(),
+        "sampled publishes must leave flight records"
+    );
+
+    let snapshot = Snapshot::capture(&space, &overlay);
+    ron_obs::gauge_max("mem.snapshot.bytes", snapshot.heap_bytes() as u64);
+    let snapshot_bytes = snapshot.heap_bytes();
+    let cell = EpochCell::new(snapshot);
+    let engine = QueryEngine::new(&space, &cell);
+    // Per-shard capacity covers the whole batch, so the doubled pass
+    // below cannot evict and its second half hits deterministically.
+    let config = |workers: usize| EngineConfig {
+        workers,
+        cache_capacity: 8 * q_count,
+        cache_shards: 8,
+    };
+
+    // The determinism proof: one worker vs four, same batch, fresh
+    // cache each serve. Wall-clock differs; structure may not.
+    let _serial = engine.serve(&queries, &config(1));
+    let serial_traces = ron_obs::drain_query_traces();
+    let _split = engine.serve(&queries, &config(4));
+    let split_traces = ron_obs::drain_query_traces();
+    let serial_structural: Vec<ron_obs::QueryTrace> = serial_traces
+        .iter()
+        .map(ron_obs::QueryTrace::structural)
+        .collect();
+    let split_structural: Vec<ron_obs::QueryTrace> = split_traces
+        .iter()
+        .map(ron_obs::QueryTrace::structural)
+        .collect();
+    assert_eq!(
+        serial_structural, split_structural,
+        "flight records must be structurally identical across worker splits"
+    );
+    assert_eq!(
+        serial_traces.len(),
+        q_count / 2,
+        "rate-2 sampling traces half the batch"
+    );
+    assert!(
+        serial_traces
+            .iter()
+            .all(|tr| tr.cache == ron_obs::CacheOutcome::Miss),
+        "unique cold queries all miss"
+    );
+    let epoch = serial_traces[0].epoch;
+    assert!(serial_traces.iter().all(|tr| tr.epoch == epoch));
+
+    // The cache-hit pass: the same batch twice on one worker. The
+    // second half's probes are warm, so traced ids >= q_count all hit.
+    let doubled: Vec<(Node, ObjectId)> = queries.iter().chain(queries.iter()).copied().collect();
+    let _warmed = engine.serve(&doubled, &config(1));
+    let doubled_traces = ron_obs::drain_query_traces();
+    let hits = doubled_traces
+        .iter()
+        .filter(|tr| tr.cache == ron_obs::CacheOutcome::Hit)
+        .count();
+    let misses = doubled_traces
+        .iter()
+        .filter(|tr| tr.cache == ron_obs::CacheOutcome::Miss)
+        .count();
+    assert_eq!(
+        (misses, hits),
+        (q_count / 2, q_count / 2),
+        "the doubled batch's second half must hit the warm cache"
+    );
+    assert!(
+        doubled_traces
+            .iter()
+            .filter(|tr| tr.cache == ron_obs::CacheOutcome::Hit)
+            .all(|tr| tr.found_level.is_none() && tr.probes == 0),
+        "cache hits skip the walk"
+    );
+
+    // A sim slice marks its phase in the time series too.
+    let mut sim = Simulator::new(
+        DirectoryNode::fleet(&space, &overlay),
+        |u, v| space.dist(u, v),
+        MetricLatency {
+            scale: 1.0,
+            floor: 0.01,
+        },
+        SimConfig::default(),
+    );
+    sim.mark_phase(0.0, "steady");
+    for q in 0..n.min(256) {
+        let origin = Node::new((q * 53 + 7) % n);
+        let obj = ObjectId((q * 97 + 13) as u64 % objects as u64);
+        sim.inject(q as f64 * 0.05, origin, DirectoryMsg::Lookup { obj });
+    }
+    let _sim_report = sim.run();
+
+    let series = ron_obs::take_timeseries();
+    ron_obs::set_qtrace(was_rate);
+    ron_obs::reset();
+    ron_obs::set_enabled(was_enabled);
+
+    assert!(!series.is_empty(), "telemetry ticks must capture points");
+    assert!(
+        series.iter().any(|p| p.label.starts_with("stage:")),
+        "construction stage exits must tick the series"
+    );
+    assert!(
+        series.iter().any(|p| p.label == "engine:batch"),
+        "served batches must tick the series"
+    );
+    assert!(
+        series.iter().any(|p| p.label.starts_with("sim:phase:")),
+        "sim phases must tick the series"
+    );
+
+    // The attribution aggregate over every flight record the run left.
+    let mut traces = publish_traces;
+    traces.extend(serial_traces);
+    traces.extend(split_traces);
+    traces.extend(doubled_traces);
+    let lat = ron_obs::LatencyAttribution::from_traces(&traces);
+    assert!(lat.owner("lookup", 0.5).is_some() && lat.owner("publish", 0.99).is_some());
+
+    t.rows.push(vec![
+        "elat.determinism".into(),
+        "workers 1 vs 4".into(),
+        (q_count / 2).to_string(),
+        "-".into(),
+        "-".into(),
+        "structural flight records bit-identical across worker splits".into(),
+    ]);
+    t.rows.push(vec![
+        "elat.sampling".into(),
+        "rate".into(),
+        traces.len().to_string(),
+        "2".into(),
+        "-".into(),
+        "every 2nd query by batch index (RON_QTRACE), no RNG".into(),
+    ]);
+    for kind in lat.kinds().collect::<Vec<_>>() {
+        let total = lat.total(kind).expect("kind has a total histogram");
+        t.rows.push(vec![
+            format!("elat.{kind}.total_ns"),
+            "hist".into(),
+            total.count().to_string(),
+            f(total.mean()),
+            total.quantile_lower_bound(0.99).unwrap_or(0).to_string(),
+            total.render_compact(),
+        ]);
+        t.rows.push(vec![
+            format!("elat.{kind}.owner"),
+            "attribution".into(),
+            total.count().to_string(),
+            lat.owner(kind, 0.5).unwrap_or("-").into(),
+            lat.owner(kind, 0.99).unwrap_or("-").into(),
+            "stage owning p50 / p99~".into(),
+        ]);
+    }
+    for (kind, stage, h) in lat.stages() {
+        t.rows.push(vec![
+            format!("elat.{kind}.{stage}_ns"),
+            "stage".into(),
+            h.count().to_string(),
+            f(h.mean()),
+            h.quantile_lower_bound(0.99).unwrap_or(0).to_string(),
+            format!("{:.1}% of {kind} time", lat.share_percent(kind, stage)),
+        ]);
+    }
+    let lookup_traced = traces.iter().filter(|tr| tr.kind == "lookup").count();
+    let outcome_count = |o: ron_obs::CacheOutcome| traces.iter().filter(|tr| tr.cache == o).count();
+    let shards: std::collections::BTreeSet<u32> =
+        traces.iter().filter_map(|tr| tr.cache_shard).collect();
+    t.rows.push(vec![
+        "elat.lookup.cache".into(),
+        "outcomes".into(),
+        lookup_traced.to_string(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} hit / {} miss / {} stale across {} shards, epoch {epoch}",
+            outcome_count(ron_obs::CacheOutcome::Hit),
+            outcome_count(ron_obs::CacheOutcome::Miss),
+            outcome_count(ron_obs::CacheOutcome::Stale),
+            shards.len()
+        ),
+    ]);
+    t.rows.push(vec![
+        "mem.snapshot.bytes".into(),
+        "gauge (max)".into(),
+        snapshot_bytes.to_string(),
+        "-".into(),
+        "-".into(),
+        "published snapshot heap, sampled into every telemetry point".into(),
+    ]);
+
+    // The telemetry trajectory, compressed to sparkline rows: served
+    // probes and recorded hop counts per captured point.
+    let probe_curve: Vec<u64> = series
+        .iter()
+        .map(|p| p.registry.counter_prefix_sum("engine.cache."))
+        .collect();
+    let hops_curve: Vec<u64> = series
+        .iter()
+        .map(|p| {
+            p.registry
+                .histogram("lookup.hops")
+                .map_or(0, ron_obs::Pow2Histogram::count)
+        })
+        .collect();
+    let labels: std::collections::BTreeSet<&str> =
+        series.iter().map(|p| p.label.as_str()).collect();
+    t.rows.push(vec![
+        "series.points".into(),
+        "timeseries".into(),
+        series.len().to_string(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} distinct tick labels, exponentially thinned",
+            labels.len()
+        ),
+    ]);
+    t.rows.push(vec![
+        "series.engine.cache.probes".into(),
+        "sparkline".into(),
+        probe_curve.len().to_string(),
+        probe_curve.last().copied().unwrap_or(0).to_string(),
+        "-".into(),
+        ron_obs::sparkline(&probe_curve),
+    ]);
+    t.rows.push(vec![
+        "series.lookup.hops.count".into(),
+        "sparkline".into(),
+        hops_curve.len().to_string(),
+        hops_curve.last().copied().unwrap_or(0).to_string(),
+        "-".into(),
+        ron_obs::sparkline(&hops_curve),
+    ]);
+
+    (t, series)
+}
+
+/// E-LAT: per-query latency attribution, rendered as a table (see
+/// [`fig_lat_with_series`]).
+#[must_use]
+pub fn fig_lat(n: usize) -> Table {
+    fig_lat_with_series(n).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2420,11 +2774,53 @@ mod tests {
         assert_eq!(t.rows[0][2], "100.0");
     }
 
+    /// `fig_obs` and `fig_lat` both toggle the process-global obs
+    /// state (enabled flag, registry, qtrace rate, time series); the
+    /// harness runs tests concurrently, so they serialize here.
+    fn obs_figs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static OBS_FIGS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        OBS_FIGS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn fig_lat_smoke() {
+        // fig_lat asserts its own tentpole invariants (worker-split
+        // determinism, deterministic cache hits, epoch pinning, series
+        // coverage); here we pin the projection and the exports.
+        let _lock = obs_figs_lock();
+        let (t, series) = fig_lat_with_series(64);
+        assert_eq!(t.rows[0][0], "elat.determinism");
+        for family in [
+            "elat.lookup.total_ns",
+            "elat.lookup.owner",
+            "elat.publish.total_ns",
+            "elat.lookup.cache",
+            "series.points",
+            "series.engine.cache.probes",
+        ] {
+            assert!(
+                t.rows.iter().any(|r| r[0].starts_with(family)),
+                "no {family} row in E-LAT"
+            );
+        }
+        let csv = ron_obs::timeseries_csv(&series);
+        assert!(csv.starts_with("tick,label,kind,name,value\n"));
+        assert!(csv.lines().count() > series.len(), "every point dumps rows");
+        assert!(ron_obs::timeseries_json(&series).starts_with('['));
+        // The run restores the disabled defaults (tests share the
+        // flags).
+        assert!(!ron_obs::enabled());
+        assert_eq!(ron_obs::qtrace_rate(), 0);
+    }
+
     #[test]
     fn fig_obs_smoke() {
         // fig_obs asserts its own wiring invariants (every layer's keys
         // present, throughput sane); here we pin the projection: the
         // overhead row leads, and each acceptance family has rows.
+        let _lock = obs_figs_lock();
         let (t, registry) = fig_obs_with_registry(64);
         assert_eq!(t.rows[0][0], "engine.serve.throughput");
         for family in [

@@ -1,0 +1,48 @@
+//! Brute-force cross-validation of [`Pow2Histogram::quantile_lower_bound`]
+//! against the nearest-rank convention `ron_core::stats` pins for every
+//! report in the workspace: the histogram's bound must be *exactly* the
+//! lower bucket bound of the `ceil(q * n)`-th smallest sample, and never
+//! stray more than a power of two below that sample.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ron_core::stats::{nearest_rank_index, Pow2Histogram};
+
+fn samples(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0u64..100_000)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_lower_bound_matches_nearest_rank_reference(
+        seed in 0u64..1_000_000,
+        len in 1usize..300,
+        q in 0.001f64..1.0,
+    ) {
+        let mut samples = samples(seed, len);
+        let mut h = Pow2Histogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [q, 0.5, 0.99, 1.0] {
+            let exact = samples[nearest_rank_index(samples.len(), q)];
+            let expected = Pow2Histogram::bucket_range(Pow2Histogram::bucket_of(exact)).0;
+            prop_assert_eq!(h.quantile_lower_bound(q), Some(expected), "q = {}", q);
+            // The bound brackets the exact nearest-rank sample from
+            // below, within the bucket's factor of two.
+            prop_assert!(expected <= exact);
+            if exact >= 2 {
+                prop_assert!(expected > exact / 2, "q = {}: {} vs {}", q, expected, exact);
+            }
+        }
+        // The `_sum`/`_count` the Prometheus exposition publishes are
+        // the raw-sample totals, not bucket approximations.
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+}

@@ -235,23 +235,34 @@ impl LruCache {
     }
 
     fn get(&mut self, key: (Node, ObjectId), epoch: u64) -> Option<CachedHit> {
+        self.get_probed(key, epoch).0
+    }
+
+    /// `get` plus the probe's classification, for per-query flight
+    /// records: hit, plain miss, or an entry cached against a
+    /// superseded epoch.
+    fn get_probed(
+        &mut self,
+        key: (Node, ObjectId),
+        epoch: u64,
+    ) -> (Option<CachedHit>, ron_obs::CacheOutcome) {
         let Some(&i) = self.map.get(&key) else {
             self.stats.misses += 1;
-            return None;
+            return (None, ron_obs::CacheOutcome::Miss);
         };
         if self.slots[i].epoch != epoch {
             // Cached against a superseded publication: distinct from a
             // plain miss in the accounting, since it measures how much
             // of the cache each publish invalidates.
             self.stats.stale += 1;
-            return None;
+            return (None, ron_obs::CacheOutcome::Stale);
         }
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
         }
         self.stats.hits += 1;
-        Some(self.slots[i].value)
+        (Some(self.slots[i].value), ron_obs::CacheOutcome::Hit)
     }
 
     fn insert(&mut self, key: (Node, ObjectId), value: CachedHit, epoch: u64) {
@@ -316,20 +327,41 @@ impl ShardedCache {
         }
     }
 
-    /// Picks the shard for a key: a splitmix64-style finalizer over the
-    /// origin/object pair, so consecutive node indices spread out.
-    fn shard(&self, key: (Node, ObjectId)) -> &Mutex<LruCache> {
+    /// Picks the shard index for a key: a splitmix64-style finalizer
+    /// over the origin/object pair, so consecutive node indices spread
+    /// out. Deterministic in the key — flight records across runs name
+    /// the same shard.
+    fn shard_index(&self, key: (Node, ObjectId)) -> usize {
         let mut h = (key.0.index() as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(key.1 .0);
         h ^= h >> 30;
         h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h ^= h >> 27;
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: (Node, ObjectId)) -> &Mutex<LruCache> {
+        &self.shards[self.shard_index(key)]
     }
 
     fn get(&self, key: (Node, ObjectId), epoch: u64) -> Option<CachedHit> {
         self.shard(key).lock().expect("cache lock").get(key, epoch)
+    }
+
+    /// `get` plus the probe classification and the shard probed, for
+    /// per-query flight records.
+    fn get_probed(
+        &self,
+        key: (Node, ObjectId),
+        epoch: u64,
+    ) -> (Option<CachedHit>, ron_obs::CacheOutcome, u32) {
+        let shard = self.shard_index(key);
+        let (value, outcome) = self.shards[shard]
+            .lock()
+            .expect("cache lock")
+            .get_probed(key, epoch);
+        (value, outcome, shard as u32)
     }
 
     fn insert(&self, key: (Node, ObjectId), value: CachedHit, epoch: u64) {
@@ -432,8 +464,12 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
                 .chunks(chunk.max(1))
                 .enumerate()
                 .map(|(w, slice)| {
+                    // Flight-record ids are positions in the full batch
+                    // (base + i), independent of the worker split, so
+                    // sampling picks the same queries at any RON_THREADS.
+                    let base = w * chunk.max(1);
                     scope.spawn(move || {
-                        let out = self.serve_chunk(w, slice, cache_ref);
+                        let out = self.serve_chunk(w, base, slice, cache_ref);
                         // Merge this worker's observability records before
                         // the scope can consider the thread finished.
                         ron_obs::flush();
@@ -472,12 +508,15 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
                 ron_obs::count_labeled("engine.cache.stale", shard, s.stale);
             }
         }
+        // A served batch is a structural moment on the serving curve.
+        ron_obs::timeseries_tick("engine:batch");
         report
     }
 
     fn serve_chunk(
         &self,
         worker: usize,
+        base: usize,
         queries: &[(Node, ObjectId)],
         cache: &ShardedCache,
     ) -> WorkerResult {
@@ -488,20 +527,47 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
             None
         };
         let mut out = WorkerResult::default();
-        for &(origin, obj) in queries {
+        for (i, &(origin, obj)) in queries.iter().enumerate() {
+            let qid = (base + i) as u64;
+            let traced = ron_obs::qtrace_sampled(qid);
             let t0 = Instant::now();
             // Load the current publication per query: a mid-batch publish
             // is picked up immediately, and the epoch tag keeps cache
             // entries from a superseded snapshot from being served.
             let snap = self.directory.load();
             let epoch = snap.epoch();
-            let result = match cache.get((origin, obj), epoch) {
+            // A traced query goes through the probed path, which also
+            // classifies the probe and names the shard; the common path
+            // stays as-is.
+            let (probe, cache_kind, shard) = if traced {
+                let (p, k, s) = cache.get_probed((origin, obj), epoch);
+                (p, k, Some(s))
+            } else {
+                let p = cache.get((origin, obj), epoch);
+                (p, ron_obs::CacheOutcome::Uncached, None)
+            };
+            let cache_ns = if traced {
+                t0.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            let walk_t = traced.then(Instant::now);
+            // (levels visited, found level, probes, hops) for the record.
+            let mut walk: (u32, Option<u32>, u64, u32) = (0, None, 0, 0);
+            let result = match probe {
                 Some(cached) => {
                     out.cache_hits += 1;
+                    walk.3 = cached.hops as u32;
                     Some(cached)
                 }
                 None => match snap.lookup(self.space, origin, obj) {
                     Ok(outcome) => {
+                        walk = (
+                            outcome.found_level as u32 + 1,
+                            Some(outcome.found_level as u32),
+                            outcome.probes,
+                            outcome.hops() as u32,
+                        );
                         let cached = CachedHit {
                             home: outcome.home,
                             length: outcome.length,
@@ -510,10 +576,30 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
                         cache.insert((origin, obj), cached, epoch);
                         Some(cached)
                     }
-                    Err(_) => None,
+                    Err(_) => {
+                        // The climb exhausted the ladder (or failed
+                        // earlier); the walk saw every level.
+                        walk.0 = snap.levels as u32;
+                        None
+                    }
                 },
             };
             let elapsed = t0.elapsed().as_nanos() as u64;
+            if traced {
+                let walk_ns = walk_t.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                ron_obs::record_query_trace(ron_obs::QueryTrace {
+                    kind: "lookup",
+                    id: qid,
+                    epoch,
+                    cache_shard: shard,
+                    cache: cache_kind,
+                    levels_visited: walk.0,
+                    found_level: walk.1,
+                    probes: walk.2,
+                    hops: walk.3,
+                    stages: vec![("cache", cache_ns), ("walk", walk_ns)],
+                });
+            }
             if let Some(w) = wlabel {
                 // Reuses the latency measurement the report already
                 // takes — no extra clock reads on the hot path.

@@ -27,6 +27,9 @@ pub struct LookupOutcome {
     pub length: f64,
     /// Ladder level at which the directory entry was found.
     pub found_level: usize,
+    /// Finger probes made on the climb (levels emptied by churn are
+    /// skipped without a probe).
+    pub probes: u64,
 }
 
 impl LookupOutcome {
@@ -207,6 +210,7 @@ pub(crate) fn locate_view<V: LookupView, M: Metric, I>(
             path,
             length,
             found_level: j,
+            probes,
         };
         if ron_obs::enabled() {
             ron_obs::observe("lookup.hops", outcome.hops() as u64);

@@ -94,19 +94,69 @@ pub fn chrome_trace_json() -> String {
 }
 
 /// Writes [`chrome_trace_json`] to `path`, returning the number of
-/// events written.
+/// events written. The write is atomic — the JSON goes to a sibling
+/// temp file which is renamed over `path` only once fully flushed — so
+/// a run that crashes mid-dump never leaves a truncated trace behind.
 pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
     let events = registry::take_chrome_events();
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(b"[")?;
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
-            file.write_all(b",")?;
+    let mut tmp = path.to_path_buf();
+    let mut name = path
+        .file_name()
+        .map_or_else(|| "trace".into(), std::ffi::OsStr::to_os_string);
+    name.push(".tmp");
+    tmp.set_file_name(name);
+    {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        file.write_all(b"[")?;
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                file.write_all(b",")?;
+            }
+            file.write_all(b"\n")?;
+            file.write_all(render_event(e).as_bytes())?;
         }
-        file.write_all(b"\n")?;
-        file.write_all(render_event(e).as_bytes())?;
+        file.write_all(b"\n]\n")?;
+        file.flush()?;
+        file.into_inner()
+            .map_err(std::io::IntoInnerError::into_error)?
+            .sync_all()?;
     }
-    file.write_all(b"\n]\n")?;
-    file.flush()?;
+    std::fs::rename(&tmp, path)?;
     Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_escapes_quotes_and_backslashes_in_names() {
+        let e = ChromeEvent {
+            name: "walk",
+            label: Label::Static("shard\"0\\a"),
+            tid: 3,
+            ts_ns: 1500,
+            dur_ns: 2500,
+        };
+        let line = render_event(&e);
+        assert!(line.contains("\"name\":\"walk/shard\\\"0\\\\a\""), "{line}");
+        assert!(line.contains("\"tid\":3"));
+        assert!(line.contains("\"ts\":1.500"));
+        assert!(line.contains("\"dur\":2.500"));
+        // The escaped line is itself a complete one-object JSON value.
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches("shard\\\"0\\\\a").count(), 1);
+    }
+
+    #[test]
+    fn unlabeled_event_renders_the_bare_name() {
+        let e = ChromeEvent {
+            name: "directory.capture",
+            label: Label::None,
+            tid: 1,
+            ts_ns: 0,
+            dur_ns: 0,
+        };
+        assert!(render_event(&e).contains("\"name\":\"directory.capture\""));
+    }
 }

@@ -1,0 +1,136 @@
+//! Prometheus-style text exposition over a drained [`Registry`].
+//!
+//! The composed `name[/stage][/label]` keys carry arbitrary
+//! characters, so rather than mangling them into metric names the
+//! formatter exposes three fixed families — `ron_counter`, `ron_gauge`
+//! and the `ron_latency` histogram — and puts the composed key in a
+//! `key` label (escaped per the exposition format: backslash, quote
+//! and newline). Histogram buckets are the registry's power-of-two
+//! buckets: values are integers and bucket `k` covers the closed range
+//! `[lo, hi]`, so `le="hi"` is an exact cumulative bound, followed by
+//! the mandatory `le="+Inf"`, `_sum` and `_count` series.
+//!
+//! The input is the deterministic sorted drain, so two snapshots of
+//! identical registries render byte-identical text — the property the
+//! CI smoke and the `/metrics` wire ([`crate::MetricsServer`]) rely
+//! on.
+
+use crate::hist::Pow2Histogram;
+use crate::registry::Registry;
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): counters as `ron_counter{key="..."}`, gauges as
+/// `ron_gauge{key="..."}`, histograms as `ron_latency_bucket{key="...",
+/// le="..."}` cumulative series plus `_sum`/`_count`. Sections are
+/// omitted when empty; an empty registry renders as the empty string.
+#[must_use]
+pub fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    if !reg.counters.is_empty() {
+        out.push_str("# HELP ron_counter Monotonic counters from the ron-obs registry.\n");
+        out.push_str("# TYPE ron_counter counter\n");
+        for (k, v) in &reg.counters {
+            out.push_str(&format!("ron_counter{{key=\"{}\"}} {v}\n", label_escape(k)));
+        }
+    }
+    if !reg.gauges.is_empty() {
+        out.push_str("# HELP ron_gauge High-water-mark gauges from the ron-obs registry.\n");
+        out.push_str("# TYPE ron_gauge gauge\n");
+        for (k, v) in &reg.gauges {
+            out.push_str(&format!("ron_gauge{{key=\"{}\"}} {v}\n", label_escape(k)));
+        }
+    }
+    if !reg.histograms.is_empty() {
+        out.push_str(
+            "# HELP ron_latency Power-of-two bucket distributions (ns for span histograms).\n",
+        );
+        out.push_str("# TYPE ron_latency histogram\n");
+        for (k, h) in &reg.histograms {
+            let key = label_escape(k);
+            let mut cumulative = 0u64;
+            for (bucket, &c) in h.buckets().iter().enumerate() {
+                cumulative += c;
+                let (_, hi) = Pow2Histogram::bucket_range(bucket);
+                out.push_str(&format!(
+                    "ron_latency_bucket{{key=\"{key}\",le=\"{hi}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "ron_latency_bucket{{key=\"{key}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!("ron_latency_sum{{key=\"{key}\"}} {}\n", h.sum()));
+            out.push_str(&format!(
+                "ron_latency_count{{key=\"{key}\"}} {}\n",
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(prometheus_text(&Registry::default()), "");
+    }
+
+    #[test]
+    fn families_render_with_escaped_keys_and_exact_bounds() {
+        let mut reg = Registry::default();
+        reg.counters.insert("lookup.hops/steady".to_string(), 42);
+        reg.gauges.insert("queue\"depth\\peak".to_string(), 7);
+        let mut h = Pow2Histogram::new();
+        for v in [0u64, 1, 3, 3, 9] {
+            h.record(v);
+        }
+        reg.histograms.insert("walk_ns".to_string(), h);
+
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE ron_counter counter\n"));
+        assert!(text.contains("ron_counter{key=\"lookup.hops/steady\"} 42\n"));
+        // Escaped quote and backslash in the label value.
+        assert!(text.contains("ron_gauge{key=\"queue\\\"depth\\\\peak\"} 7\n"));
+        // Cumulative buckets: le=0 -> 1, le=1 -> 2, le=3 -> 4, le=15 -> 5.
+        assert!(text.contains("ron_latency_bucket{key=\"walk_ns\",le=\"0\"} 1\n"));
+        assert!(text.contains("ron_latency_bucket{key=\"walk_ns\",le=\"1\"} 2\n"));
+        assert!(text.contains("ron_latency_bucket{key=\"walk_ns\",le=\"3\"} 4\n"));
+        assert!(text.contains("ron_latency_bucket{key=\"walk_ns\",le=\"15\"} 5\n"));
+        assert!(text.contains("ron_latency_bucket{key=\"walk_ns\",le=\"+Inf\"} 5\n"));
+        assert!(text.contains("ron_latency_sum{key=\"walk_ns\"} 16\n"));
+        assert!(text.contains("ron_latency_count{key=\"walk_ns\"} 5\n"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            assert!(value.parse::<u64>().is_ok(), "value in {line}");
+            assert!(name_labels.starts_with("ron_"), "family in {line}");
+        }
+    }
+
+    #[test]
+    fn identical_registries_render_byte_identical_text() {
+        let mut a = Registry::default();
+        a.counters.insert("x".to_string(), 1);
+        a.counters.insert("y".to_string(), 2);
+        let b = a.clone();
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+    }
+}

@@ -11,10 +11,19 @@
 //!   scope's duration into a histogram; [`start`]/[`finish`] are the
 //!   hot-path variant. [`stage`] attributes everything recorded inside
 //!   a scope — across `par` worker threads — to a named stage.
+//! * **Flight recorder** — per-query trace records
+//!   ([`QueryTrace`], sampled deterministically by batch index via
+//!   `RON_QTRACE`/[`set_qtrace`]) aggregated into the E-LAT
+//!   [`LatencyAttribution`] table, and ring-buffered time-series
+//!   snapshots ([`timeseries_tick`]) taken at structural moments —
+//!   stage exits, sim phase marks, engine batches — rendered as CSV
+//!   ([`timeseries_csv`]) and [`sparkline`] rows.
 //! * **Exporters** — [`Registry::render`] (aligned text),
 //!   [`Registry::to_json`] (folded into `BENCH_report.json` by
-//!   `ron-bench`), and an opt-in Chrome-trace dump
-//!   ([`write_chrome_trace`], enabled by `RON_TRACE=chrome`).
+//!   `ron-bench`), an opt-in Chrome-trace dump
+//!   ([`write_chrome_trace`], enabled by `RON_TRACE=chrome`), and the
+//!   Prometheus text form ([`prometheus_text`]) served live over TCP
+//!   by [`MetricsServer`] (`RON_METRICS_ADDR`, `GET /metrics`).
 //!
 //! Everything is **off by default**: each instrumentation point costs
 //! one relaxed atomic load until [`set_enabled`]/[`init_from_env`]
@@ -38,17 +47,31 @@
 //! ```
 
 mod chrome;
+mod expo;
 mod hist;
+mod querytrace;
 mod registry;
+mod serve;
 mod span;
+mod timeseries;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use expo::prometheus_text;
 pub use hist::Pow2Histogram;
+pub use querytrace::{
+    drain_query_traces, qtrace_rate, qtrace_sampled, record_query_trace, set_qtrace, CacheOutcome,
+    LatencyAttribution, QueryTrace,
+};
 pub use registry::{
     chrome_enabled, count, count_labeled, drain, enabled, flush, gauge_max, init_from_env, label,
-    observe, observe_labeled, reset, set_chrome, set_enabled, Label, Registry,
+    observe, observe_labeled, peek, reset, set_chrome, set_enabled, Label, Registry,
 };
+pub use serve::{serve_from_env, MetricsServer};
 pub use span::{finish, span, span_labeled, stage, start, SpanGuard, StageGuard};
+pub use timeseries::{
+    set_timeseries_capacity, sparkline, take_timeseries, timeseries_csv, timeseries_json,
+    timeseries_tick, TimePoint,
+};
 
 pub(crate) use registry::label_text as label_name;
 
@@ -211,6 +234,189 @@ mod tests {
         // Draining consumed the events.
         assert_eq!(chrome_trace_json().trim(), "[\n]");
         done(guard);
+    }
+
+    #[test]
+    fn chrome_trace_file_write_is_atomic_and_handles_empty() {
+        let guard = exclusive();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ron_obs_trace_{}.json", std::process::id()));
+
+        // Empty registry: the export is still a complete JSON array.
+        let written = write_chrome_trace(&path).unwrap();
+        assert_eq!(written, 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_json_array_of_objects(&body, 0);
+
+        set_chrome(true);
+        {
+            let _a = span("trace.file");
+        }
+        let written = write_chrome_trace(&path).unwrap();
+        set_chrome(false);
+        assert_eq!(written, 1);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_json_array_of_objects(&body, 1);
+        // The temp file the atomic write staged through is gone.
+        let mut tmp = path.clone();
+        let mut name = tmp.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        tmp.set_file_name(name);
+        assert!(!tmp.exists(), "staging file left behind: {}", tmp.display());
+        std::fs::remove_file(&path).unwrap();
+        done(guard);
+    }
+
+    #[test]
+    fn query_traces_round_trip_through_worker_flushes() {
+        let guard = exclusive();
+        set_qtrace(2);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                s.spawn(move || {
+                    for id in (0..8).filter(|i| i % 2 == t) {
+                        if qtrace_sampled(id) {
+                            record_query_trace(QueryTrace {
+                                kind: "lookup",
+                                id,
+                                epoch: 1,
+                                cache_shard: Some(0),
+                                cache: CacheOutcome::Miss,
+                                levels_visited: 3,
+                                found_level: Some(2),
+                                probes: 5,
+                                hops: 2,
+                                stages: vec![("cache", 10), ("walk", 100)],
+                            });
+                        }
+                    }
+                    flush();
+                });
+            }
+        });
+        set_qtrace(0);
+        let traces = drain_query_traces();
+        // Rate 2 samples ids 0,2,4,6 — drained in id order no matter
+        // which thread recorded them.
+        assert_eq!(
+            traces.iter().map(|t| t.id).collect::<Vec<_>>(),
+            [0, 2, 4, 6]
+        );
+        let lat = LatencyAttribution::from_traces(&traces);
+        assert_eq!(lat.owner("lookup", 0.99), Some("walk"));
+        assert!(
+            drain_query_traces().is_empty(),
+            "drain consumed the records"
+        );
+        done(guard);
+    }
+
+    #[test]
+    fn peek_snapshots_without_consuming() {
+        let guard = exclusive();
+        count("peek.calls", 2);
+        let live = peek();
+        assert_eq!(live.counter("peek.calls"), 2);
+        count("peek.calls", 1);
+        let drained = drain();
+        assert_eq!(
+            drained.counter("peek.calls"),
+            3,
+            "peek must not steal records"
+        );
+        done(guard);
+    }
+
+    #[test]
+    fn timeseries_ticks_capture_thinned_labeled_snapshots() {
+        let guard = exclusive();
+        count("ts.work", 1);
+        timeseries_tick("stage:a");
+        count("ts.work", 4);
+        timeseries_tick("stage:a");
+        // A hot label: 100 ticks keep 1..=8 and the powers of two.
+        for _ in 0..100 {
+            timeseries_tick("stage:hot");
+        }
+        let points = take_timeseries();
+        let a_points: Vec<_> = points.iter().filter(|p| p.label == "stage:a").collect();
+        assert_eq!(a_points.len(), 2);
+        assert_eq!(a_points[0].registry.counter("ts.work"), 1);
+        assert_eq!(a_points[1].registry.counter("ts.work"), 5);
+        assert!(a_points[0].tick < a_points[1].tick);
+        let hot = points.iter().filter(|p| p.label == "stage:hot").count();
+        assert_eq!(hot, 8 + 3, "1..=8 plus 16, 32, 64");
+        // CSV: header + 5 fields per row, commas in labels made safe.
+        let csv = timeseries_csv(&points);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("tick,label,kind,name,value"));
+        for line in lines {
+            assert_eq!(line.split(',').count(), 5, "row {line}");
+        }
+        assert_json_object(&format!("{{\"ts\":{}}}", timeseries_json(&points)));
+        assert!(take_timeseries().is_empty());
+        done(guard);
+    }
+
+    #[test]
+    fn stage_guard_exit_ticks_the_series() {
+        let guard = exclusive();
+        {
+            let _s = stage("nets");
+            count("oracle.calls", 7);
+        }
+        let points = take_timeseries();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].label, "stage:nets");
+        assert_eq!(points[0].registry.counter("oracle.calls/nets"), 7);
+        done(guard);
+    }
+
+    #[test]
+    fn metrics_server_answers_over_tcp() {
+        use std::io::{Read as _, Write as _};
+        let guard = exclusive();
+        count("wire.requests", 3);
+        observe("wire.latency_ns", 512);
+        // Scrapes run on handler threads and see the global store:
+        // recording threads must have flushed (workers already do).
+        flush();
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let fetch = |path: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        };
+        let health = fetch("/health");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"));
+        let metrics = fetch("/metrics");
+        assert!(metrics.contains("ron_counter{key=\"wire.requests\"} 3\n"));
+        assert!(metrics.contains("ron_latency_count{key=\"wire.latency_ns\"} 1\n"));
+        assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(std::net::TcpStream::connect(addr).map_or(true, |mut c| {
+            // Accept loop is gone: the connection may open but nothing
+            // answers.
+            let _ = write!(c, "GET /health HTTP/1.1\r\n\r\n");
+            let mut s = String::new();
+            c.read_to_string(&mut s).unwrap_or(0) == 0
+        }));
+        // Serving peeked, never drained: the records are still here.
+        assert_eq!(drain().counter("wire.requests"), 3);
+        done(guard);
+    }
+
+    #[test]
+    fn serve_from_env_is_off_without_the_variable() {
+        // RON_METRICS_ADDR is not set in the test environment.
+        assert!(serve_from_env().is_none());
     }
 
     /// Minimal JSON checker: validates one value and returns the rest.

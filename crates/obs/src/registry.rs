@@ -25,6 +25,7 @@ use std::sync::Mutex;
 
 use crate::chrome::ChromeEvent;
 use crate::hist::Pow2Histogram;
+use crate::querytrace::QueryTrace;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CHROME: AtomicBool = AtomicBool::new(false);
@@ -61,14 +62,23 @@ pub fn set_chrome(on: bool) {
 }
 
 /// Applies the observability environment knobs: `RON_TRACE=chrome`
-/// enables Chrome-trace capture (and with it metric recording), and
-/// `RON_OBS=1`/`RON_OBS=on` enables metric recording alone.
+/// enables Chrome-trace capture (and with it metric recording),
+/// `RON_OBS=1`/`RON_OBS=on` enables metric recording alone, and
+/// `RON_QTRACE=k` turns on per-query flight records at a 1-in-`k`
+/// deterministic sampling rate (see [`crate::set_qtrace`]; `k = 1`
+/// traces every query, unparsable values warn and leave tracing off).
 pub fn init_from_env() {
     if std::env::var("RON_TRACE").is_ok_and(|v| v == "chrome") {
         set_chrome(true);
     }
     if std::env::var("RON_OBS").is_ok_and(|v| v == "1" || v == "on") {
         set_enabled(true);
+    }
+    if let Ok(v) = std::env::var("RON_QTRACE") {
+        match v.parse::<u64>() {
+            Ok(rate) => crate::querytrace::set_qtrace(rate),
+            Err(_) => eprintln!("RON_QTRACE={v} is not an integer sampling rate; ignored"),
+        }
     }
 }
 
@@ -198,6 +208,7 @@ pub(crate) struct Collector {
     gauges: HashMap<Key, u64>,
     hists: HashMap<Key, Pow2Histogram>,
     pub(crate) chrome: Vec<ChromeEvent>,
+    pub(crate) qtraces: Vec<QueryTrace>,
     pub(crate) tid: u32,
 }
 
@@ -208,6 +219,7 @@ impl Collector {
             gauges: HashMap::new(),
             hists: HashMap::new(),
             chrome: Vec::new(),
+            qtraces: Vec::new(),
             // Lazily replaced with a process-unique id on the first
             // Chrome event (see chrome::push_event).
             tid: u32::MAX,
@@ -219,6 +231,7 @@ impl Collector {
             && self.gauges.is_empty()
             && self.hists.is_empty()
             && self.chrome.is_empty()
+            && self.qtraces.is_empty()
         {
             return;
         }
@@ -234,6 +247,7 @@ impl Collector {
             global.hists.entry(k).or_default().merge(&h);
         }
         global.chrome.append(&mut self.chrome);
+        global.qtraces.append(&mut self.qtraces);
     }
 }
 
@@ -259,6 +273,7 @@ struct GlobalStore {
     gauges: BTreeMap<Key, u64>,
     hists: BTreeMap<Key, Pow2Histogram>,
     chrome: Vec<ChromeEvent>,
+    qtraces: Vec<QueryTrace>,
 }
 
 static GLOBAL: Mutex<GlobalStore> = Mutex::new(GlobalStore {
@@ -266,6 +281,7 @@ static GLOBAL: Mutex<GlobalStore> = Mutex::new(GlobalStore {
     gauges: BTreeMap::new(),
     hists: BTreeMap::new(),
     chrome: Vec::new(),
+    qtraces: Vec::new(),
 });
 
 /// Adds `by` to the counter `name` (attributed to the current stage).
@@ -361,21 +377,61 @@ pub fn drain() -> Registry {
     reg
 }
 
+/// Flushes the calling thread and snapshots the global store as a
+/// composed-key [`Registry`] **without emptying it** — the live view
+/// the time-series sampler and the `/metrics` wire read. Accumulation
+/// continues; a later [`drain`] still sees everything.
+#[must_use]
+pub fn peek() -> Registry {
+    flush();
+    let global = GLOBAL.lock().unwrap();
+    let mut reg = Registry::default();
+    for (k, v) in &global.counters {
+        *reg.counters.entry(k.compose()).or_insert(0) += v;
+    }
+    for (k, v) in &global.gauges {
+        let slot = reg.gauges.entry(k.compose()).or_insert(0);
+        *slot = (*slot).max(*v);
+    }
+    for (k, h) in &global.hists {
+        reg.histograms.entry(k.compose()).or_default().merge(h);
+    }
+    reg
+}
+
+/// Buffers a flight record on the calling thread's collector.
+pub(crate) fn push_query_trace(trace: QueryTrace) {
+    with_collector(|c| c.qtraces.push(trace));
+}
+
+/// Flushes the calling thread and takes every buffered flight record
+/// (unsorted; `drain_query_traces` orders them).
+pub(crate) fn take_query_traces() -> Vec<QueryTrace> {
+    flush();
+    std::mem::take(&mut GLOBAL.lock().unwrap().qtraces)
+}
+
 /// Discards everything collected so far: the calling thread's pending
-/// records, the global store, and any buffered Chrome events. Other
-/// threads' un-flushed records are not reachable and are not cleared.
+/// records, the global store, buffered Chrome events, flight records,
+/// and the time-series ring buffer. Other threads' un-flushed records
+/// are not reachable and are not cleared.
 pub fn reset() {
     with_collector(|c| {
         c.counters.clear();
         c.gauges.clear();
         c.hists.clear();
         c.chrome.clear();
+        c.qtraces.clear();
     });
-    let mut global = GLOBAL.lock().unwrap();
-    global.counters.clear();
-    global.gauges.clear();
-    global.hists.clear();
-    global.chrome.clear();
+    {
+        let mut global = GLOBAL.lock().unwrap();
+        global.counters.clear();
+        global.gauges.clear();
+        global.hists.clear();
+        global.chrome.clear();
+        global.qtraces.clear();
+    }
+    crate::timeseries::clear();
 }
 
 /// Takes the buffered Chrome events (calling thread flushed first),
@@ -387,7 +443,7 @@ pub(crate) fn take_chrome_events() -> Vec<ChromeEvent> {
     events
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {

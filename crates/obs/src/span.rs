@@ -88,6 +88,7 @@ pub fn finish(name: &'static str, started: Option<Instant>) {
 /// A guard that restores the previous stage on drop; see [`stage`].
 #[must_use = "the stage reverts when the guard drops; binding it to _ reverts immediately"]
 pub struct StageGuard {
+    name: &'static str,
     prev: u32,
     active: bool,
 }
@@ -102,11 +103,13 @@ pub struct StageGuard {
 pub fn stage(name: &'static str) -> StageGuard {
     if !registry::enabled() {
         return StageGuard {
+            name,
             prev: 0,
             active: false,
         };
     }
     StageGuard {
+        name,
         prev: registry::swap_stage(name),
         active: true,
     }
@@ -116,6 +119,10 @@ impl Drop for StageGuard {
     fn drop(&mut self) {
         if self.active {
             registry::restore_stage(self.prev);
+            // A stage exit is a structural moment every builder already
+            // marks — sample the time series there, so construction
+            // stages become curve points without touching the callers.
+            crate::timeseries::timeseries_tick(&format!("stage:{}", self.name));
         }
     }
 }

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use ron_core::par;
-use ron_location::{DirectoryOverlay, ObjectId};
+use ron_location::{DirectoryOverlay, EngineConfig, EpochCell, ObjectId, QueryEngine, Snapshot};
 use ron_metric::{gen, Metric, Node, Space};
 use ron_sim::directory::{DirectoryMsg, DirectoryNode};
 use ron_sim::greedy::{GreedyNode, GreedyPacket};
@@ -274,6 +274,113 @@ fn trace_fingerprint_is_identical_across_thread_counts_and_reruns() {
     assert_ne!(single, other_seed, "the seed must actually matter");
 }
 
+/// The tests below toggle the process-global obs state (enabled flag,
+/// registry, qtrace rate, time series) and drain it; the harness runs
+/// tests concurrently, so they serialize here.
+fn obs_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static OBS_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    OBS_STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One build + publish + engine-serve + simulate pass on an arbitrary
+/// space — the flight-recorder surface end to end (construction stage
+/// ticks, publish and lookup flight records, engine batch ticks, sim
+/// phase ticks) — returning the sim's trace fingerprint.
+fn fingerprint_run_on<M: Metric>(space: &Space<M>, seed: u64) -> u64 {
+    let n = space.len();
+    let mut overlay = DirectoryOverlay::build(space);
+    let items: Vec<(ObjectId, Node)> = (0..8)
+        .map(|i| (ObjectId(i as u64), Node::new((i * 17 + 3) % n)))
+        .collect();
+    overlay.publish_batch(space, &items);
+    let cell = EpochCell::new(Snapshot::capture(space, &overlay));
+    let engine = QueryEngine::new(space, &cell);
+    let queries: Vec<(Node, ObjectId)> = (0..64)
+        .map(|q| (Node::new((q * 37 + 1) % n), ObjectId((q % 8) as u64)))
+        .collect();
+    let _ = engine.serve(&queries, &EngineConfig::default());
+    let mut sim = Simulator::new(
+        DirectoryNode::fleet(space, &overlay),
+        |u, v| space.dist(u, v),
+        LognormalLatency {
+            scale: 100.0,
+            floor: 0.2,
+            sigma: 0.4,
+        },
+        SimConfig {
+            seed,
+            drop_prob: 0.05,
+            timeout: Some(500.0),
+        },
+    );
+    sim.mark_phase(0.0, "steady");
+    for q in 0..120usize {
+        let origin = Node::new((q * 37 + 1) % n);
+        let obj = ObjectId((q % items.len()) as u64);
+        sim.inject(q as f64 * 0.25, origin, DirectoryMsg::Lookup { obj });
+    }
+    sim.run().trace_fingerprint
+}
+
+/// Acceptance: the flight recorder is provably non-perturbing on one
+/// instance family. The sim trace fingerprint is byte-identical with
+/// query tracing off, sampled (rate 2), tracing everything (rate 1,
+/// including across thread counts), and back off again — and the traced
+/// passes actually left flight records and telemetry points.
+fn assert_flight_recorder_non_perturbing<M: Metric>(space: &Space<M>, seed: u64) {
+    let baseline = fingerprint_run_on(space, seed);
+    ron_obs::set_enabled(true);
+    ron_obs::reset();
+    ron_obs::set_qtrace(2);
+    let sampled = fingerprint_run_on(space, seed);
+    ron_obs::set_qtrace(1);
+    let full = fingerprint_run_on(space, seed);
+    let full_parallel = par::with_threads(4, || fingerprint_run_on(space, seed));
+    let traces = ron_obs::drain_query_traces();
+    let series = ron_obs::take_timeseries();
+    ron_obs::set_qtrace(0);
+    ron_obs::reset();
+    ron_obs::set_enabled(false);
+    let after = fingerprint_run_on(space, seed);
+    assert_eq!(
+        baseline, sampled,
+        "sampled query tracing must not change the event schedule"
+    );
+    assert_eq!(
+        baseline, full,
+        "tracing every query must not change the event schedule"
+    );
+    assert_eq!(
+        full, full_parallel,
+        "query tracing + RON_THREADS must not change the trace"
+    );
+    assert_eq!(baseline, after, "disabling tracing must restore silence");
+    assert!(
+        traces.iter().any(|t| t.kind == "lookup") && traces.iter().any(|t| t.kind == "publish"),
+        "the traced passes must leave lookup and publish flight records"
+    );
+    assert!(
+        series.iter().any(|p| p.label.starts_with("stage:"))
+            && series.iter().any(|p| p.label == "engine:batch")
+            && series.iter().any(|p| p.label.starts_with("sim:phase:")),
+        "the traced passes must capture telemetry from every layer"
+    );
+}
+
+/// Acceptance: query tracing, sampling rates and time-series capture
+/// leave the sim's trace fingerprint byte-identical on all four
+/// generator families.
+#[test]
+fn query_tracing_does_not_perturb_the_trace_on_any_family() {
+    let _lock = obs_state_lock();
+    assert_flight_recorder_non_perturbing(&Space::new(gen::uniform_cube(48, 2, 9)), 101);
+    assert_flight_recorder_non_perturbing(&Space::new(gen::clustered(40, 2, 3, 0.01, 7)), 102);
+    assert_flight_recorder_non_perturbing(&Space::new(gen::perturbed_grid(6, 2, 0.2, 5)), 103);
+    assert_flight_recorder_non_perturbing(&Space::new(gen::exponential_line(16)), 104);
+}
+
 /// Acceptance: observability is provably non-perturbing. With metrics
 /// recording enabled the trace fingerprint is byte-identical to the
 /// disabled run, across reruns and thread counts — the instrumentation
@@ -282,6 +389,7 @@ fn trace_fingerprint_is_identical_across_thread_counts_and_reruns() {
 /// non-emptiness; exact accounting lives in the engine's own tests).
 #[test]
 fn obs_instrumentation_does_not_perturb_the_trace() {
+    let _lock = obs_state_lock();
     let baseline = fingerprint_run(91);
     ron_obs::set_enabled(true);
     ron_obs::reset();
