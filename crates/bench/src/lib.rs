@@ -1734,6 +1734,8 @@ fn avail_run<M: Metric + Sync>(
     let sample_loop = |serve: &(dyn Fn(Node, ObjectId) -> (bool, u64) + Sync), reader: usize| {
         let mut out = Vec::new();
         let mut q = reader;
+        // ordering: Acquire -- pairs with the Release store when the
+        // window closes; samples taken before the flag are complete.
         while !stop.load(Ordering::Acquire) {
             let (origin, obj) = avail_query(q, n, objects, victims);
             let at = ms_now();
@@ -1807,6 +1809,8 @@ fn avail_run<M: Metric + Sync>(
             (repair, t_repair, ms_now())
         };
         std::thread::sleep(window);
+        // ordering: Release -- closes the sampling window; pairs with
+        // the readers' Acquire loads.
         stop.store(true, Ordering::Release);
         let t_stop = ms_now();
 

@@ -1,0 +1,379 @@
+//! A minimal Rust lexer: just enough syntax awareness to tell code from
+//! comments and string literals, attribute every token and comment to a
+//! source line, and distinguish `'a` (lifetime) from `'a'` (char).
+//!
+//! The rules in this crate are lexical, not semantic — they match token
+//! sequences, never types — so the lexer's one job is to never confuse
+//! the three lexical worlds of a Rust file:
+//!
+//! * **code tokens** (identifiers, punctuation, numbers), which rules
+//!   pattern-match on;
+//! * **comments** (line, block — nested — and both doc flavours), which
+//!   carry `// SAFETY:`, `// ordering:` and allow annotations;
+//! * **string/char literals** (plain, byte, and raw with any `#` count),
+//!   which must be skipped entirely so that a string containing
+//!   `"Ordering::Relaxed"` or `"/*"` can never confuse a rule or
+//!   unbalance comment nesting.
+
+/// The coarse kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `Ordering`, `for`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A string literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A numeric literal (`0`, `1.5`, `0xFF`, `1_000u64`).
+    Number,
+    /// A single punctuation character (`:` `.` `(` `{` `;` ...).
+    Punct,
+}
+
+/// One code token, tagged with the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For `Punct` this is a single character; for
+    /// string literals the text is the raw literal including quotes.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, tagged with the line span it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based first line of the comment.
+    pub line: u32,
+    /// 1-based last line (equal to `line` for line comments).
+    pub end_line: u32,
+    /// The comment body without the `//` / `/*` framing.
+    pub text: String,
+    /// True for `/* ... */` comments.
+    pub block: bool,
+    /// True for `///`, `//!`, `/**`, `/*!` doc comments.
+    pub doc: bool,
+}
+
+/// The result of lexing one file: code tokens plus a side table of
+/// comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. The lexer is lossy in ways a
+/// compiler could not be (numeric suffixes are not validated, invalid
+/// source does not error) but it is exact about the boundaries that
+/// matter: strings, comments, and char-vs-lifetime.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, String::new()),
+                '\'' => self.char_or_lifetime(line),
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_or_ident(line, "r"),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, String::from("b"));
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_or_ident(line, "br");
+                }
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push_tok(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump();
+        let doc = match (self.peek(0), self.peek(1)) {
+            (Some('!'), _) => true,
+            // `///` is doc, `////...` is an ordinary comment rule.
+            (Some('/'), next) => next != Some('/'),
+            _ => false,
+        };
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+            text.push(c);
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            block: false,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump();
+        let doc = match (self.peek(0), self.peek(1)) {
+            (Some('!'), _) => true,
+            // `/**/` is empty, `/***` is ornamental; only `/** x` is doc.
+            (Some('*'), next) => !matches!(next, Some('*' | '/')),
+            _ => false,
+        };
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                self.bump();
+                text.push(c);
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            block: true,
+            doc,
+        });
+    }
+
+    /// Plain (or byte) string literal starting at the opening quote.
+    fn string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                // Skip the escaped character so `\"` cannot close us.
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '"' {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Str, text, line);
+    }
+
+    /// At `r` (or past `b` with `r` next): either a raw string
+    /// `r#"..."#` with any number of hashes, or a raw identifier
+    /// `r#ident`.
+    fn raw_or_ident(&mut self, line: u32, prefix: &str) {
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.bump(); // opening quote
+                let mut text = format!("{prefix}{}\"", "#".repeat(hashes));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                            text.push('#');
+                        }
+                        break;
+                    }
+                }
+                self.push_tok(TokKind::Str, text, line);
+            }
+            _ if hashes == 1 => {
+                // Raw identifier `r#type`.
+                self.bump(); // the `#`
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.bump();
+                    text.push(c);
+                }
+                self.push_tok(TokKind::Ident, text, line);
+            }
+            _ => {
+                // `r` followed by something else entirely: plain ident.
+                let mut text = String::from("r");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.bump();
+                    text.push(c);
+                }
+                self.push_tok(TokKind::Ident, text, line);
+            }
+        }
+    }
+
+    /// At a `'`: a char literal (`'a'`, `'\n'`, `'\u{1F600}'`) or a
+    /// lifetime / loop label (`'a`, `'static`, `'_`).
+    fn char_or_lifetime(&mut self, line: u32) {
+        match (self.peek(1), self.peek(2)) {
+            // Escaped char literal: consume through the closing quote.
+            (Some('\\'), _) => {
+                self.bump(); // '
+                self.bump(); // backslash
+                let mut text = String::from("'\\");
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_tok(TokKind::Char, text, line);
+            }
+            // `'x'`: a one-character literal.
+            (Some(c), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push_tok(TokKind::Char, format!("'{c}'"), line);
+            }
+            // `'ident`: lifetime or loop label.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(); // '
+                let mut text = String::from("'");
+                while let Some(ch) = self.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    self.bump();
+                    text.push(ch);
+                }
+                self.push_tok(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                // Stray quote (malformed source): treat as punctuation.
+                self.bump();
+                self.push_tok(TokKind::Punct, String::from("'"), line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.bump();
+            text.push(c);
+        }
+        self.push_tok(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '.' {
+                // `1.5` continues the number; `1..n` does not.
+                if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) && !text.contains('.') {
+                    self.bump();
+                    text.push('.');
+                    continue;
+                }
+                break;
+            }
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.bump();
+            text.push(c);
+        }
+        self.push_tok(TokKind::Number, text, line);
+    }
+}

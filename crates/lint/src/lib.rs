@@ -1,0 +1,285 @@
+//! ron-lint — a zero-dependency static analyzer enforcing this
+//! workspace's determinism, safety, and concurrency contracts.
+//!
+//! The reproduction rests on a contract the compiler cannot see: trace
+//! fingerprints, registry drains, and repair plans must be byte-identical
+//! across reruns and `RON_THREADS`. The proptests in `ron-sim` and
+//! `ron-obs` enforce that contract dynamically — but only on the
+//! schedules a test happens to race. ron-lint makes it a build-time
+//! invariant: a source-level pass with its own minimal Rust lexer
+//! ([`lexer`]) walks every workspace `.rs` file and checks the project
+//! rules ([`rules`]):
+//!
+//! | id | name       | contract                                                        |
+//! |----|------------|-----------------------------------------------------------------|
+//! | D1 | wall-clock | no `Instant::now` / `SystemTime` / thread identity / address-as-hash in determinism-critical crates |
+//! | D2 | map-order  | no `HashMap`/`HashSet` iteration order escaping unsorted        |
+//! | S1 | safety     | every `unsafe` carries a `// SAFETY:` comment                   |
+//! | C1 | ordering   | every explicit atomic `Ordering` carries a `// ordering:` note  |
+//! | P1 | lockfile   | `Cargo.lock` holds only workspace + `vendor/` path crates       |
+//! | A1 | annotation | allow annotations must be well-formed, with a reason            |
+//!
+//! False positives are annotated at the site, never globally:
+//!
+//! ```text
+//! // ron-lint: allow(map-order): commutative merge into a BTreeMap
+//! ```
+//!
+//! The pass is self-hosting — it runs clean on its own source, and an
+//! integration test pins the whole tree clean — and ships as both this
+//! library (structured [`rules::Finding`]s for tests) and the `ron-lint`
+//! binary (human + `LINT_report.json` output, non-zero exit on any
+//! finding), wired into CI as a gating job.
+
+pub mod lexer;
+pub mod lockfile;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, Policy, Rule};
+
+/// Directory names never descended into: build output, vendored shims,
+/// VCS metadata, and test fixture trees (which contain violations on
+/// purpose and are analyzed by pointing the binary at them directly).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// The result of analyzing a tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Root the paths in [`Report::findings`] are relative to.
+    pub root: String,
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+    /// Whether a `Cargo.lock` was checked.
+    pub lockfile_checked: bool,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings count per rule id, in rule order.
+    #[must_use]
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        let rules = [
+            Rule::WallClock,
+            Rule::MapOrder,
+            Rule::Safety,
+            Rule::AtomicOrdering,
+            Rule::Lockfile,
+            Rule::Annotation,
+        ];
+        rules
+            .iter()
+            .map(|&r| (r.id(), self.findings.iter().filter(|f| f.rule == r).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Renders findings for humans: `id name path:line  message`.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{} {:<10} {}:{}  {}\n",
+                f.rule.id(),
+                f.rule.name(),
+                f.path,
+                f.line,
+                f.message
+            ));
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "ron-lint: clean ({} files{})\n",
+                self.files_scanned,
+                if self.lockfile_checked {
+                    " + Cargo.lock"
+                } else {
+                    ""
+                }
+            ));
+        } else {
+            out.push_str(&format!(
+                "ron-lint: {} finding(s) in {} files (",
+                self.findings.len(),
+                self.files_scanned
+            ));
+            for (i, (id, n)) in self.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{id}: {n}"));
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+
+    /// Serializes the report as JSON (the `LINT_report.json` schema):
+    /// root, file count, per-rule counts, and one object per finding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"root\":\"{}\",", json_escape(&self.root)));
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"lockfile_checked\":{},", self.lockfile_checked));
+        out.push_str("\"counts\":{");
+        for (i, (id, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{id}\":{n}"));
+        }
+        out.push_str("},\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"name\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                f.rule.id(),
+                f.rule.name(),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collects every `.rs` file under `root` (sorted, deterministic),
+/// skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Picks the policy for `root`: the workspace policy when the root
+/// carries a `[workspace]` manifest (rule D1 scoped to the
+/// determinism-critical crates), the strict all-files policy otherwise
+/// (standalone trees, fixtures).
+#[must_use]
+pub fn policy_for_root(root: &Path) -> Policy {
+    let manifest = root.join("Cargo.toml");
+    match fs::read_to_string(manifest) {
+        Ok(body) if body.contains("[workspace]") => Policy::workspace(),
+        _ => Policy::strict(),
+    }
+}
+
+/// The D2 name-scope key of a repo-relative path: `crates/<name>` for
+/// crate trees, the first path component otherwise. A `HashMap` field
+/// declared in one module and iterated in a sibling module of the same
+/// crate is the common real leak, so hash-bound names are unioned per
+/// crate before the rules run.
+fn scope_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("crates"), Some(name), Some(_)) => format!("crates/{name}"),
+        (Some(first), Some(_), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Analyzes the tree under `root` with `policy`: every `.rs` file plus
+/// the root `Cargo.lock` if present.
+pub fn analyze_tree_with_policy(root: &Path, policy: &Policy) -> io::Result<Report> {
+    let mut report = Report {
+        root: root.display().to_string(),
+        ..Report::default()
+    };
+    // Pass 1: read every file and harvest hash-bound names per scope.
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut names_by_scope: std::collections::BTreeMap<String, std::collections::BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        names_by_scope
+            .entry(scope_key(&rel))
+            .or_default()
+            .extend(rules::harvest_hash_names(&src));
+        files.push((rel, src));
+    }
+    // Pass 2: analyze each file with its crate's full name scope.
+    let empty = std::collections::BTreeSet::new();
+    for (rel, src) in &files {
+        let names = names_by_scope.get(&scope_key(rel)).unwrap_or(&empty);
+        report
+            .findings
+            .extend(rules::analyze_source_scoped(rel, src, policy, names));
+        report.files_scanned += 1;
+    }
+    let lock = root.join("Cargo.lock");
+    if lock.is_file() {
+        let body = fs::read_to_string(&lock)?;
+        report
+            .findings
+            .extend(lockfile::check_lockfile("Cargo.lock", &body));
+        report.lockfile_checked = true;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Analyzes the tree under `root` with the policy inferred by
+/// [`policy_for_root`].
+pub fn analyze_tree(root: &Path) -> io::Result<Report> {
+    analyze_tree_with_policy(root, &policy_for_root(root))
+}

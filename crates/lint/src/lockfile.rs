@@ -1,0 +1,45 @@
+//! Rule P1: the lockfile must contain only workspace and vendored
+//! crates.
+//!
+//! Every dependency in this repository is a path crate — workspace
+//! members plus the offline shims under `vendor/`. Path packages carry
+//! no `source` key in `Cargo.lock`; registry and git packages do. Any
+//! `source` key therefore means an external dependency slipped past the
+//! offline-shim policy, and the build would need the network.
+
+use crate::rules::{Finding, Rule};
+
+/// Checks a `Cargo.lock` body. `path` is the repo-relative lockfile
+/// path used in findings.
+#[must_use]
+pub fn check_lockfile(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut current_name = String::new();
+    let mut name_line = 0u32;
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1);
+        let line = raw.trim();
+        if line == "[[package]]" {
+            current_name.clear();
+            name_line = line_no;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name = ") {
+            current_name = rest.trim_matches('"').to_string();
+            name_line = line_no;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("source = ") {
+            let source = rest.trim_matches('"');
+            findings.push(Finding {
+                rule: Rule::Lockfile,
+                path: path.to_string(),
+                line: if name_line > 0 { name_line } else { line_no },
+                message: format!(
+                    "package `{current_name}` resolves from `{source}`; only workspace and vendor/ path crates are allowed (offline-shim policy)",
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,63 @@
+//! The `ron-lint` binary: analyze a tree, print findings, write
+//! `LINT_report.json`, exit non-zero if anything fired.
+//!
+//! ```text
+//! ron-lint [ROOT] [--json-out PATH] [--quiet]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (the workspace root in CI).
+//! A root with a `[workspace]` manifest gets the workspace policy;
+//! any other tree (for example the violation fixtures) is checked with
+//! every rule applied to every file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out = PathBuf::from("LINT_report.json");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json-out" => match args.next() {
+                Some(p) => json_out = PathBuf::from(p),
+                None => {
+                    eprintln!("ron-lint: --json-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: ron-lint [ROOT] [--json-out PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("ron-lint: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match ron_lint::analyze_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ron-lint: failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Err(e) = std::fs::write(&json_out, report.to_json()) {
+        eprintln!("ron-lint: failed to write {}: {e}", json_out.display());
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

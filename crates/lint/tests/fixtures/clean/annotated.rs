@@ -1,0 +1,41 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn timed() -> u64 {
+    // ron-lint: allow(wall-clock): report-only timing, never feeds results
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn drain_sum(m: &mut HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    // ron-lint: allow(map-order): addition is commutative
+    for (_, v) in m.drain() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn sorted_keys(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect::<Vec<_>>().sorted_by_len();
+    v.dedup();
+    v
+}
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live slice.
+    unsafe { *p }
+}
+
+pub fn set() {
+    // ordering: Relaxed -- independent flag; no data published through it.
+    FLAG.store(true, Ordering::Relaxed);
+}
+
+pub fn tricky_lexing() -> &'static str {
+    /* nested /* block */ comments stay comments */
+    let _lifetime_vs_char = ('x', "no finding for 'a lifetimes");
+    r#"Instant::now() unsafe Ordering::Relaxed HashMap iter() "#
+}

@@ -1,0 +1,5 @@
+// ron-lint: allow(map-order)
+pub fn missing_reason() {}
+
+// ron-lint: allow(no-such-rule): the rule name is not real
+pub fn unknown_rule() {}

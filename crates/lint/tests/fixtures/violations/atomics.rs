@@ -1,0 +1,12 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn set() {
+    FLAG.store(true, Ordering::Relaxed);
+}
+
+pub fn get() -> bool {
+    // ordering: Relaxed -- independent flag; no data published through it.
+    FLAG.load(Ordering::Relaxed)
+}

@@ -1,0 +1,21 @@
+use std::collections::HashMap;
+
+pub struct Table {
+    pub slots: HashMap<u64, u64>,
+}
+
+pub fn leak_keys(t: &Table) -> Vec<u64> {
+    t.slots.keys().copied().collect()
+}
+
+pub fn leak_loop(t: &Table) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in &t.slots {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn total(t: &Table) -> u64 {
+    t.slots.values().sum()
+}

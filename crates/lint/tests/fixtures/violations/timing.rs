@@ -1,0 +1,10 @@
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn addr(x: &u64) -> usize {
+    x as *const u64 as usize
+}

@@ -1,0 +1,8 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_ok(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live slice.
+    unsafe { *p }
+}

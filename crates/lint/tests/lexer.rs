@@ -1,0 +1,157 @@
+//! Lexer tests: the three lexical worlds (code, comments, strings)
+//! must never bleed into each other, and every token must land on the
+//! right line.
+
+use ron_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<(String, u32)> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| (t.text, t.line))
+        .collect()
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    // Rule patterns inside raw strings must be invisible, including
+    // quotes, comment openers, and hash-delimited nesting.
+    let src = r##"let a = r#"Instant::now() /* not a comment "quote" "#;
+let b = r"plain raw Ordering::Relaxed";
+let c = after;
+"##;
+    let ids = idents(src);
+    assert!(ids.iter().any(|(t, l)| t == "a" && *l == 1));
+    assert!(ids.iter().any(|(t, l)| t == "b" && *l == 2));
+    assert!(ids.iter().any(|(t, l)| t == "c" && *l == 3));
+    assert!(!ids.iter().any(|(t, _)| t == "Instant" || t == "Ordering"));
+    assert!(lex(src).comments.is_empty());
+}
+
+#[test]
+fn raw_string_with_more_hashes_than_needed_closes_correctly() {
+    let src = r###"let x = r##"inner "# still inside"##;
+let y = 1;
+"###;
+    let ids = idents(src);
+    assert!(ids.iter().any(|(t, l)| t == "y" && *l == 2));
+    let strs: Vec<_> = lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("still inside"));
+}
+
+#[test]
+fn nested_block_comments_balance() {
+    let src = "start /* outer /* inner */ still outer */ end\n";
+    let lexed = lex(src);
+    let ids: Vec<&str> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(ids, vec!["start", "end"]);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+    assert!(lexed.comments[0].block);
+}
+
+#[test]
+fn block_comment_spans_lines() {
+    let src = "a\n/* one\n   two\n   three */\nb\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(lexed.comments[0].end_line, 4);
+    assert!(lexed.toks.iter().any(|t| t.text == "b" && t.line == 5));
+}
+
+#[test]
+fn lifetime_vs_char_vs_byte_char() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let b = b'z'; loop { break 'a_label; } }\n";
+    let lexed = lex(src);
+    let lifetimes: Vec<&str> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    let chars: Vec<&str> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'a_label"]);
+    assert_eq!(chars, vec!["'a'", "'\\n'", "'z'"]);
+}
+
+#[test]
+fn static_lifetime_is_not_a_char() {
+    let src = "static S: &'static str = \"x\";\n";
+    let lexed = lex(src);
+    assert!(lexed
+        .toks
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+    assert!(!lexed.toks.iter().any(|t| t.kind == TokKind::Char));
+}
+
+#[test]
+fn doc_comments_are_flagged_as_doc() {
+    let src = "/// outer doc\n//! inner doc\n// plain\n//// ornament\n/** block doc */\n/*! inner block */\n/* plain block */\nfn f() {}\n";
+    let docs: Vec<bool> = lex(src).comments.iter().map(|c| c.doc).collect();
+    assert_eq!(docs, vec![true, true, false, false, true, true, false]);
+}
+
+#[test]
+fn escaped_quotes_do_not_close_strings() {
+    let src = "let s = \"a\\\"b // not a comment\"; let t = 2;\n";
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty());
+    assert!(lexed.toks.iter().any(|t| t.text == "t"));
+    let strs: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("not a comment"));
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    let src = "let r#type = 1; let other = r#type;\n";
+    let ids = idents(src);
+    assert_eq!(
+        ids.iter().filter(|(t, _)| t == "type").count(),
+        2,
+        "r#type should lex as ident `type` twice: {ids:?}"
+    );
+}
+
+#[test]
+fn numbers_stop_at_range_operators() {
+    let src = "for i in 0..n { let x = 1.5; let y = 0xFF_u32; }\n";
+    let lexed = lex(src);
+    let nums: Vec<&str> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Number)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["0", "1.5", "0xFF_u32"]);
+    assert!(lexed.toks.iter().any(|t| t.text == "n"));
+}
+
+#[test]
+fn line_numbers_survive_multiline_strings() {
+    let src = "let s = \"line one\nline two\";\nlet after = 3;\n";
+    let lexed = lex(src);
+    assert!(lexed.toks.iter().any(|t| t.text == "after" && t.line == 3));
+}

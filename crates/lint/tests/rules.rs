@@ -1,0 +1,410 @@
+//! Rule-engine tests on inline sources. Each embedded source lives in a
+//! raw string, so nothing here trips the self-hosting scan of the real
+//! tree.
+
+use std::collections::BTreeSet;
+
+use ron_lint::rules::{analyze_source, analyze_source_scoped, harvest_hash_names, Policy, Rule};
+
+/// Findings as `(rule id, line)` under the strict policy.
+fn hits(src: &str) -> Vec<(&'static str, u32)> {
+    analyze_source("test.rs", src, &Policy::strict())
+        .into_iter()
+        .map(|f| (f.rule.id(), f.line))
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1 --
+
+#[test]
+fn d1_instant_now_is_flagged() {
+    let src = r#"use std::time::Instant;
+pub fn f() {
+    let t = Instant::now();
+    drop(t);
+}
+"#;
+    assert_eq!(hits(src), vec![("D1", 3)]);
+}
+
+#[test]
+fn d1_allow_on_same_line_suppresses() {
+    let src = r#"use std::time::Instant;
+pub fn f() {
+    let t = Instant::now(); // ron-lint: allow(wall-clock): report-only timing
+    drop(t);
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d1_allow_above_statement_suppresses_multiline_call() {
+    let src = r#"use std::time::Instant;
+pub fn f() {
+    // ron-lint: allow(wall-clock): report-only timing
+    let t = some_long_builder()
+        .with(Instant::now());
+    drop(t);
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d1_system_time_and_thread_identity_are_flagged() {
+    let src = r#"use std::time::SystemTime;
+use std::thread;
+pub fn f() -> bool {
+    let a = SystemTime::now();
+    let b = thread::current().id();
+    a.elapsed().is_ok() && format!("{b:?}").is_empty()
+}
+"#;
+    assert_eq!(hits(src), vec![("D1", 1), ("D1", 4), ("D1", 5)]);
+}
+
+#[test]
+fn d1_address_as_hash_is_flagged() {
+    let src = r#"pub fn key(x: &u32) -> usize {
+    x as *const u32 as usize
+}
+"#;
+    assert_eq!(hits(src), vec![("D1", 2)]);
+}
+
+#[test]
+fn d1_pointer_cast_without_usize_is_fine() {
+    let src = r#"pub fn p(x: &u32) -> *const u32 {
+    x as *const u32
+}
+pub fn later(n: u32) -> usize {
+    n as usize
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d1_workspace_policy_exempts_obs_and_bench() {
+    let policy = Policy::workspace();
+    let src = "pub fn f() { let _ = Instant::now(); }\n";
+    let in_obs = analyze_source("crates/obs/src/timing.rs", src, &policy);
+    assert!(in_obs.is_empty(), "{in_obs:?}");
+    let in_core = analyze_source("crates/core/src/lib.rs", src, &policy);
+    assert_eq!(in_core.len(), 1);
+    assert_eq!(in_core[0].rule, Rule::WallClock);
+}
+
+// ---------------------------------------------------------------- D2 --
+
+#[test]
+fn d2_method_iteration_is_flagged() {
+    let src = r#"use std::collections::HashMap;
+pub struct T { pub slots: HashMap<u64, u64> }
+pub fn leak(t: &T) -> Vec<u64> {
+    t.slots.keys().copied().collect()
+}
+"#;
+    assert_eq!(hits(src), vec![("D2", 4)]);
+}
+
+#[test]
+fn d2_for_loop_over_hash_field_is_flagged() {
+    let src = r#"use std::collections::HashMap;
+pub struct T { pub slots: HashMap<u64, u64> }
+pub fn leak(t: &T) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in &t.slots {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_eq!(hits(src), vec![("D2", 5)]);
+}
+
+#[test]
+fn d2_sort_in_same_statement_suppresses() {
+    let src = r#"use std::collections::HashMap;
+pub struct T { pub slots: HashMap<u64, u64> }
+pub fn ok(t: &T) -> Vec<u64> {
+    let mut v: Vec<u64> = t.slots.keys().copied().collect::<Vec<_>>().sorted_vec();
+    v.sort_unstable();
+    v
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d2_btree_destination_suppresses() {
+    let src = r#"use std::collections::{BTreeMap, HashMap};
+pub fn ok(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d2_commutative_reduction_suppresses() {
+    let src = r#"use std::collections::HashMap;
+pub fn total(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+pub fn biggest(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.values().copied().max()
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d2_allow_annotation_suppresses() {
+    let src = r#"use std::collections::HashMap;
+pub fn drain_all(m: &mut HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    // ron-lint: allow(map-order): addition is commutative
+    for (_, v) in m.drain() {
+        acc += v;
+    }
+    acc
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d2_constructor_binding_is_harvested() {
+    let src = r#"pub fn local() -> Vec<u64> {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u64, 2u64);
+    m.into_keys().collect()
+}
+"#;
+    assert_eq!(hits(src), vec![("D2", 4)]);
+}
+
+#[test]
+fn d2_get_is_not_iteration() {
+    let src = r#"use std::collections::HashMap;
+pub fn read(m: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    m.get(&k).copied()
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn d2_crate_scoped_names_catch_cross_module_iteration() {
+    // `homes` is declared as a HashMap in a sibling module; this file
+    // only iterates it.
+    let src = r#"pub fn leak(d: &super::Directory) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in &d.homes {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_eq!(hits(src), vec![], "no local binding, no finding");
+    let mut extra = BTreeSet::new();
+    extra.insert(String::from("homes"));
+    let scoped: Vec<(&str, u32)> = analyze_source_scoped("test.rs", src, &Policy::strict(), &extra)
+        .into_iter()
+        .map(|f| (f.rule.id(), f.line))
+        .collect();
+    assert_eq!(scoped, vec![("D2", 3)]);
+}
+
+#[test]
+fn harvest_finds_field_and_let_bindings() {
+    let src = r#"use std::collections::{HashMap, HashSet};
+pub struct S {
+    pub by_id: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+pub fn f() {
+    let mut scratch = HashMap::new();
+    scratch.insert(1, 2);
+}
+"#;
+    let names = harvest_hash_names(src);
+    for want in ["by_id", "seen", "scratch"] {
+        assert!(names.contains(want), "missing {want} in {names:?}");
+    }
+}
+
+// ---------------------------------------------------------------- S1 --
+
+#[test]
+fn s1_unsafe_without_safety_comment_is_flagged() {
+    let src = r#"pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    assert_eq!(hits(src), vec![("S1", 2)]);
+}
+
+#[test]
+fn s1_safety_comment_above_suppresses() {
+    let src = r#"pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn s1_safety_comment_survives_attribute_between() {
+    let src = r#"// SAFETY: the impl upholds Send because T: Send.
+#[allow(dead_code)]
+unsafe impl<T: Send> Send for Wrapper<T> {}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn s1_unsafe_fn_declaration_needs_safety_too() {
+    let src = r#"pub unsafe fn raw(p: *const u8) -> u8 {
+    *p
+}
+"#;
+    assert_eq!(hits(src), vec![("S1", 1)]);
+}
+
+// ---------------------------------------------------------------- C1 --
+
+#[test]
+fn c1_bare_atomic_ordering_is_flagged() {
+    let src = r#"use std::sync::atomic::{AtomicBool, Ordering};
+pub fn set(f: &AtomicBool) {
+    f.store(true, Ordering::Relaxed);
+}
+"#;
+    assert_eq!(hits(src), vec![("C1", 3)]);
+}
+
+#[test]
+fn c1_ordering_comment_suppresses() {
+    let src = r#"use std::sync::atomic::{AtomicBool, Ordering};
+pub fn set(f: &AtomicBool) {
+    // ordering: Relaxed -- independent flag, no data published.
+    f.store(true, Ordering::Relaxed);
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn c1_trailing_same_line_comment_suppresses() {
+    let src = r#"use std::sync::atomic::{AtomicBool, Ordering};
+pub fn get(f: &AtomicBool) -> bool {
+    f.load(Ordering::Acquire) // ordering: pairs with Release in set()
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn c1_cmp_ordering_is_not_atomic() {
+    let src = r#"use std::cmp::Ordering;
+pub fn o(a: u32, b: u32) -> Ordering {
+    if a < b { Ordering::Less } else { Ordering::Greater }
+}
+"#;
+    assert_eq!(hits(src), vec![]);
+}
+
+// ---------------------------------------------------------------- A1 --
+
+#[test]
+fn a1_marker_without_allow_is_flagged() {
+    let src = "// ron-lint: please ignore this\npub fn f() {}\n";
+    assert_eq!(hits(src), vec![("A1", 1)]);
+}
+
+#[test]
+fn a1_unknown_rule_name_is_flagged() {
+    let src = "// ron-lint: allow(made-up-rule): because\npub fn f() {}\n";
+    assert_eq!(hits(src), vec![("A1", 1)]);
+}
+
+#[test]
+fn a1_missing_or_empty_reason_is_flagged() {
+    let no_colon = "// ron-lint: allow(map-order)\npub fn f() {}\n";
+    assert_eq!(hits(no_colon), vec![("A1", 1)]);
+    let empty = "// ron-lint: allow(map-order):   \npub fn f() {}\n";
+    assert_eq!(hits(empty), vec![("A1", 1)]);
+}
+
+#[test]
+fn a1_well_formed_allow_is_not_flagged() {
+    let src = "// ron-lint: allow(map-order): commutative fold\npub fn f() {}\n";
+    assert_eq!(hits(src), vec![]);
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let src = r#"use std::time::Instant;
+pub fn f() {
+    // ron-lint: allow(map-order): wrong rule entirely
+    let t = Instant::now();
+    drop(t);
+}
+"#;
+    assert_eq!(hits(src), vec![("D1", 4)]);
+}
+
+// ---------------------------------------------------------------- P1 --
+
+#[test]
+fn p1_external_source_in_lockfile_is_flagged() {
+    let lock = r#"version = 3
+
+[[package]]
+name = "ron-core"
+version = "0.1.0"
+
+[[package]]
+name = "sneaky-dep"
+version = "1.2.3"
+source = "registry+https://github.com/rust-lang/crates.io-index"
+checksum = "0000"
+"#;
+    let findings = ron_lint::lockfile::check_lockfile("Cargo.lock", lock);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::Lockfile);
+    assert!(findings[0].message.contains("sneaky-dep"));
+}
+
+#[test]
+fn p1_path_only_lockfile_is_clean() {
+    let lock = r#"version = 3
+
+[[package]]
+name = "ron-core"
+version = "0.1.0"
+
+[[package]]
+name = "rand"
+version = "0.1.0"
+"#;
+    assert!(ron_lint::lockfile::check_lockfile("Cargo.lock", lock).is_empty());
+}
+
+// ------------------------------------------------------- patterns in --
+// strings and comments must never fire
+
+#[test]
+fn patterns_inside_strings_and_comments_do_not_fire() {
+    let src = r##"pub fn doc() -> &'static str {
+    // The docs may mention Instant::now and Ordering::Relaxed freely.
+    /* even unsafe, in a block comment */
+    r#"Instant::now() unsafe Ordering::Relaxed"#
+}
+"##;
+    assert_eq!(hits(src), vec![]);
+}

@@ -1,0 +1,98 @@
+//! Tree-level tests: exact findings on the violations fixture tree,
+//! zero findings on the clean fixture tree, and the self-hosting pin —
+//! the whole workspace (ron-lint's own source included) must be clean.
+
+use std::path::{Path, PathBuf};
+
+use ron_lint::analyze_tree;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_tree_yields_exact_findings() {
+    let report = analyze_tree(&fixture("violations")).expect("fixture tree readable");
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.id(), f.path.as_str(), f.line))
+        .collect();
+    // Sorted by (path, line, rule); `Cargo.lock` sorts before the
+    // lowercase .rs names.
+    let want = vec![
+        ("P1", "Cargo.lock", 10),
+        ("A1", "annotations.rs", 1),
+        ("A1", "annotations.rs", 4),
+        ("C1", "atomics.rs", 6),
+        ("D2", "maps.rs", 8),
+        ("D2", "maps.rs", 13),
+        ("D1", "timing.rs", 4),
+        ("D1", "timing.rs", 9),
+        ("S1", "unsafe_hole.rs", 2),
+    ];
+    assert_eq!(got, want);
+    assert!(!report.is_clean());
+    assert_eq!(report.files_scanned, 5);
+    assert!(report.lockfile_checked);
+}
+
+#[test]
+fn violations_report_counts_and_json_agree() {
+    let report = analyze_tree(&fixture("violations")).expect("fixture tree readable");
+    let counts = report.counts();
+    assert_eq!(
+        counts,
+        vec![
+            ("D1", 2),
+            ("D2", 2),
+            ("S1", 1),
+            ("C1", 1),
+            ("P1", 1),
+            ("A1", 2)
+        ]
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"findings\":["));
+    assert!(json.contains("\"rule\":\"D1\""));
+    assert!(json.contains("\"path\":\"timing.rs\""));
+    assert!(json.contains("\"files_scanned\":5"));
+    let human = report.render_human();
+    assert!(human.contains("timing.rs:4"));
+    assert!(human.contains("9 finding(s)"));
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = analyze_tree(&fixture("clean")).expect("fixture tree readable");
+    assert!(
+        report.is_clean(),
+        "clean fixture tree should have no findings: {}",
+        report.render_human()
+    );
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.lockfile_checked);
+    assert!(report.render_human().contains("clean"));
+}
+
+#[test]
+fn self_hosting_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = analyze_tree(&root).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "the workspace (ron-lint's own source included) must lint clean:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.files_scanned > 100,
+        "scanned {}",
+        report.files_scanned
+    );
+    assert!(report.lockfile_checked);
+}

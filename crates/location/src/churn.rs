@@ -185,6 +185,9 @@ impl DirectoryOverlay {
         for &(obj, new_home) in &plan.rehomed {
             self.homes.insert(obj, new_home);
         }
+        // ron-lint: allow(map-order): `RepairPlan::placements` is a
+        // Vec in deterministic plan order (the control plane's hash
+        // registry shares the field name); keyed inserts commute anyway.
         for (obj, placement) in &plan.placements {
             self.placements.insert(*obj, placement.clone());
         }

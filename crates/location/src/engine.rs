@@ -457,6 +457,9 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
         let workers = config.workers.max(1).min(queries.len().max(1));
         let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
         let chunk = queries.len().div_ceil(workers);
+        // ron-lint: allow(wall-clock): batch wall time feeds the
+        // throughput/latency report only; answers and fingerprints
+        // never depend on it.
         let start = Instant::now();
         let cache_ref = &cache;
         let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
@@ -530,6 +533,9 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
         for (i, &(origin, obj)) in queries.iter().enumerate() {
             let qid = (base + i) as u64;
             let traced = ron_obs::qtrace_sampled(qid);
+            // ron-lint: allow(wall-clock): per-query latency
+            // measurement for the report; the lookup answer is
+            // computed from the snapshot alone.
             let t0 = Instant::now();
             // Load the current publication per query: a mid-batch publish
             // is picked up immediately, and the epoch tag keeps cache
@@ -551,6 +557,9 @@ impl<'a, M: Metric + Sync> QueryEngine<'a, M> {
             } else {
                 0
             };
+            // ron-lint: allow(wall-clock): stage timing for sampled
+            // flight records only; sampling is by batch position, so
+            // the clock never influences which work runs.
             let walk_t = traced.then(Instant::now);
             // (levels visited, found level, probes, hops) for the record.
             let mut walk: (u32, Option<u32>, u64, u32) = (0, None, 0, 0);

@@ -281,13 +281,13 @@ mod tests {
     fn lookup_stretch_is_bounded_on_random_points() {
         let space = Space::new(gen::uniform_cube(96, 2, 11));
         let mut ov = DirectoryOverlay::build(&space);
-        let homes = [4usize, 40, 77];
-        for (i, h) in homes.iter().enumerate() {
+        let home_picks = [4usize, 40, 77];
+        for (i, h) in home_picks.iter().enumerate() {
             ov.publish(&space, ObjectId(i as u64), Node::new(*h));
         }
         let mut worst = 1.0f64;
         for s in space.nodes() {
-            for (i, h) in homes.iter().enumerate() {
+            for (i, h) in home_picks.iter().enumerate() {
                 let out = ov.lookup(&space, s, ObjectId(i as u64)).expect("static");
                 worst = worst.max(out.stretch(space.dist(s, Node::new(*h))));
             }

@@ -170,6 +170,9 @@ impl DirectoryOverlay {
     ) -> Vec<DirectoryNodeState> {
         let levels = self.levels();
         let mut homed: Vec<BTreeSet<ObjectId>> = vec![BTreeSet::new(); self.len()];
+        // ron-lint: allow(map-order): each (obj, home) entry lands in
+        // its home node's BTreeSet; visit order is unobservable in the
+        // returned per-node slices.
         for (&obj, &home) in &self.homes {
             homed[home.index()].insert(obj);
         }

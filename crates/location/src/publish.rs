@@ -58,6 +58,8 @@ impl DirectoryOverlay {
         // the plan itself.
         let plans = par::map(items.len(), |k| {
             if ron_obs::qtrace_sampled(k as u64) {
+                // ron-lint: allow(wall-clock): plan timing for sampled
+                // flight records; the plan itself is clock-free.
                 let t = std::time::Instant::now();
                 let plan = self.plan_publish(space, items[k].1);
                 (plan, t.elapsed().as_nanos() as u64)
@@ -68,6 +70,8 @@ impl DirectoryOverlay {
         let mut writes = 0usize;
         for (k, ((obj, home), (plan, plan_ns))) in items.iter().zip(plans).enumerate() {
             let traced = ron_obs::qtrace_sampled(k as u64);
+            // ron-lint: allow(wall-clock): install timing for sampled
+            // flight records only.
             let t = traced.then(std::time::Instant::now);
             let wrote = self.install(*obj, *home, plan);
             writes += wrote;

@@ -190,6 +190,9 @@ fn assert_never_torn<M: Metric + Sync>(space: &Space<M>, objects: usize, victims
                     let mut out = Vec::new();
                     let mut last_epoch = 0u64;
                     let mut q = r;
+                    // ordering: Acquire -- pairs with the Release
+                    // store below; reader exit must observe everything
+                    // the writer did before raising the flag.
                     while !stop.load(Ordering::Acquire) {
                         let snap = cell.load();
                         assert!(
@@ -221,6 +224,8 @@ fn assert_never_torn<M: Metric + Sync>(space: &Space<M>, objects: usize, victims
         overlay.repair_published(space, &cell);
         retained.push(cell.load());
         std::thread::sleep(std::time::Duration::from_millis(1));
+        // ordering: Release -- publishes the writer's final state to
+        // readers that exit on the Acquire load above.
         stop.store(true, Ordering::Release);
         readers
             .into_iter()

@@ -92,10 +92,26 @@ impl CompactId {
     /// `u32` with identical layout and no invalid bit patterns.
     #[must_use]
     pub fn as_nodes(ids: &[CompactId]) -> &[Node] {
-        // SAFETY: CompactId and Node are both repr(transparent) over u32.
+        // SAFETY: `CompactId` and `Node` are both `#[repr(transparent)]`
+        // newtypes over `u32` (checked at compile time by the layout
+        // assertions below), every `u32` bit pattern is a valid value of
+        // both, and the returned slice borrows `ids` — same length, same
+        // provenance, no mutation. The cast is exercised under Miri by
+        // `tests::compact_slice_cast_is_miri_clean` and CI's miri job.
         unsafe { &*(std::ptr::from_ref::<[CompactId]>(ids) as *const [Node]) }
     }
 }
+
+// Compile-time guarantee backing `CompactId::as_nodes`: if either
+// newtype ever loses `repr(transparent)` or changes its payload, the
+// size/alignment equalities below stop holding and the build fails
+// here, next to the cast they license.
+const _: () = {
+    assert!(std::mem::size_of::<CompactId>() == std::mem::size_of::<Node>());
+    assert!(std::mem::align_of::<CompactId>() == std::mem::align_of::<Node>());
+    assert!(std::mem::size_of::<CompactId>() == std::mem::size_of::<u32>());
+    assert!(std::mem::align_of::<CompactId>() == std::mem::align_of::<u32>());
+};
 
 impl From<Node> for CompactId {
     fn from(value: Node) -> Self {
@@ -185,6 +201,30 @@ mod tests {
         assert_eq!(u32::from(c), 7);
         assert_eq!(CompactId::from(7u32), c);
         assert_eq!(format!("{c}"), "c7");
+    }
+
+    /// Run under Miri by CI's miri job: the borrow must carry the
+    /// original allocation's provenance (a view, not a copy) and stay
+    /// in-bounds for every element including the extremes.
+    #[test]
+    fn compact_slice_cast_is_miri_clean() {
+        let ids = vec![
+            CompactId::new(0),
+            CompactId::new(1),
+            CompactId::new(u32::MAX as usize),
+        ];
+        let nodes = CompactId::as_nodes(&ids);
+        assert_eq!(nodes.len(), ids.len());
+        assert_eq!(nodes[2].index(), u32::MAX as usize);
+        // Same allocation, same address: a borrow, not a copy.
+        assert!(std::ptr::eq(
+            nodes.as_ptr().cast::<u32>(),
+            ids.as_ptr().cast::<u32>()
+        ));
+        // Every element readable through the new type.
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(v, ids[i].node());
+        }
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub(crate) fn epoch_ns() -> u64 {
 pub(crate) fn push_event(name: &'static str, label: Label, ts_ns: u64, dur_ns: u64) {
     registry::with_collector(|c| {
         if c.tid == u32::MAX {
+            // ordering: Relaxed -- a unique-id allocator; only the
+            // atomicity of the increment matters, no other memory is
+            // published with the id.
             c.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         }
         let tid = c.tid;

@@ -32,6 +32,8 @@ static QTRACE_RATE: AtomicU64 = AtomicU64::new(0);
 #[inline]
 #[must_use]
 pub fn qtrace_rate() -> u64 {
+    // ordering: Relaxed -- an independent sampling-rate cell set
+    // before serving starts; spawn synchronizes it to workers.
     QTRACE_RATE.load(Ordering::Relaxed)
 }
 
@@ -41,6 +43,7 @@ pub fn qtrace_rate() -> u64 {
 ///
 /// [`init_from_env`]: crate::init_from_env
 pub fn set_qtrace(rate: u64) {
+    // ordering: Relaxed -- see qtrace_rate above.
     QTRACE_RATE.store(rate, Ordering::Relaxed);
 }
 

@@ -35,12 +35,17 @@ static CHROME: AtomicBool = AtomicBool::new(false);
 #[inline]
 #[must_use]
 pub fn enabled() -> bool {
+    // ordering: Relaxed -- an independent on/off flag; it publishes no
+    // data of its own, and callers that need records visible flush()
+    // through the mutex-guarded global store.
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turns metric recording on or off. Off is the default; already
 /// collected records are kept (use [`reset`] to discard them).
 pub fn set_enabled(on: bool) {
+    // ordering: Relaxed -- flag toggled before work is spawned; the
+    // thread spawn itself provides the happens-before edge workers need.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -48,12 +53,15 @@ pub fn set_enabled(on: bool) {
 #[inline]
 #[must_use]
 pub fn chrome_enabled() -> bool {
+    // ordering: Relaxed -- same independent-flag discipline as ENABLED.
     CHROME.load(Ordering::Relaxed)
 }
 
 /// Turns Chrome-trace capture on or off; enabling it also enables
 /// metric recording so span durations land in both places.
 pub fn set_chrome(on: bool) {
+    // ordering: Relaxed -- flag set during single-threaded setup, read
+    // by workers only after they are spawned (spawn synchronizes).
     CHROME.store(on, Ordering::Relaxed);
     if on {
         set_enabled(true);
@@ -158,10 +166,16 @@ pub(crate) fn swap_stage(name: &'static str) -> u32 {
             (names.len() - 1) as u32
         }
     };
+    // ordering: Relaxed -- stages are set by the single orchestrating
+    // thread; workers spawned inside the staged scope observe the store
+    // through the scope-spawn happens-before edge, so no fence is
+    // needed here (audited: upgrading to Release would add nothing).
     CURRENT_STAGE.swap(id, Ordering::Relaxed)
 }
 
 pub(crate) fn restore_stage(id: u32) {
+    // ordering: Relaxed -- see swap_stage; restore runs on the same
+    // orchestrating thread that set the stage.
     CURRENT_STAGE.store(id, Ordering::Relaxed);
 }
 
@@ -204,9 +218,9 @@ impl Key {
 }
 
 pub(crate) struct Collector {
-    counters: HashMap<Key, u64>,
-    gauges: HashMap<Key, u64>,
-    hists: HashMap<Key, Pow2Histogram>,
+    pending_counters: HashMap<Key, u64>,
+    pending_gauges: HashMap<Key, u64>,
+    pending_hists: HashMap<Key, Pow2Histogram>,
     pub(crate) chrome: Vec<ChromeEvent>,
     pub(crate) qtraces: Vec<QueryTrace>,
     pub(crate) tid: u32,
@@ -215,9 +229,9 @@ pub(crate) struct Collector {
 impl Collector {
     fn fresh() -> Self {
         Collector {
-            counters: HashMap::new(),
-            gauges: HashMap::new(),
-            hists: HashMap::new(),
+            pending_counters: HashMap::new(),
+            pending_gauges: HashMap::new(),
+            pending_hists: HashMap::new(),
             chrome: Vec::new(),
             qtraces: Vec::new(),
             // Lazily replaced with a process-unique id on the first
@@ -227,23 +241,30 @@ impl Collector {
     }
 
     fn merge_into_global(&mut self) {
-        if self.counters.is_empty()
-            && self.gauges.is_empty()
-            && self.hists.is_empty()
+        if self.pending_counters.is_empty()
+            && self.pending_gauges.is_empty()
+            && self.pending_hists.is_empty()
             && self.chrome.is_empty()
             && self.qtraces.is_empty()
         {
             return;
         }
         let mut global = GLOBAL.lock().unwrap();
-        for (k, v) in self.counters.drain() {
+        // ron-lint: allow(map-order): drain order cannot escape -- the
+        // merges below are commutative (sum, max, per-bucket add) into
+        // the BTreeMap-keyed global store, which drains sorted.
+        for (k, v) in self.pending_counters.drain() {
             *global.counters.entry(k).or_insert(0) += v;
         }
-        for (k, v) in self.gauges.drain() {
+        // ron-lint: allow(map-order): commutative max-merge into the
+        // sorted global store; visit order is unobservable.
+        for (k, v) in self.pending_gauges.drain() {
             let slot = global.gauges.entry(k).or_insert(0);
             *slot = (*slot).max(v);
         }
-        for (k, h) in self.hists.drain() {
+        // ron-lint: allow(map-order): per-bucket addition commutes;
+        // the global store is a BTreeMap and drains sorted.
+        for (k, h) in self.pending_hists.drain() {
             global.hists.entry(k).or_default().merge(&h);
         }
         global.chrome.append(&mut self.chrome);
@@ -296,10 +317,12 @@ pub fn count_labeled(name: &'static str, label: Label, by: u64) {
     if !enabled() {
         return;
     }
+    // ordering: Relaxed -- the stage id was stored by the orchestrating
+    // thread before this worker was spawned; spawn synchronizes.
     let stage = CURRENT_STAGE.load(Ordering::Relaxed);
     with_collector(|c| {
         let key = Key { name, stage, label };
-        *c.counters.entry(key).or_insert(0) += by;
+        *c.pending_counters.entry(key).or_insert(0) += by;
     });
 }
 
@@ -311,6 +334,7 @@ pub fn gauge_max(name: &'static str, value: u64) {
     if !enabled() {
         return;
     }
+    // ordering: Relaxed -- see count_labeled.
     let stage = CURRENT_STAGE.load(Ordering::Relaxed);
     with_collector(|c| {
         let key = Key {
@@ -318,7 +342,7 @@ pub fn gauge_max(name: &'static str, value: u64) {
             stage,
             label: Label::None,
         };
-        let slot = c.gauges.entry(key).or_insert(0);
+        let slot = c.pending_gauges.entry(key).or_insert(0);
         *slot = (*slot).max(value);
     });
 }
@@ -335,10 +359,11 @@ pub fn observe_labeled(name: &'static str, label: Label, value: u64) {
     if !enabled() {
         return;
     }
+    // ordering: Relaxed -- see count_labeled.
     let stage = CURRENT_STAGE.load(Ordering::Relaxed);
     with_collector(|c| {
         let key = Key { name, stage, label };
-        c.hists.entry(key).or_default().record(value);
+        c.pending_hists.entry(key).or_default().record(value);
     });
 }
 
@@ -417,9 +442,9 @@ pub(crate) fn take_query_traces() -> Vec<QueryTrace> {
 /// are not reachable and are not cleared.
 pub fn reset() {
     with_collector(|c| {
-        c.counters.clear();
-        c.gauges.clear();
-        c.hists.clear();
+        c.pending_counters.clear();
+        c.pending_gauges.clear();
+        c.pending_hists.clear();
         c.chrome.clear();
         c.qtraces.clear();
     });

@@ -67,6 +67,9 @@ impl MetricsServer {
         let Some(handle) = self.accept_thread.take() else {
             return;
         };
+        // ordering: SeqCst -- shutdown flag on a cold path; the
+        // strongest ordering keeps the self-connect wakeup below
+        // trivially correct and costs nothing here.
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop re-checks the flag once per connection; this
         // throwaway connect is that connection.
@@ -96,11 +99,14 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
         let Ok((stream, _)) = listener.accept() else {
             // Accept errors are transient (EMFILE, aborted handshake);
             // only the stop flag ends the loop.
+            // ordering: SeqCst -- pairs with the store in stop(); one
+            // load per accepted connection, not a hot path.
             if stop.load(Ordering::SeqCst) {
                 return;
             }
             continue;
         };
+        // ordering: SeqCst -- pairs with the store in stop().
         if stop.load(Ordering::SeqCst) {
             return;
         }

@@ -76,6 +76,8 @@ fn main() {
                 scope.spawn(move || {
                     let mut out: Vec<(f64, bool, f64)> = Vec::new();
                     let mut q = r;
+                    // ordering: Acquire -- pairs with the Release
+                    // store that ends the sampling window.
                     while !stop.load(Ordering::Acquire) {
                         let mut origin = Node::new((q * 53 + 7) % N);
                         while victims.contains(&origin) {
@@ -103,6 +105,8 @@ fn main() {
         let repair = overlay.repair_published(&space, &cell);
         let t_done = ms_now();
         std::thread::sleep(Duration::from_millis(WINDOW_MS));
+        // ordering: Release -- ends the sampling window; pairs with
+        // the readers' Acquire loads.
         stop.store(true, Ordering::Release);
         let t_stop = ms_now();
 
